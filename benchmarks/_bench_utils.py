@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite (imported by bench files)."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.utils.tables import render_rows
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def scale_factor(default: float) -> float:
+    """Benchmark scale, overridable via REPRO_BENCH_SCALE."""
+    override = os.environ.get("REPRO_BENCH_SCALE")
+    return float(override) if override else default
+
+
+def write_report(name: str, rows, title: str, columns=None) -> str:
+    """Render rows, print them, persist them to results/<name>.txt."""
+    text = render_rows(rows, columns=columns, title=title)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

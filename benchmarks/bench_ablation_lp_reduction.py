@@ -1,0 +1,44 @@
+"""Ablation A-3: Eq. (4) sqrt-normalized vs Grohe LP reduction.
+
+Sec. 4.1 shows both are instances of one family (related by diagonal
+rescaling), so on a *stable* coloring they give identical optima; under
+quasi-stability they may diverge.  We measure both modes across budgets.
+"""
+
+from repro.datasets.registry import load_lp
+from repro.lp.reduction import approx_lp_opt
+from repro.lp.solve import solve_lp
+from repro.utils.stats import ratio_error
+
+from _bench_utils import run_once, scale_factor
+
+
+def _mode_rows(scale: float):
+    rows = []
+    lp = load_lp("qap15", scale=scale)
+    exact = solve_lp(lp).objective
+    for budget in (10, 30, 60):
+        for mode in ("sqrt", "grohe"):
+            result = approx_lp_opt(lp, n_colors=budget, mode=mode)
+            rows.append(
+                {
+                    "mode": mode,
+                    "colors": budget,
+                    "exact": exact,
+                    "approx": result.value,
+                    "rel_error": ratio_error(exact, result.value),
+                }
+            )
+    return rows
+
+
+def test_ablation_lp_reduction_mode(benchmark, report):
+    rows = run_once(benchmark, _mode_rows, scale_factor(0.04))
+    report(
+        "ablation_lp_reduction",
+        rows,
+        "Ablation A-3: sqrt (Eq. 4) vs Grohe reduction",
+    )
+    # Both modes must converge to moderate error at the largest budget.
+    final = [row for row in rows if row["colors"] == 60]
+    assert all(row["rel_error"] < 3.0 for row in final)

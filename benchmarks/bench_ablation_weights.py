@@ -1,0 +1,52 @@
+"""Ablation A-2: witness weighting exponents alpha/beta (Sec. 5.2).
+
+The paper prescribes (0,0) for flow, (1,0) for LPs, (1,1) for centrality.
+We sweep the weightings on the centrality task and report the resulting
+rank correlation — the prescribed (1,1) should be competitive with the
+best setting.
+"""
+
+from repro.centrality.brandes import betweenness_centrality
+from repro.centrality.approx import pivot_betweenness
+from repro.core.rothko import Rothko
+from repro.datasets.registry import load_graph
+from repro.utils.stats import spearman_rho
+
+from _bench_utils import run_once, scale_factor
+
+WEIGHTINGS = ((0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0))
+
+
+def _weighting_rows(scale: float, budget: int = 40):
+    graph = load_graph("facebook", scale=scale)
+    exact = betweenness_centrality(graph)
+    rows = []
+    for alpha, beta in WEIGHTINGS:
+        engine = Rothko(
+            graph, alpha=alpha, beta=beta, split_mean="geometric"
+        )
+        result = engine.run(max_colors=budget)
+        scores, _ = pivot_betweenness(graph, result.coloring, seed=0)
+        rows.append(
+            {
+                "alpha": alpha,
+                "beta": beta,
+                "colors": result.n_colors,
+                "rho": spearman_rho(exact, scores),
+            }
+        )
+    return rows
+
+
+def test_ablation_witness_weights(benchmark, report):
+    rows = run_once(benchmark, _weighting_rows, scale_factor(0.01))
+    report(
+        "ablation_witness_weights",
+        rows,
+        "Ablation A-2: alpha/beta witness weighting on centrality "
+        "(paper prescribes alpha=beta=1)",
+    )
+    by_weighting = {(row["alpha"], row["beta"]): row["rho"] for row in rows}
+    best = max(by_weighting.values())
+    # The prescribed weighting should be within reach of the best.
+    assert by_weighting[(1.0, 1.0)] >= best - 0.15

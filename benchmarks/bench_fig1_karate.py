@@ -1,0 +1,50 @@
+"""Fig. 1: stable vs quasi-stable coloring of Zachary's karate club.
+
+Paper: the stable coloring needs 27 colors; a q = 3 quasi-stable coloring
+needs only 6.  Both numbers are reproduced exactly.
+"""
+
+from repro.core.refinement import stable_coloring
+from repro.core.rothko import q_color
+from repro.graphs.generators import karate_club
+
+from _bench_utils import run_once
+
+
+def test_fig1_stable_karate(benchmark, report):
+    graph = karate_club()
+    coloring = run_once(benchmark, stable_coloring, graph.to_csr())
+    assert coloring.n_colors == 27
+    report(
+        "fig1_karate_stable",
+        [
+            {
+                "graph": "karate",
+                "method": "stable (1-WL)",
+                "colors": coloring.n_colors,
+                "paper_colors": 27,
+            }
+        ],
+        "Fig. 1(a): stable coloring of the karate club",
+    )
+
+
+def test_fig1_quasi_stable_karate(benchmark, report):
+    graph = karate_club()
+    result = run_once(benchmark, q_color, graph, 6)
+    assert result.n_colors == 6
+    assert result.max_q_err <= 3.0
+    report(
+        "fig1_karate_qstable",
+        [
+            {
+                "graph": "karate",
+                "method": "q-stable (Rothko)",
+                "colors": result.n_colors,
+                "max_q": result.max_q_err,
+                "paper_colors": 6,
+                "paper_q": 3,
+            }
+        ],
+        "Fig. 1(b): quasi-stable coloring of the karate club",
+    )

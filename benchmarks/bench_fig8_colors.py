@@ -1,0 +1,67 @@
+"""Fig. 8: accuracy as a function of the number of colors (all tasks).
+
+Paper: no task needs more than ~150 colors to converge, with diminishing
+returns; max-flow and centrality improve monotonically, LP need not.
+"""
+
+from repro.experiments.fig8_colors import accuracy_vs_colors
+
+from _bench_utils import run_once, scale_factor
+
+
+def test_fig8_maxflow(benchmark, report):
+    rows = run_once(
+        benchmark,
+        accuracy_vs_colors,
+        "maxflow",
+        scale=scale_factor(0.003),
+        datasets=("tsukuba0",),
+        color_budgets=(4, 8, 16, 32),
+    )
+    report(
+        "fig8a_maxflow_colors",
+        rows,
+        "Fig. 8(a): max-flow accuracy vs #colors",
+        columns=["dataset", "colors", "accuracy"],
+    )
+    errors = [row["accuracy"] for row in rows]
+    assert errors[-1] <= errors[0] + 1e-9  # more colors help overall
+
+
+def test_fig8_lp(benchmark, report):
+    rows = run_once(
+        benchmark,
+        accuracy_vs_colors,
+        "lp",
+        scale=scale_factor(0.04),
+        datasets=("qap15",),
+        color_budgets=(8, 16, 32, 64),
+    )
+    report(
+        "fig8b_lp_colors",
+        rows,
+        "Fig. 8(b): LP accuracy vs #colors",
+        columns=["dataset", "colors", "accuracy"],
+    )
+    assert rows[-1]["accuracy"] < rows[0]["accuracy"] + 1.0
+
+
+def test_fig8_centrality(benchmark, report):
+    rows = run_once(
+        benchmark,
+        accuracy_vs_colors,
+        "centrality",
+        scale=scale_factor(0.01),
+        datasets=("facebook",),
+        color_budgets=(5, 10, 20, 50, 100),
+    )
+    report(
+        "fig8c_centrality_colors",
+        rows,
+        "Fig. 8(c): centrality rho vs #colors",
+        columns=["dataset", "colors", "accuracy"],
+    )
+    rhos = [row["accuracy"] for row in rows]
+    # Diminishing returns: by 50 colors the correlation is already high.
+    assert max(rhos) > 0.85
+    assert rhos[-1] >= rhos[0]

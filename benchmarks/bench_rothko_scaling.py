@@ -1,0 +1,37 @@
+"""Ablation A-4: Rothko core scaling (runtime vs graph size and budget).
+
+Verifies the engine's practical scalability claims: near-linear growth in
+edges for a fixed color budget, and graceful growth in the budget.
+These are the micro-benchmarks pytest-benchmark is actually good at, so
+they use its statistical timing (several rounds) rather than run-once.
+"""
+
+import pytest
+
+from repro.core.refinement import stable_coloring
+from repro.core.rothko import q_color
+from repro.graphs.generators import barabasi_albert
+
+
+@pytest.mark.parametrize("n", [500, 2000, 8000])
+def test_rothko_scaling_nodes(benchmark, n):
+    graph = barabasi_albert(n, 4, seed=1)
+    adjacency = graph.to_csr()
+    result = benchmark(q_color, adjacency, 32)
+    assert result.n_colors <= 32
+
+
+@pytest.mark.parametrize("budget", [8, 32, 128])
+def test_rothko_scaling_colors(benchmark, budget):
+    graph = barabasi_albert(4000, 4, seed=2)
+    adjacency = graph.to_csr()
+    result = benchmark(q_color, adjacency, budget)
+    assert result.n_colors <= budget
+
+
+def test_stable_coloring_baseline(benchmark):
+    graph = barabasi_albert(2000, 4, seed=3)
+    adjacency = graph.to_csr()
+    coloring = benchmark(stable_coloring, adjacency)
+    # Random-ish graphs refine to (almost) discrete (Sec. 2 discussion).
+    assert coloring.n_colors > 0.5 * graph.n_nodes

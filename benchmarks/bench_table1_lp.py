@@ -1,0 +1,30 @@
+"""Table 1 (bottom): time to reach a target LP relative error.
+
+Paper: the reduced-LP approximation beats early-stopping an interior
+point solver by ~100x on average and times out far less often.
+"""
+
+import math
+
+from repro.experiments.table1_runtime import lp_runtime_rows
+
+from _bench_utils import run_once, scale_factor
+
+
+def test_table1_lp(benchmark, report):
+    rows = run_once(
+        benchmark,
+        lp_runtime_rows,
+        datasets=("qap15", "supportcase10", "ex10"),
+        scale=scale_factor(0.04),
+        color_ladder=(8, 16, 32, 64, 128),
+        targets=(3.0, 2.0, 1.5),
+    )
+    report(
+        "table1_lp",
+        rows,
+        "Table 1 (bottom): seconds to reach target relative error "
+        "(inf = not reached, the paper's 'x')",
+    )
+    reached = sum(row["ours_err3.0"] < math.inf for row in rows)
+    assert reached >= 2  # ours reaches the loose target on most datasets

@@ -1,0 +1,31 @@
+"""Table 5: characteristics of the compressed LP constraint matrices.
+
+Paper: 10^2-10^3x nnz compression at moderate error; tiny budgets give
+huge errors that collapse once enough colors are used.
+"""
+
+from repro.experiments.table5_lp import lp_compression_rows
+
+from _bench_utils import run_once, scale_factor
+
+
+def test_table5_lp_compression(benchmark, report):
+    rows = run_once(
+        benchmark,
+        lp_compression_rows,
+        datasets=("qap15", "nug08-3rd", "supportcase10", "ex10"),
+        scale=scale_factor(0.04),
+        color_budgets=(10, 50, 100),
+    )
+    report(
+        "table5_lp_compression",
+        rows,
+        "Table 5: compressed constraint-matrix characteristics",
+    )
+    for row in rows:
+        assert row["compression"] >= 1.0
+        assert row["rows"] <= row["colors"]
+    # Largest budget should have moderate error on at least 3/4 datasets.
+    final = [row for row in rows if row["colors"] == 100]
+    moderate = sum(row["rel_error"] < 2.0 for row in final)
+    assert moderate >= 3

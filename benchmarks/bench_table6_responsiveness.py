@@ -1,0 +1,30 @@
+"""Table 6: latency and responsiveness of the anytime Rothko loop.
+
+Paper: first result within ~480 ms on average, a new color every ~2 s,
+convergence within seconds to a minute depending on task.
+"""
+
+from repro.experiments.table6_responsiveness import responsiveness_rows
+
+from _bench_utils import run_once, scale_factor
+
+
+def test_table6_responsiveness(benchmark, report):
+    rows = run_once(
+        benchmark,
+        responsiveness_rows,
+        flow_scale=scale_factor(0.002),
+        lp_scale=scale_factor(0.03),
+        centrality_scale=scale_factor(0.005),
+        max_colors=20,
+    )
+    report(
+        "table6_responsiveness",
+        rows,
+        "Table 6: anytime-loop latency per task type",
+    )
+    assert [row["task"] for row in rows] == ["maxflow", "lp", "centrality"]
+    for row in rows:
+        assert row["time_to_first_s"] > 0
+        assert row["updates"] >= 5
+        assert row["time_to_converge_s"] >= row["time_to_first_s"] - 1e-9

@@ -1,0 +1,17 @@
+"""Tables 2 and 3: the dataset inventory (paper sizes and provenance)."""
+
+from repro.datasets.registry import table2_rows, table3_rows
+
+from _bench_utils import run_once
+
+
+def test_table2_graphs(benchmark, report):
+    rows = run_once(benchmark, table2_rows)
+    assert len(rows) == 16
+    report("table2_graphs", rows, "Table 2: graphs used for evaluation")
+
+
+def test_table3_lps(benchmark, report):
+    rows = run_once(benchmark, table3_rows)
+    assert len(rows) == 4
+    report("table3_lps", rows, "Table 3: linear programs used for evaluation")

@@ -1,0 +1,19 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+laptop-friendly scale, prints the rows, and persists them under
+``benchmarks/results/`` so they survive pytest's output capture.  Scales
+can be raised with the ``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import write_report
+
+
+@pytest.fixture
+def report():
+    """Render rows, print them, and persist them to results/<name>.txt."""
+    return write_report

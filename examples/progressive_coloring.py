@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Rothko as an anytime co-routine (Sec. 5.2, Table 6).
+
+Rothko refines one color per step and can be interrupted at any point
+with a valid coloring in hand.  This example drives the generator
+interface directly, re-solving the downstream max-flow approximation
+after every split and printing the approximation as it converges —
+exactly the interactive pattern Table 6 measures.
+
+Run:  python examples/progressive_coloring.py
+"""
+
+import numpy as np
+
+from repro.core.partition import Coloring
+from repro.core.rothko import Rothko
+from repro.datasets.flows import vision_grid_instance
+from repro.flow.approx import reduced_network
+from repro.flow.network import max_flow
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    network = vision_grid_instance(16, 16, levels=10, seed=1)
+    exact = max_flow(network, algorithm="push_relabel").value
+    print(
+        f"Instance: {network.graph.n_nodes} nodes; exact max-flow "
+        f"{exact:.1f}\n"
+    )
+
+    labels = np.full(network.graph.n_nodes, 2, dtype=np.int64)
+    labels[network.source_index] = 0
+    labels[network.sink_index] = 1
+    initial = Coloring(labels)
+    frozen = (
+        initial.color_of(network.source_index),
+        initial.color_of(network.sink_index),
+    )
+    engine = Rothko(network.graph, initial=initial, frozen=frozen)
+
+    rows = []
+    for step in engine.steps(max_colors=24):
+        reduced = reduced_network(network, step.coloring, bound="upper")
+        approx = max_flow(reduced, algorithm="dinic").value
+        rows.append(
+            [
+                step.iteration,
+                step.n_colors,
+                round(step.q_err_before, 1),
+                round(approx, 1),
+                f"{approx / exact:.3f}",
+                f"{step.elapsed * 1000:.0f}ms",
+            ]
+        )
+        if approx / exact < 1.02:
+            print("Converged within 2% — interrupting the co-routine.\n")
+            break
+
+    print(format_table(
+        ["step", "colors", "q before split", "approx flow",
+         "approx/exact", "elapsed"],
+        rows,
+        title="Anytime refinement: the approximation tightens per split",
+    ))
+    print(
+        "\nThe loop can be stopped at any row; the coloring is always "
+        "valid (Table 6's responsiveness pattern)."
+    )
+
+
+if __name__ == "__main__":
+    main()

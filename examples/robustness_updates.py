@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Robustness of colorings to graph updates (Fig. 2 / Sec. 6.3).
+
+Stable coloring is brittle: one added edge can cascade refinements until
+most nodes sit in singleton colors.  Quasi-stable colorings tolerate
+bounded degree differences, so the color count barely moves.  This
+example perturbs the planted-partition graph edge by edge and prints
+both trajectories.
+
+Run:  python examples/robustness_updates.py
+"""
+
+from repro.experiments.fig2_robustness import run_fig2
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    fractions = (0.0, 0.0025, 0.005, 0.0075, 0.01, 0.0125, 0.015)
+    rows = run_fig2(fractions=fractions)
+    table = [
+        [
+            row["edges_added"],
+            f"{100 * row['fraction']:.2f}%",
+            row["stable_colors"],
+            f"{row['stable_compression']:.2f}:1",
+            row["qstable_colors"],
+            f"{row['qstable_compression']:.2f}:1",
+        ]
+        for row in rows
+    ]
+    print(format_table(
+        ["edges added", "fraction", "stable colors", "stable compr.",
+         "q=4 colors", "q=4 compr."],
+        table,
+        title="Fig. 2: |V|=1000, |E|=21600 planted graph under perturbation",
+    ))
+    print(
+        "\nStable coloring collapses to (near-)singleton colors almost "
+        "immediately;\nthe q-stable coloring absorbs the noise — the "
+        "paper's Fig. 2 in table form."
+    )
+
+
+if __name__ == "__main__":
+    main()

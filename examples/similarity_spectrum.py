@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The spectrum of similarity relations from Sec. 3.1, side by side.
+
+Quasi-stable coloring is parameterized by a similarity relation ``~`` on
+block weights.  This example colors one graph under every relation the
+paper discusses and compares the resulting partition sizes:
+
+* equality              -> the classic stable coloring (q = 0);
+* q-absolute            -> the paper's workhorse (Rothko, Algorithm 1);
+* eps-relative          -> bounded *relative* block-weight error;
+* bisimulation          -> all-or-nothing connectivity between colors;
+* capped congruence     -> ``min(x, c)``, interpolating bisimulation and
+                           stability (Theorem 12(1): unique maximum,
+                           computable exactly in PTIME).
+
+Run:  python examples/similarity_spectrum.py
+"""
+
+from repro.core.qerror import max_q_err
+from repro.core.refinement import congruence_coloring, stable_coloring
+from repro.core.rothko import eps_color, q_color
+from repro.core.similarity import Bisimulation, CappedCongruence
+from repro.datasets.registry import load_graph
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    graph = load_graph("openflights", scale=0.2)
+    adjacency = graph.to_csr()
+    n = graph.n_nodes
+    print(f"Graph: {graph}\n")
+
+    rows = []
+
+    stable = stable_coloring(adjacency)
+    rows.append(
+        ["equality (stable, exact)", stable.n_colors,
+         f"{n / stable.n_colors:.1f}:1", 0.0]
+    )
+
+    bisim = congruence_coloring(adjacency, Bisimulation())
+    rows.append(
+        ["bisimulation (exact max)", bisim.n_colors,
+         f"{n / bisim.n_colors:.1f}:1", "-"]
+    )
+
+    for cap in (1.0, 4.0):
+        capped = congruence_coloring(adjacency, CappedCongruence(cap))
+        rows.append(
+            [f"capped congruence c={cap:g} (exact max)", capped.n_colors,
+             f"{n / capped.n_colors:.1f}:1", "-"]
+        )
+
+    for q in (16.0, 4.0, 1.0):
+        result = q_color(adjacency, q=q, n_colors=n)
+        rows.append(
+            [f"q-absolute q<={q:g} (Rothko)", result.n_colors,
+             f"{n / result.n_colors:.1f}:1", result.max_q_err]
+        )
+
+    for eps in (1.0, 0.5):
+        result = eps_color(adjacency, eps=eps, n_colors=n)
+        rows.append(
+            [f"eps-relative eps<={eps:g} (Rothko)", result.n_colors,
+             f"{n / result.n_colors:.1f}:1",
+             max_q_err(adjacency, result.coloring)]
+        )
+
+    print(format_table(
+        ["relation", "colors", "compression", "achieved max q"],
+        rows,
+        title="One graph, six similarity relations",
+    ))
+    print(
+        "\nTakeaways: exact relations (equality) barely compress; "
+        "congruences admit\nexact maxima but are coarse-grained; the "
+        "q-absolute and eps-relative knobs\ntrade error for compression "
+        "continuously — the paper's core proposal."
+    )
+
+
+if __name__ == "__main__":
+    main()

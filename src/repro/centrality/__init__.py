@@ -1,0 +1,14 @@
+"""Betweenness centrality: exact, color-pivot approximate, and sampling."""
+
+from repro.centrality.approx import ApproxCentralityResult, approx_betweenness
+from repro.centrality.brandes import betweenness_centrality
+from repro.centrality.metrics import centrality_accuracy
+from repro.centrality.sampling import riondato_kornaropoulos_betweenness
+
+__all__ = [
+    "ApproxCentralityResult",
+    "approx_betweenness",
+    "betweenness_centrality",
+    "centrality_accuracy",
+    "riondato_kornaropoulos_betweenness",
+]

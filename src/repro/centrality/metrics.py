@@ -1,0 +1,30 @@
+"""Centrality accuracy metrics (Sec. 6.1 uses Spearman's rho)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.stats import spearman_rho, top_k_overlap
+
+
+@dataclass(frozen=True)
+class CentralityAccuracy:
+    spearman: float
+    top_10_overlap: float
+    top_50_overlap: float
+
+
+def centrality_accuracy(
+    exact: np.ndarray, approximate: np.ndarray
+) -> CentralityAccuracy:
+    """Bundle the accuracy statistics the experiments report."""
+    exact = np.asarray(exact, dtype=float)
+    approximate = np.asarray(approximate, dtype=float)
+    n = exact.size
+    return CentralityAccuracy(
+        spearman=spearman_rho(exact, approximate),
+        top_10_overlap=top_k_overlap(exact, approximate, min(10, n)),
+        top_50_overlap=top_k_overlap(exact, approximate, min(50, n)),
+    )

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``color``    color a graph file (edge list) with the Rothko heuristic and
+             print coloring statistics;
+``datasets`` print the Tables 2/3 dataset inventory;
+``tables``   regenerate one of the paper's experiment tables at a chosen
+             scale (the pytest benchmarks wrap the same drivers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.utils.tables import render_rows
+
+TABLE_CHOICES = (
+    "fig2", "fig7-maxflow", "fig7-lp", "fig7-centrality",
+    "table1-centrality", "table1-lp", "table4", "table5", "table6",
+)
+
+
+def _cmd_color(args: argparse.Namespace) -> int:
+    from repro.core.qerror import q_error_report
+    from repro.core.rothko import eps_color, q_color
+    from repro.graphs.io import read_edgelist
+
+    graph = read_edgelist(args.path, directed=args.directed)
+    if args.eps is not None:
+        result = eps_color(graph, n_colors=args.colors, eps=args.eps)
+    else:
+        result = q_color(graph, n_colors=args.colors, q=args.q)
+    report = q_error_report(graph.to_csr(), result.coloring)
+    rows = [
+        {
+            "nodes": graph.n_nodes,
+            "edges": graph.n_edges,
+            "colors": report.n_colors,
+            "max_q": report.max_q,
+            "mean_q": report.mean_q,
+            "compression": f"{report.compression_ratio:.1f}:1",
+            "seconds": result.elapsed,
+        }
+    ]
+    print(render_rows(rows, title=f"Quasi-stable coloring of {args.path}"))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for index, label in enumerate(result.coloring.labels.tolist()):
+                handle.write(f"{graph.label_of(index)} {label}\n")
+        print(f"per-node colors written to {args.out}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.datasets.registry import table2_rows, table3_rows
+
+    print(render_rows(table2_rows(), title="Table 2: graphs"))
+    print()
+    print(render_rows(table3_rows(), title="Table 3: linear programs"))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    scale = args.scale
+    which = args.which
+    if which == "fig2":
+        from repro.experiments.fig2_robustness import run_fig2
+
+        rows = run_fig2()
+        title = "Fig. 2: robustness to edge perturbation"
+    elif which == "fig7-maxflow":
+        from repro.experiments.fig7_tradeoff import maxflow_tradeoff
+
+        rows = maxflow_tradeoff(scale=scale or 0.004)
+        title = "Fig. 7(a): max-flow speed-accuracy"
+    elif which == "fig7-lp":
+        from repro.experiments.fig7_tradeoff import lp_tradeoff
+
+        rows = lp_tradeoff(scale=scale or 0.04)
+        title = "Fig. 7(b): LP speed-accuracy"
+    elif which == "fig7-centrality":
+        from repro.experiments.fig7_tradeoff import centrality_tradeoff
+
+        rows = centrality_tradeoff(scale=scale or 0.015)
+        title = "Fig. 7(c): centrality speed-accuracy"
+    elif which == "table1-centrality":
+        from repro.experiments.table1_runtime import centrality_runtime_rows
+
+        rows = centrality_runtime_rows(scale=scale or 0.015)
+        title = "Table 1 (top): centrality runtime to target"
+    elif which == "table1-lp":
+        from repro.experiments.table1_runtime import lp_runtime_rows
+
+        rows = lp_runtime_rows(scale=scale or 0.04)
+        title = "Table 1 (bottom): LP runtime to target"
+    elif which == "table4":
+        from repro.experiments.table4_compression import compression_rows
+
+        rows = compression_rows(scale=scale or 0.06)
+        title = "Table 4: compression vs stable coloring"
+    elif which == "table5":
+        from repro.experiments.table5_lp import lp_compression_rows
+
+        rows = lp_compression_rows(scale=scale or 0.04)
+        title = "Table 5: compressed LP characteristics"
+    elif which == "table6":
+        from repro.experiments.table6_responsiveness import responsiveness_rows
+
+        rows = responsiveness_rows()
+        title = "Table 6: anytime-loop responsiveness"
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown table {which!r}")
+    print(render_rows(rows, title=title))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quasi-stable coloring for graph compression "
+        "(VLDB 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    color = sub.add_parser("color", help="color an edge-list graph file")
+    color.add_argument("path", help="edge-list file: 'u v [weight]' lines")
+    color.add_argument("--colors", type=int, default=None,
+                       help="color budget")
+    color.add_argument("--q", type=float, default=None,
+                       help="target maximum q-error")
+    color.add_argument("--eps", type=float, default=None,
+                       help="target relative error (eps-relative mode)")
+    color.add_argument("--directed", action="store_true",
+                       help="treat edges as directed")
+    color.add_argument("--out", default=None,
+                       help="write 'label color' lines to this file")
+    color.set_defaults(func=_cmd_color)
+
+    datasets = sub.add_parser("datasets", help="print the dataset registry")
+    datasets.set_defaults(func=_cmd_datasets)
+
+    tables = sub.add_parser("tables", help="regenerate a paper table/figure")
+    tables.add_argument("which", choices=TABLE_CHOICES)
+    tables.add_argument("--scale", type=float, default=None,
+                        help="dataset scale (1.0 = paper size)")
+    tables.set_defaults(func=_cmd_tables)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "color" and args.colors is None and args.q is None \
+            and args.eps is None:
+        parser.error("color needs --colors, --q, or --eps")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

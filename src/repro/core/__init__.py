@@ -1,0 +1,56 @@
+"""Core contribution: quasi-stable colorings and the Rothko algorithm."""
+
+from repro.core.partition import Coloring
+from repro.core.lattice import meet, join
+from repro.core.qerror import (
+    color_degree_matrices,
+    error_matrices,
+    max_q_err,
+    mean_q_err,
+    q_error_report,
+)
+from repro.core.refinement import stable_coloring, congruence_coloring
+from repro.core.reduced import (
+    lifting_matrices,
+    reduced_adjacency,
+    reduced_graph,
+)
+from repro.core.rothko import Rothko, RothkoStep, eps_color, q_color
+from repro.core.similarity import (
+    Bisimulation,
+    CappedCongruence,
+    Equality,
+    EpsRelative,
+    QAbsolute,
+    Similarity,
+)
+from repro.core.wl import wl1_coloring, wl2_node_coloring, wl2_pair_coloring
+
+__all__ = [
+    "Coloring",
+    "meet",
+    "join",
+    "color_degree_matrices",
+    "error_matrices",
+    "max_q_err",
+    "mean_q_err",
+    "q_error_report",
+    "stable_coloring",
+    "congruence_coloring",
+    "lifting_matrices",
+    "reduced_adjacency",
+    "reduced_graph",
+    "Rothko",
+    "RothkoStep",
+    "q_color",
+    "eps_color",
+    "Bisimulation",
+    "CappedCongruence",
+    "Equality",
+    "EpsRelative",
+    "QAbsolute",
+    "Similarity",
+    "wl1_coloring",
+    "wl2_node_coloring",
+    "wl2_pair_coloring",
+]

@@ -1,0 +1,58 @@
+"""The partition lattice: meet and join of colorings (Sec. 2).
+
+``meet(P, Q)`` is the greatest lower bound — classes are the nonempty
+pairwise intersections.  ``join(P, Q)`` is the least upper bound — the
+finest partition coarser than both, computed as connected components of the
+"same class in P or same class in Q" relation via union-find.  Theorem 12(1)
+relies on joins of quasi-stable colorings being quasi-stable when ``~`` is a
+congruence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.partition import Coloring
+from repro.exceptions import ColoringError
+
+
+def meet(p: Coloring, q: Coloring) -> Coloring:
+    """Greatest lower bound ``P ∧ Q``: intersect classes pairwise."""
+    if p.n != q.n:
+        raise ColoringError(f"colorings on different node sets: {p.n} vs {q.n}")
+    # Pair (p-label, q-label) determines the meet class.
+    paired = p.labels.astype(np.int64) * (q.n_colors + 1) + q.labels
+    return Coloring(paired)
+
+
+class _UnionFind:
+    """Path-halving union-find over ``0..n-1``."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return int(x)
+
+    def union(self, x: int, y: int) -> None:
+        rx, ry = self.find(x), self.find(y)
+        if rx != ry:
+            self.parent[ry] = rx
+
+
+def join(p: Coloring, q: Coloring) -> Coloring:
+    """Least upper bound ``P ∨ Q`` via union-find over both class systems."""
+    if p.n != q.n:
+        raise ColoringError(f"colorings on different node sets: {p.n} vs {q.n}")
+    uf = _UnionFind(p.n)
+    for coloring in (p, q):
+        for members in coloring.classes():
+            first = int(members[0])
+            for node in members[1:].tolist():
+                uf.union(first, node)
+    roots = np.fromiter((uf.find(i) for i in range(p.n)), dtype=np.int64, count=p.n)
+    return Coloring(roots)

@@ -1,0 +1,180 @@
+"""Degree/error matrices for quasi-stable colorings (Sec. 5.2).
+
+Given an adjacency matrix ``A`` and a coloring with indicator ``S``:
+
+* ``D_out = A @ S``   — ``D_out[v, j] = w(v, P_j)``, node ``v``'s total
+  outgoing weight into color ``j``;
+* ``D_in  = A.T @ S`` — ``D_in[v, i] = w(P_i, v)``, total incoming weight
+  from color ``i``.
+
+Grouping rows by the node's color and taking max/min per column yields the
+``U`` and ``L`` matrices of Algorithm 1 and the error matrix
+``Err = U - L``.  We track both directions (Definition 1 constrains
+outgoing *and* incoming weights):
+
+* ``out_err[i, j]`` — spread of ``w(x, P_j)`` over ``x in P_i``
+  (a witness here splits the *source* color ``P_i``);
+* ``in_err[i, j]``  — spread of ``w(P_i, y)`` over ``y in P_j``
+  (a witness here splits the *target* color ``P_j``).
+
+On symmetric adjacency (undirected graphs) ``in_err = out_err.T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.partition import Coloring
+
+
+def _as_csr(adjacency: sp.spmatrix | np.ndarray) -> sp.csr_matrix:
+    matrix = sp.csr_matrix(adjacency, dtype=np.float64)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"adjacency must be square, got {matrix.shape}")
+    return matrix
+
+
+def color_degree_matrices(
+    adjacency: sp.spmatrix | np.ndarray, coloring: Coloring
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return dense ``(D_out, D_in)``, each ``n x k``."""
+    matrix = _as_csr(adjacency)
+    indicator = coloring.indicator()
+    d_out = np.asarray((matrix @ indicator).todense())
+    d_in = np.asarray((matrix.T @ indicator).todense())
+    return d_out, d_in
+
+
+def grouped_minmax(
+    values: np.ndarray, coloring: Coloring
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-color column-wise max and min of a row-per-node matrix.
+
+    ``U[i, j] = max_{v in P_i} values[v, j]`` and symmetrically for ``L``.
+    Computed with ``np.{maximum,minimum}.reduceat`` over color-sorted rows.
+    """
+    k = coloring.n_colors
+    if values.shape[0] != coloring.n:
+        raise ValueError(
+            f"values has {values.shape[0]} rows but coloring has {coloring.n} nodes"
+        )
+    order = np.argsort(coloring.labels, kind="stable")
+    sorted_values = values[order]
+    sizes = coloring.sizes
+    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+    upper = np.maximum.reduceat(sorted_values, starts, axis=0)
+    lower = np.minimum.reduceat(sorted_values, starts, axis=0)
+    assert upper.shape == (k, values.shape[1])
+    return upper, lower
+
+
+def error_matrices(
+    adjacency: sp.spmatrix | np.ndarray, coloring: Coloring
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(out_err, in_err)``, both ``k x k`` (see module docstring)."""
+    d_out, d_in = color_degree_matrices(adjacency, coloring)
+    upper_out, lower_out = grouped_minmax(d_out, coloring)
+    upper_in, lower_in = grouped_minmax(d_in, coloring)
+    out_err = upper_out - lower_out
+    # grouped_minmax groups by the *node's* color: for D_in the node is the
+    # target, so rows of (upper_in - lower_in) are target colors and columns
+    # are source colors.  Transpose into (source, target) orientation.
+    in_err = (upper_in - lower_in).T
+    return out_err, in_err
+
+
+def max_q_err(
+    adjacency: sp.spmatrix | np.ndarray, coloring: Coloring
+) -> float:
+    """The maximum q-error of the coloring over both directions.
+
+    This is the smallest ``q`` for which the coloring is q-stable
+    (Definition 1 with the ``~q`` relation).
+    """
+    out_err, in_err = error_matrices(adjacency, coloring)
+    if out_err.size == 0:
+        return 0.0
+    return float(max(out_err.max(), in_err.max()))
+
+
+def mean_q_err(
+    adjacency: sp.spmatrix | np.ndarray, coloring: Coloring
+) -> float:
+    """Average q-error over color pairs that have any adjacency.
+
+    Table 4's "Mean q" statistic: the spread averaged over the ordered
+    color pairs ``(i, j)`` with at least one edge from ``P_i`` to ``P_j``
+    (pairs without edges are exactly regular and would dilute the metric).
+    """
+    matrix = _as_csr(adjacency)
+    indicator = coloring.indicator()
+    block_weight = np.asarray((indicator.T @ matrix @ indicator).todense())
+    out_err, in_err = error_matrices(adjacency, coloring)
+    mask = block_weight != 0.0
+    if not mask.any():
+        return 0.0
+    spread = np.maximum(out_err, in_err)
+    return float(spread[mask].mean())
+
+
+@dataclass(frozen=True)
+class QErrorReport:
+    """Summary statistics of a coloring's q-error (Table 4 row)."""
+
+    n_colors: int
+    max_q: float
+    mean_q: float
+    compression_ratio: float
+
+    def as_row(self) -> dict:
+        return {
+            "colors": self.n_colors,
+            "max_q": self.max_q,
+            "mean_q": self.mean_q,
+            "compression": f"{self.compression_ratio:.0f}:1"
+            if self.compression_ratio >= 10
+            else f"{self.compression_ratio:.2f}:1",
+        }
+
+
+def q_error_report(
+    adjacency: sp.spmatrix | np.ndarray, coloring: Coloring
+) -> QErrorReport:
+    """Bundle the Table 4 statistics for one coloring."""
+    return QErrorReport(
+        n_colors=coloring.n_colors,
+        max_q=max_q_err(adjacency, coloring),
+        mean_q=mean_q_err(adjacency, coloring),
+        compression_ratio=coloring.compression_ratio(),
+    )
+
+
+def is_q_stable(
+    adjacency: sp.spmatrix | np.ndarray, coloring: Coloring, q: float
+) -> bool:
+    """Whether the coloring is q-stable on the given graph."""
+    return max_q_err(adjacency, coloring) <= q
+
+
+def is_quasi_stable(
+    adjacency: sp.spmatrix | np.ndarray,
+    coloring: Coloring,
+    similarity,
+) -> bool:
+    """Whether the coloring is ``~``quasi-stable for an arbitrary relation.
+
+    Checks Definition 1 directly: for every ordered color pair, the
+    outgoing row sums are pairwise similar and the incoming column sums are
+    pairwise similar.  Quadratic in ``k``; intended for validation/tests.
+    """
+    d_out, d_in = color_degree_matrices(adjacency, coloring)
+    for members in coloring.classes():
+        for j in range(coloring.n_colors):
+            if not similarity.all_similar(d_out[members, j]):
+                return False
+            if not similarity.all_similar(d_in[members, j]):
+                return False
+    return True

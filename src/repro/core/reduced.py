@@ -1,0 +1,100 @@
+"""Reduced graphs defined by a coloring (Sec. 3.2) and lifting matrices.
+
+Given ``G = (X, w)`` with adjacency ``A`` and a coloring ``P`` with
+indicator ``S``, the block-weight matrix is ``W = S^T A S``
+(``W[i, j] = w(P_i, P_j)``).  The module offers the weight conventions the
+paper uses:
+
+* ``"sum"``        — ``W[i, j]`` itself (flow capacities ``c_hat_2``);
+* ``"normalized"`` — ``W[i, j] / sqrt(|P_i| |P_j|)`` (Eq. 4, the LP
+  reduction);
+* ``"grohe"``      — ``W[i, j] / |P_j|`` (the reduction of Grohe et al.
+  recovered in Sec. 4.1's discussion);
+* ``"mean"``       — ``W[i, j] / (|P_i| |P_j|)`` (average edge weight).
+
+``lifting_matrices`` returns the Eq. (10) pair ``U`` (k x n) and ``V``
+(k x n) with ``U[r, i] = 1_{i in P_r} / sqrt(|P_r|)`` used by the proof of
+Theorem 2 and by solution lifting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.partition import Coloring
+from repro.graphs.digraph import WeightedDiGraph
+
+WEIGHT_MODES = ("sum", "normalized", "grohe", "mean")
+
+
+def block_weights(
+    adjacency: sp.spmatrix | np.ndarray, coloring: Coloring
+) -> sp.csr_matrix:
+    """``W = S^T A S`` with ``W[i, j] = w(P_i, P_j)`` (Eq. 1 aggregates)."""
+    matrix = sp.csr_matrix(adjacency, dtype=np.float64)
+    indicator = coloring.indicator()
+    return (indicator.T @ matrix @ indicator).tocsr()
+
+
+def reduced_adjacency(
+    adjacency: sp.spmatrix | np.ndarray,
+    coloring: Coloring,
+    mode: str = "sum",
+) -> sp.csr_matrix:
+    """The ``k x k`` reduced adjacency under one of :data:`WEIGHT_MODES`."""
+    if mode not in WEIGHT_MODES:
+        raise ValueError(f"mode must be one of {WEIGHT_MODES}, got {mode!r}")
+    weights = block_weights(adjacency, coloring)
+    if mode == "sum":
+        return weights
+    sizes = coloring.sizes.astype(np.float64)
+    if mode == "normalized":
+        left = sp.diags(1.0 / np.sqrt(sizes))
+        right = sp.diags(1.0 / np.sqrt(sizes))
+        return (left @ weights @ right).tocsr()
+    if mode == "grohe":
+        right = sp.diags(1.0 / sizes)
+        return (weights @ right).tocsr()
+    # mode == "mean"
+    left = sp.diags(1.0 / sizes)
+    right = sp.diags(1.0 / sizes)
+    return (left @ weights @ right).tocsr()
+
+
+def reduced_graph(
+    graph: WeightedDiGraph,
+    coloring: Coloring,
+    mode: str = "sum",
+) -> WeightedDiGraph:
+    """Reduced :class:`WeightedDiGraph` whose node labels are color ids."""
+    matrix = reduced_adjacency(graph.to_csr(), coloring, mode=mode)
+    return WeightedDiGraph.from_scipy(matrix, directed=True)
+
+
+def lifting_matrices(
+    coloring: Coloring,
+) -> tuple[sp.csr_matrix, sp.csr_matrix]:
+    """Eq. (10)'s ``(U, V)``: here both are ``k x n`` with entries
+    ``1_{i in P_r} / sqrt(|P_r|)`` — the fractional-isomorphism witnesses.
+
+    The LP reduction uses ``U`` on rows and ``V`` on columns of the
+    constraint matrix; for a single coloring they coincide.
+    """
+    indicator = coloring.indicator()  # n x k
+    scale = sp.diags(1.0 / np.sqrt(coloring.sizes.astype(np.float64)))
+    lifted = (scale @ indicator.T).tocsr()  # k x n
+    return lifted, lifted.copy()
+
+
+def averaging_matrix(coloring: Coloring) -> sp.csr_matrix:
+    """The ``k x n`` row-stochastic averaging matrix ``M[r, i] =
+    1_{i in P_r} / |P_r|`` (used to push node vectors to color space)."""
+    indicator = coloring.indicator()
+    scale = sp.diags(1.0 / coloring.sizes.astype(np.float64))
+    return (scale @ indicator.T).tocsr()
+
+
+def broadcast_matrix(coloring: Coloring) -> sp.csr_matrix:
+    """The ``n x k`` 0/1 matrix that copies a color value to its members."""
+    return coloring.indicator().tocsr()

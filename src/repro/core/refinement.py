@@ -1,0 +1,141 @@
+"""Exact color refinement: stable colorings and congruence colorings.
+
+``stable_coloring`` computes the unique *maximum* (coarsest) stable
+coloring of a weighted directed graph — the 1-WL fixpoint of Sec. 2,
+generalized to weights: two nodes share a color only if their total
+edge weight into every color agrees exactly, in both directions.
+
+``congruence_coloring`` generalizes the fixpoint to any similarity
+relation that is a congruence w.r.t. addition (Theorem 12(1)): block sums
+are bucketed by their canonical form (e.g. ``min(x, c)``), and the same
+iterated-refinement argument yields the unique maximum quasi-stable
+coloring in polynomial time.
+
+The implementation refines by signature hashing: each round builds, for
+every node, the sparse vector of (color -> canonical block weight) pairs in
+both directions and splits classes whose members disagree.  Rounds are
+``O(m + n)`` each (sparse matvec plus row hashing) and at most ``n`` rounds
+are needed; real graphs converge in a handful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.partition import Coloring
+from repro.core.similarity import Equality, Similarity
+from repro.exceptions import ColoringError
+
+
+def _as_csr(adjacency: sp.spmatrix | np.ndarray) -> sp.csr_matrix:
+    matrix = sp.csr_matrix(adjacency, dtype=np.float64)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ColoringError(f"adjacency must be square, got {matrix.shape}")
+    return matrix
+
+
+def _row_signature(matrix: sp.csr_matrix, row: int) -> tuple:
+    """Hashable (color, weight) signature of one CSR row, zeros dropped.
+
+    Entries are sorted by column id: scipy does not guarantee sorted
+    indices after a sparse matmul, and an order-sensitive signature would
+    spuriously split identical rows.
+    """
+    start, end = matrix.indptr[row], matrix.indptr[row + 1]
+    cols = matrix.indices[start:end]
+    data = matrix.data[start:end]
+    keep = data != 0.0
+    pairs = sorted(zip(cols[keep].tolist(), data[keep].tolist()))
+    return tuple(pairs)
+
+
+def _apply_canonical(
+    matrix: sp.csr_matrix, similarity: Similarity
+) -> sp.csr_matrix:
+    """Map stored weights through the congruence's canonical form."""
+    if isinstance(similarity, Equality):
+        return matrix
+    result = matrix.copy()
+    result.data = np.fromiter(
+        (similarity.canonical(value) for value in result.data),
+        dtype=np.float64,
+        count=result.data.size,
+    )
+    result.eliminate_zeros()
+    return result
+
+
+def congruence_coloring(
+    adjacency: sp.spmatrix | np.ndarray,
+    similarity: Similarity,
+    initial: Coloring | None = None,
+    max_rounds: int | None = None,
+) -> Coloring:
+    """Maximum ``~``quasi-stable coloring for a congruence ``~``.
+
+    Parameters
+    ----------
+    adjacency:
+        Square (sparse) weighted adjacency matrix.
+    similarity:
+        A congruence relation (``is_congruence`` must be True).
+    initial:
+        Optional starting partition; the result refines it.  Defaults to
+        the trivial single-color partition, which yields the maximum
+        coloring of the whole graph.
+    max_rounds:
+        Safety cap on refinement rounds (default: ``n``).
+    """
+    if not similarity.is_congruence:
+        raise ColoringError(
+            f"{similarity!r} is not a congruence; no unique maximum "
+            "coloring exists (Theorem 12) — use the Rothko heuristic instead"
+        )
+    matrix = _as_csr(adjacency)
+    matrix_t = matrix.T.tocsr()
+    n = matrix.shape[0]
+    coloring = initial if initial is not None else Coloring.trivial(n)
+    if coloring.n != n:
+        raise ColoringError(
+            f"initial coloring has {coloring.n} nodes, adjacency has {n}"
+        )
+    rounds_left = max_rounds if max_rounds is not None else max(n, 1)
+
+    while rounds_left > 0:
+        rounds_left -= 1
+        indicator = coloring.indicator()
+        d_out = _apply_canonical((matrix @ indicator).tocsr(), similarity)
+        d_in = _apply_canonical((matrix_t @ indicator).tocsr(), similarity)
+        signature_ids: dict[tuple, int] = {}
+        new_labels = np.empty(n, dtype=np.int64)
+        for node in range(n):
+            signature = (
+                int(coloring.labels[node]),
+                _row_signature(d_out, node),
+                _row_signature(d_in, node),
+            )
+            if signature not in signature_ids:
+                signature_ids[signature] = len(signature_ids)
+            new_labels[node] = signature_ids[signature]
+        refined = Coloring(new_labels)
+        if refined.n_colors == coloring.n_colors:
+            return coloring
+        coloring = refined
+    return coloring
+
+
+def stable_coloring(
+    adjacency: sp.spmatrix | np.ndarray,
+    initial: Coloring | None = None,
+    max_rounds: int | None = None,
+) -> Coloring:
+    """The unique maximum stable coloring (1-WL fixpoint, Sec. 2).
+
+    Equality is a congruence, so this is :func:`congruence_coloring` with
+    the equality relation — the classical color refinement, generalized to
+    weighted directed graphs (block *sums* must agree exactly).
+    """
+    return congruence_coloring(
+        adjacency, Equality(), initial=initial, max_rounds=max_rounds
+    )

@@ -1,0 +1,193 @@
+"""Similarity relations ``~`` on the reals (Sec. 3, Definition 1).
+
+A quasi-stable coloring is parameterized by a reflexive, symmetric relation
+``~``: a bipartite block is ``~regular`` when all its row sums are pairwise
+similar and all its column sums are pairwise similar.  The paper's examples:
+
+* :class:`Equality` — ``u ~ v iff u = v``; recovers the classic stable
+  coloring (Sec. 3.1, "Biregular Graphs, and Stable Coloring");
+* :class:`QAbsolute` — ``u ~ v iff |u - v| <= q``; the q-stable coloring
+  used throughout the paper;
+* :class:`EpsRelative` — ``u e^-eps <= v <= u e^eps``; relative error bound
+  (isolated nodes form their own color because 0 ~ v implies v = 0);
+* :class:`Bisimulation` — both zero or both nonzero; an equivalence
+  relation whose quasi-stable colorings are bisimulations;
+* :class:`CappedCongruence` — ``min(u, c) = min(v, c)``; the addition
+  congruence from Theorem 12(1) which interpolates between bisimulation
+  (c = 1 on integer weights) and stable coloring (c = inf).
+
+Relations that are *congruences with respect to addition* admit a unique
+maximum quasi-stable coloring computable in PTIME (Theorem 12(1)); those
+expose a :meth:`Similarity.canonical` value so refinement can bucket block
+sums by equivalence class.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Similarity(ABC):
+    """A reflexive, symmetric relation on the reals."""
+
+    #: True when the relation is an equivalence relation that is also a
+    #: congruence w.r.t. addition (x ~ y implies x + z ~ y + z).  Such
+    #: relations admit a unique maximum quasi-stable coloring (Thm. 12(1)).
+    is_congruence: bool = False
+
+    @abstractmethod
+    def similar(self, u: float, v: float) -> bool:
+        """Whether ``u ~ v`` holds."""
+
+    @abstractmethod
+    def all_similar(self, values: np.ndarray) -> bool:
+        """Whether every pair drawn from ``values`` is similar.
+
+        For non-transitive relations this is stronger than chained
+        similarity; the extreme pair is binding.
+        """
+
+    def canonical(self, value: float) -> float:
+        """Equivalence-class representative (congruences only)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} is not a congruence; no canonical form"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Equality(Similarity):
+    """``u ~ v iff u = v`` — yields the classic stable coloring."""
+
+    is_congruence = True
+
+    def similar(self, u: float, v: float) -> bool:
+        return u == v
+
+    def all_similar(self, values: np.ndarray) -> bool:
+        array = np.asarray(values, dtype=float)
+        return array.size <= 1 or bool(np.ptp(array) == 0.0)
+
+    def canonical(self, value: float) -> float:
+        return value
+
+
+class QAbsolute(Similarity):
+    """``u ~ v iff |u - v| <= q`` — the paper's q-stable relation.
+
+    Reflexive and symmetric but *not* transitive, which is precisely why no
+    maximum q-stable coloring exists in general (Theorem 12(2)).
+    """
+
+    def __init__(self, q: float) -> None:
+        if q < 0:
+            raise ValueError(f"q must be non-negative, got {q}")
+        self.q = float(q)
+
+    def similar(self, u: float, v: float) -> bool:
+        return abs(u - v) <= self.q
+
+    def all_similar(self, values: np.ndarray) -> bool:
+        array = np.asarray(values, dtype=float)
+        return array.size <= 1 or bool(np.ptp(array) <= self.q)
+
+    def __repr__(self) -> str:
+        return f"QAbsolute(q={self.q})"
+
+
+class EpsRelative(Similarity):
+    """``u ~ v iff u e^-eps <= v <= u e^eps`` (and symmetrically).
+
+    Zero is similar only to itself, so nodes with no incident weight are
+    forced into their own color (Sec. 3.1 discussion).
+    """
+
+    def __init__(self, eps: float) -> None:
+        if eps < 0:
+            raise ValueError(f"eps must be non-negative, got {eps}")
+        self.eps = float(eps)
+
+    def similar(self, u: float, v: float) -> bool:
+        if u == 0.0 or v == 0.0:
+            return u == v
+        if (u > 0) != (v > 0):
+            return False
+        # |ln u - ln v| <= eps is the paper's u e^-eps <= v <= u e^eps in a
+        # form that is exactly symmetric in floating point.
+        return abs(math.log(abs(u)) - math.log(abs(v))) <= self.eps
+
+    def all_similar(self, values: np.ndarray) -> bool:
+        array = np.asarray(values, dtype=float)
+        if array.size <= 1:
+            return True
+        has_zero = bool(np.any(array == 0.0))
+        if has_zero:
+            return bool(np.all(array == 0.0))
+        if np.any(array > 0) and np.any(array < 0):
+            return False
+        # Same-sign nonzero values: the extreme pair is binding, and using
+        # `similar` keeps the scalar and vector code paths bit-identical.
+        magnitudes = np.abs(array)
+        sign = 1.0 if array.flat[0] > 0 else -1.0
+        return self.similar(
+            sign * float(magnitudes.min()), sign * float(magnitudes.max())
+        )
+
+    def __repr__(self) -> str:
+        return f"EpsRelative(eps={self.eps})"
+
+
+class Bisimulation(Similarity):
+    """``u ~ v iff (u = v = 0) or (u != 0 and v != 0)``.
+
+    An equivalence relation (and congruence on non-negative reals); its
+    quasi-stable colorings are exactly the bisimulations of the graph
+    (Sec. 3.1, "Bisimulation Relation").
+    """
+
+    is_congruence = True
+
+    def similar(self, u: float, v: float) -> bool:
+        return (u == 0.0) == (v == 0.0)
+
+    def all_similar(self, values: np.ndarray) -> bool:
+        array = np.asarray(values, dtype=float)
+        if array.size <= 1:
+            return True
+        nonzero = array != 0.0
+        return bool(nonzero.all() or (~nonzero).all())
+
+    def canonical(self, value: float) -> float:
+        return 1.0 if value != 0.0 else 0.0
+
+
+class CappedCongruence(Similarity):
+    """``u ~ v iff min(u, c) = min(v, c)`` — Theorem 12(1)'s illustration.
+
+    A congruence w.r.t. addition on non-negative weights: ``c = 1`` gives
+    maximal bisimulation on 0/1 weights, ``c = inf`` gives stable coloring.
+    """
+
+    is_congruence = True
+
+    def __init__(self, cap: float) -> None:
+        if cap < 0:
+            raise ValueError(f"cap must be non-negative, got {cap}")
+        self.cap = float(cap)
+
+    def similar(self, u: float, v: float) -> bool:
+        return min(u, self.cap) == min(v, self.cap)
+
+    def all_similar(self, values: np.ndarray) -> bool:
+        array = np.minimum(np.asarray(values, dtype=float), self.cap)
+        return array.size <= 1 or bool(np.ptp(array) == 0.0)
+
+    def canonical(self, value: float) -> float:
+        return min(value, self.cap)
+
+    def __repr__(self) -> str:
+        return f"CappedCongruence(cap={self.cap})"

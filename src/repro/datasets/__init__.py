@@ -1,0 +1,23 @@
+"""Dataset registry: seeded stand-ins for the paper's 20 datasets."""
+
+from repro.datasets.registry import (
+    DATASETS,
+    Dataset,
+    get_dataset,
+    load_flow,
+    load_graph,
+    load_lp,
+    table2_rows,
+    table3_rows,
+)
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "get_dataset",
+    "load_flow",
+    "load_graph",
+    "load_lp",
+    "table2_rows",
+    "table3_rows",
+]

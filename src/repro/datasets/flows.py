@@ -1,0 +1,175 @@
+"""Max-flow instance stand-ins (Table 2, "Maximum-flow" block).
+
+The paper's flow instances are computer-vision benchmarks: stereo
+matching (Tsukuba, Venus, Sawtooth) and volumetric cell segmentation
+(SimCells, Cells).  Structurally these are BK-style grid networks: one
+node per pixel/voxel, 4/6-connected smoothness arcs with a few distinct
+capacity levels, and per-pixel terminal arcs from the source / to the
+sink whose capacities encode data terms.  The stand-ins reproduce exactly
+that structure with a smooth synthetic "intensity" field, quantized to a
+handful of levels — quantization is what gives the real instances their
+near-regular blocks, which is what the coloring exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flow.network import FlowNetwork
+from repro.graphs.digraph import WeightedDiGraph
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def _smooth_field(
+    shape: tuple[int, ...], levels: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Quantized smooth random field in ``{0, ..., levels - 1}``.
+
+    A sum of a few random low-frequency cosine waves, then quantized —
+    cheap, deterministic, and produces the plateau structure of real
+    disparity/label fields.
+    """
+    grids = np.meshgrid(
+        *[np.linspace(0.0, 1.0, s) for s in shape], indexing="ij"
+    )
+    field = np.zeros(shape)
+    for _ in range(4):
+        frequency = rng.uniform(0.5, 3.0, size=len(shape))
+        phase = rng.uniform(0, 2 * np.pi)
+        wave = np.cos(
+            2 * np.pi * sum(f * g for f, g in zip(frequency, grids)) + phase
+        )
+        field += rng.uniform(0.5, 1.0) * wave
+    field -= field.min()
+    field /= max(field.max(), 1e-12)
+    return np.minimum((field * levels).astype(int), levels - 1)
+
+
+def vision_grid_instance(
+    width: int,
+    height: int,
+    levels: int = 8,
+    smoothness: float = 2.0,
+    seed: SeedLike = 0,
+) -> FlowNetwork:
+    """A 2-D BK-style max-flow instance (stereo-matching structure).
+
+    * pixel (x, y) has an arc from ``s`` with capacity = its quantized
+      intensity, and an arc to ``t`` with the complementary level
+      (the two data terms);
+    * 4-neighbors share symmetric arcs with capacity ``smoothness``
+      scaled by the local gradient level (few distinct values).
+    """
+    rng = ensure_rng(seed)
+    field = _smooth_field((height, width), levels, rng)
+    graph = WeightedDiGraph(directed=True)
+    graph.add_node("s")
+    graph.add_node("t")
+    for y in range(height):
+        for x in range(width):
+            graph.add_node((x, y))
+    for y in range(height):
+        for x in range(width):
+            level = float(field[y, x])
+            if level > 0:
+                graph.add_edge("s", (x, y), level)
+            complement = float(levels - 1 - field[y, x])
+            if complement > 0:
+                graph.add_edge((x, y), "t", complement)
+            for dx, dy in ((1, 0), (0, 1)):
+                nx_, ny_ = x + dx, y + dy
+                if nx_ < width and ny_ < height:
+                    gradient = abs(int(field[y, x]) - int(field[ny_, nx_]))
+                    capacity = smoothness * (1.0 + min(gradient, 2))
+                    graph.add_edge((x, y), (nx_, ny_), capacity)
+                    graph.add_edge((nx_, ny_), (x, y), capacity)
+    return FlowNetwork(graph, "s", "t")
+
+
+def segmentation_3d_instance(
+    nx: int,
+    ny: int,
+    nz: int,
+    levels: int = 6,
+    smoothness: float = 1.5,
+    seed: SeedLike = 0,
+) -> FlowNetwork:
+    """A 3-D BK-style instance (cell-segmentation structure)."""
+    rng = ensure_rng(seed)
+    field = _smooth_field((nz, ny, nx), levels, rng)
+    graph = WeightedDiGraph(directed=True)
+    graph.add_node("s")
+    graph.add_node("t")
+    for z in range(nz):
+        for y in range(ny):
+            for x in range(nx):
+                graph.add_node((x, y, z))
+    for z in range(nz):
+        for y in range(ny):
+            for x in range(nx):
+                level = float(field[z, y, x])
+                if level > 0:
+                    graph.add_edge("s", (x, y, z), level)
+                complement = float(levels - 1 - field[z, y, x])
+                if complement > 0:
+                    graph.add_edge((x, y, z), "t", complement)
+                for dx, dy, dz in ((1, 0, 0), (0, 1, 0), (0, 0, 1)):
+                    x2, y2, z2 = x + dx, y + dy, z + dz
+                    if x2 < nx and y2 < ny and z2 < nz:
+                        gradient = abs(
+                            int(field[z, y, x]) - int(field[z2, y2, x2])
+                        )
+                        capacity = smoothness * (1.0 + min(gradient, 2))
+                        graph.add_edge((x, y, z), (x2, y2, z2), capacity)
+                        graph.add_edge((x2, y2, z2), (x, y, z), capacity)
+    return FlowNetwork(graph, "s", "t")
+
+
+def _scaled_side(paper_nodes: int, scale: float, minimum: int = 8) -> int:
+    """Side length of a square grid with ~``paper_nodes * scale`` pixels."""
+    return max(minimum, int(round((paper_nodes * scale) ** 0.5)))
+
+
+def load_tsukuba0(scale: float = 1.0, seed: int = 20) -> FlowNetwork:
+    """Tsukuba stereo instance stand-in (paper: 110 594 nodes)."""
+    side = _scaled_side(110_594, scale)
+    return vision_grid_instance(side, side, levels=16, seed=seed)
+
+
+def load_tsukuba2(scale: float = 1.0, seed: int = 21) -> FlowNetwork:
+    side = _scaled_side(110_594, scale)
+    return vision_grid_instance(side, side, levels=16, seed=seed)
+
+
+def load_venus0(scale: float = 1.0, seed: int = 22) -> FlowNetwork:
+    """Venus stereo instance stand-in (paper: 166 224 nodes)."""
+    side = _scaled_side(166_224, scale)
+    return vision_grid_instance(side, side, levels=20, seed=seed)
+
+
+def load_venus1(scale: float = 1.0, seed: int = 23) -> FlowNetwork:
+    side = _scaled_side(166_224, scale)
+    return vision_grid_instance(side, side, levels=20, seed=seed)
+
+
+def load_sawtooth0(scale: float = 1.0, seed: int = 24) -> FlowNetwork:
+    """Sawtooth stereo instance stand-in (paper: 164 922 nodes)."""
+    side = _scaled_side(164_922, scale)
+    return vision_grid_instance(side, side, levels=20, seed=seed)
+
+
+def load_sawtooth1(scale: float = 1.0, seed: int = 25) -> FlowNetwork:
+    side = _scaled_side(164_922, scale)
+    return vision_grid_instance(side, side, levels=20, seed=seed)
+
+
+def load_simcells(scale: float = 1.0, seed: int = 26) -> FlowNetwork:
+    """Synthetic cells segmentation stand-in (paper: 903 962 nodes, 3-D)."""
+    side = max(5, int(round((903_962 * scale) ** (1.0 / 3.0))))
+    return segmentation_3d_instance(side, side, side, seed=seed)
+
+
+def load_cells(scale: float = 1.0, seed: int = 27) -> FlowNetwork:
+    """Cells segmentation stand-in (paper: 3 582 102 nodes, 3-D)."""
+    side = max(6, int(round((3_582_102 * scale) ** (1.0 / 3.0))))
+    return segmentation_3d_instance(side, side, side, seed=seed)

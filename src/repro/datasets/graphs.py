@@ -1,0 +1,85 @@
+"""Graph dataset stand-ins (Table 2).
+
+Each loader is a seeded generator whose family and density match the real
+dataset it stands in for; ``scale`` multiplies the node count (1.0 = the
+paper's size, which is feasible but slow in pure Python — the benchmark
+harness uses small scales).  Degree parameters are chosen so that
+``|E| / |V|`` matches the paper's Table 2 at any scale.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.digraph import WeightedDiGraph
+from repro.graphs.generators import (
+    barabasi_albert,
+    karate_club,
+    powerlaw_cluster,
+    stochastic_block,
+)
+
+
+def _scaled(count: int, scale: float, minimum: int = 50) -> int:
+    return max(minimum, int(round(count * scale)))
+
+
+def load_karate(scale: float = 1.0, seed: int = 0) -> WeightedDiGraph:
+    """Zachary's karate club — always the real 34-node graph."""
+    return karate_club()
+
+
+def load_openflights(scale: float = 1.0, seed: int = 10) -> WeightedDiGraph:
+    """OpenFlights routes stand-in: hub-dominated scale-free network.
+
+    Paper: |V| = 3 425, |E| = 38 513 (mean degree ~22 -> BA m = 11).
+    """
+    return barabasi_albert(_scaled(3_425, scale), 11, seed=seed)
+
+
+def load_dblp(scale: float = 1.0, seed: int = 11) -> WeightedDiGraph:
+    """DBLP co-authorship stand-in: clustered sparse powerlaw graph.
+
+    Paper: |V| = 317 080, |E| = 1 049 866 (mean degree ~6.6 -> m = 3).
+    """
+    return powerlaw_cluster(_scaled(317_080, scale), 3, 0.4, seed=seed)
+
+
+def load_astroph(scale: float = 1.0, seed: int = 12) -> WeightedDiGraph:
+    """Arxiv AstroPhysics collaboration stand-in (m = 10, clustered)."""
+    return powerlaw_cluster(_scaled(18_772, scale), 10, 0.35, seed=seed)
+
+
+def load_facebook(scale: float = 1.0, seed: int = 13) -> WeightedDiGraph:
+    """Facebook page-page network stand-in (m = 8, clustered)."""
+    return powerlaw_cluster(_scaled(22_470, scale), 8, 0.3, seed=seed)
+
+
+def load_deezer(scale: float = 1.0, seed: int = 14) -> WeightedDiGraph:
+    """Deezer Europe social network stand-in (m = 3, mildly clustered)."""
+    return powerlaw_cluster(_scaled(28_281, scale), 3, 0.2, seed=seed)
+
+
+def load_enron(scale: float = 1.0, seed: int = 15) -> WeightedDiGraph:
+    """Enron email network stand-in (m = 5, hub-heavy)."""
+    return barabasi_albert(_scaled(36_692, scale), 5, seed=seed)
+
+
+def load_epinions(scale: float = 1.0, seed: int = 16) -> WeightedDiGraph:
+    """Epinions trust network stand-in (m = 7, hub-heavy).
+
+    Paper: |V| = 75 879, |E| = 508 837.
+    """
+    return barabasi_albert(_scaled(75_879, scale), 7, seed=seed)
+
+
+def load_community_blocks(
+    scale: float = 1.0, seed: int = 17
+) -> WeightedDiGraph:
+    """Extra community-structured graph (SBM) for ablations."""
+    n = _scaled(2_000, scale)
+    block = max(10, n // 10)
+    sizes = [block] * 10
+    p_in, p_out = 0.08, 0.004
+    probs = [
+        [p_in if i == j else p_out for j in range(10)] for i in range(10)
+    ]
+    return stochastic_block(sizes, probs, seed=seed)

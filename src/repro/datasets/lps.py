@@ -1,0 +1,64 @@
+"""LP dataset stand-ins (Table 3).
+
+The real instances come from Mittelmann's barrier-LP benchmark; offline we
+substitute structured generators from :mod:`repro.lp.generators` whose
+shape (tall/wide/assignment-like) matches each instance.  ``scale``
+multiplies the instance size.
+"""
+
+from __future__ import annotations
+
+from repro.lp.generators import (
+    ex10_like,
+    planted_block_lp,
+    qap_like,
+    supportcase_like,
+)
+from repro.lp.model import LinearProgram
+
+
+def load_qap15(scale: float = 1.0, seed: int = 30) -> LinearProgram:
+    """qap15 stand-in (paper: 6 331 rows x 22 275 cols, QAP family).
+
+    The QAP linearization size grows ~quadratically in ``size``; the
+    default reproduces the benchmark's shape at ``size = 15``.
+    """
+    size = max(4, int(round(15 * scale**0.5)))
+    return qap_like(size=size, seed=seed, name="qap15")
+
+
+def load_nug08(scale: float = 1.0, seed: int = 31) -> LinearProgram:
+    """nug08-3rd stand-in (paper: 19 728 x 20 448, QAP family)."""
+    size = max(4, int(round(8 * scale**0.5)))
+    return qap_like(size=size, seed=seed, name="nug08-3rd")
+
+
+def load_supportcase10(scale: float = 1.0, seed: int = 32) -> LinearProgram:
+    """supportcase10 stand-in (paper: 10 713 x 1 429 098 — very wide)."""
+    return supportcase_like(
+        n_rows=max(30, int(round(300 * scale))),
+        n_cols=max(300, int(round(12_000 * scale))),
+        seed=seed,
+    )
+
+
+def load_ex10(scale: float = 1.0, seed: int = 33) -> LinearProgram:
+    """ex10 stand-in (paper: 69 609 x 17 680 — tall)."""
+    return ex10_like(
+        n_rows=max(200, int(round(6_000 * scale))),
+        n_cols=max(60, int(round(1_500 * scale))),
+        seed=seed,
+    )
+
+
+def load_block_lp(scale: float = 1.0, seed: int = 34) -> LinearProgram:
+    """Extra planted-block LP with a known-good coloring, for ablations."""
+    return planted_block_lp(
+        n_rows=max(60, int(round(600 * scale))),
+        n_cols=max(40, int(round(400 * scale))),
+        row_groups=12,
+        col_groups=8,
+        noise=0.05,
+        seed=seed,
+        name="planted-block",
+    )

@@ -1,0 +1,5 @@
+"""Experiment drivers regenerating the paper's tables and figures."""
+
+from repro.experiments.common import ExperimentRow, print_rows
+
+__all__ = ["ExperimentRow", "print_rows"]

@@ -1,0 +1,34 @@
+"""Shared experiment plumbing: row records and table printing."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.utils.tables import render_rows
+
+ExperimentRow = Mapping[str, Any]
+
+
+def print_rows(
+    rows: Sequence[ExperimentRow],
+    title: str,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render and print experiment rows; returns the rendered text."""
+    text = render_rows(rows, columns=columns, title=title)
+    print(text)
+    return text
+
+
+def geometric_budgets(
+    start: int, stop: int, steps: int
+) -> list[int]:
+    """Geometrically spaced color budgets in ``[start, stop]``."""
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if steps == 1:
+        return [start]
+    ratio = (stop / start) ** (1.0 / (steps - 1))
+    budgets = sorted({max(start, round(start * ratio**i)) for i in range(steps)})
+    budgets[-1] = stop
+    return budgets

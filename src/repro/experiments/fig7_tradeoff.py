@@ -1,0 +1,116 @@
+"""Fig. 7: speed-accuracy trade-offs for the three task types.
+
+For every dataset the exact baseline is solved once (push-relabel for
+flow, the LP solver for LPs, Brandes for centrality); then the coloring
+approximation runs at a sweep of color budgets.  Every row reports the
+end-to-end approximation time (coloring + reduction + solving, matching
+the paper's measurement), the fraction of baseline time, and the
+task-appropriate accuracy: ratio error (flow/LP, 1.0 ideal) or Spearman's
+rho (centrality, 1.0 ideal).
+"""
+
+from __future__ import annotations
+
+from repro.centrality.approx import approx_betweenness
+from repro.centrality.brandes import betweenness_centrality
+from repro.datasets.registry import load_flow, load_graph, load_lp
+from repro.flow.approx import approx_max_flow
+from repro.flow.network import max_flow
+from repro.lp.reduction import approx_lp_opt
+from repro.lp.solve import solve_lp
+from repro.utils.stats import ratio_error, spearman_rho
+from repro.utils.timing import time_call
+
+DEFAULT_FLOW_DATASETS = ("tsukuba0", "venus0", "sawtooth0")
+DEFAULT_LP_DATASETS = ("qap15", "supportcase10", "ex10")
+DEFAULT_CENTRALITY_DATASETS = ("astroph", "facebook", "deezer")
+
+
+def maxflow_tradeoff(
+    datasets: tuple[str, ...] = DEFAULT_FLOW_DATASETS,
+    scale: float = 0.01,
+    color_budgets: tuple[int, ...] = (5, 10, 20, 35),
+) -> list[dict]:
+    """Fig. 7(a): max-flow ratio error vs end-to-end time."""
+    rows = []
+    for name in datasets:
+        network = load_flow(name, scale=scale)
+        exact, exact_seconds = time_call(max_flow, network, "push_relabel")
+        for budget in color_budgets:
+            result = approx_max_flow(network, n_colors=budget)
+            rows.append(
+                {
+                    "dataset": name,
+                    "task": "maxflow",
+                    "colors": result.n_colors,
+                    "exact_value": exact.value,
+                    "approx_value": result.value,
+                    "accuracy": ratio_error(exact.value, result.value),
+                    "time_s": result.total_seconds,
+                    "exact_time_s": exact_seconds,
+                    "time_fraction": result.total_seconds / exact_seconds
+                    if exact_seconds > 0
+                    else float("inf"),
+                }
+            )
+    return rows
+
+
+def lp_tradeoff(
+    datasets: tuple[str, ...] = DEFAULT_LP_DATASETS,
+    scale: float = 0.05,
+    color_budgets: tuple[int, ...] = (10, 25, 50, 100),
+    method: str = "scipy",
+) -> list[dict]:
+    """Fig. 7(b): LP objective ratio error vs end-to-end time."""
+    rows = []
+    for name in datasets:
+        lp = load_lp(name, scale=scale)
+        exact, exact_seconds = time_call(solve_lp, lp, method)
+        for budget in color_budgets:
+            result = approx_lp_opt(lp, n_colors=budget, method=method)
+            rows.append(
+                {
+                    "dataset": name,
+                    "task": "lp",
+                    "colors": result.reduction.n_colors,
+                    "exact_value": exact.objective,
+                    "approx_value": result.value,
+                    "accuracy": ratio_error(exact.objective, result.value),
+                    "time_s": result.total_seconds,
+                    "exact_time_s": exact_seconds,
+                    "time_fraction": result.total_seconds / exact_seconds
+                    if exact_seconds > 0
+                    else float("inf"),
+                }
+            )
+    return rows
+
+
+def centrality_tradeoff(
+    datasets: tuple[str, ...] = DEFAULT_CENTRALITY_DATASETS,
+    scale: float = 0.02,
+    color_budgets: tuple[int, ...] = (10, 25, 50, 100),
+    seed: int = 0,
+) -> list[dict]:
+    """Fig. 7(c): Spearman rho vs end-to-end time."""
+    rows = []
+    for name in datasets:
+        graph = load_graph(name, scale=scale)
+        exact, exact_seconds = time_call(betweenness_centrality, graph)
+        for budget in color_budgets:
+            result = approx_betweenness(graph, n_colors=budget, seed=seed)
+            rows.append(
+                {
+                    "dataset": name,
+                    "task": "centrality",
+                    "colors": result.n_colors,
+                    "accuracy": spearman_rho(exact, result.scores),
+                    "time_s": result.total_seconds,
+                    "exact_time_s": exact_seconds,
+                    "time_fraction": result.total_seconds / exact_seconds
+                    if exact_seconds > 0
+                    else float("inf"),
+                }
+            )
+    return rows

@@ -1,0 +1,48 @@
+"""Fig. 8: accuracy as a function of the number of colors.
+
+The paper's observation: across all three tasks no more than ~150 colors
+are needed to converge, with diminishing returns — the first splits buy
+large accuracy gains.  These drivers sweep a finer color grid than
+Fig. 7's and report accuracy only.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7_tradeoff import (
+    DEFAULT_CENTRALITY_DATASETS,
+    DEFAULT_FLOW_DATASETS,
+    DEFAULT_LP_DATASETS,
+    centrality_tradeoff,
+    lp_tradeoff,
+    maxflow_tradeoff,
+)
+
+FINE_BUDGETS = (4, 6, 8, 12, 16, 24, 32, 48, 64, 100, 150)
+
+
+def accuracy_vs_colors(
+    task: str,
+    scale: float | None = None,
+    datasets: tuple[str, ...] | None = None,
+    color_budgets: tuple[int, ...] = FINE_BUDGETS,
+) -> list[dict]:
+    """Rows of Fig. 8 for one task ('maxflow' | 'lp' | 'centrality')."""
+    if task == "maxflow":
+        return maxflow_tradeoff(
+            datasets=datasets or DEFAULT_FLOW_DATASETS,
+            scale=scale if scale is not None else 0.01,
+            color_budgets=color_budgets,
+        )
+    if task == "lp":
+        return lp_tradeoff(
+            datasets=datasets or DEFAULT_LP_DATASETS,
+            scale=scale if scale is not None else 0.05,
+            color_budgets=tuple(max(6, b) for b in color_budgets),
+        )
+    if task == "centrality":
+        return centrality_tradeoff(
+            datasets=datasets or DEFAULT_CENTRALITY_DATASETS,
+            scale=scale if scale is not None else 0.02,
+            color_budgets=color_budgets,
+        )
+    raise ValueError(f"unknown task {task!r}")

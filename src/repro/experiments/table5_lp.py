@@ -1,0 +1,46 @@
+"""Table 5: characteristics of the compressed constraint matrices.
+
+For each LP and color budget: the reduced matrix's rows, columns and
+nonzeros, the nnz compression ratio, and the relative (ratio) error of
+the reduced optimum — the paper reports 10^2-10^3 compression at a
+geometric-mean error around 1.2, with tiny budgets (5-10 colors) showing
+huge errors that collapse as colors are added.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.registry import load_lp
+from repro.lp.reduction import approx_lp_opt
+from repro.lp.solve import solve_lp
+from repro.utils.stats import ratio_error
+
+DEFAULT_DATASETS = ("qap15", "nug08-3rd", "supportcase10", "ex10")
+DEFAULT_BUDGETS = (10, 50, 100)
+
+
+def lp_compression_rows(
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    scale: float = 0.05,
+    color_budgets: tuple[int, ...] = DEFAULT_BUDGETS,
+    method: str = "scipy",
+) -> list[dict]:
+    """Rows of Table 5 at the given scale."""
+    rows = []
+    for name in datasets:
+        lp = load_lp(name, scale=scale)
+        exact = solve_lp(lp, method=method)
+        for budget in color_budgets:
+            result = approx_lp_opt(lp, n_colors=budget, method=method)
+            reduced = result.reduction.reduced
+            rows.append(
+                {
+                    "dataset": name,
+                    "colors": budget,
+                    "rows": reduced.n_rows,
+                    "cols": reduced.n_cols,
+                    "nnz": reduced.nnz,
+                    "compression": lp.nnz / max(reduced.nnz, 1),
+                    "rel_error": ratio_error(exact.objective, result.value),
+                }
+            )
+    return rows

@@ -1,0 +1,30 @@
+"""Max-flow substrate and the quasi-stable flow approximation (Sec. 4.2)."""
+
+from repro.flow.approx import (
+    approx_max_flow,
+    color_flow_network,
+    lift_flow,
+    reduced_network,
+)
+from repro.flow.dinic import dinic_max_flow
+from repro.flow.edmonds_karp import edmonds_karp_max_flow
+from repro.flow.mincut import min_cut
+from repro.flow.network import FlowNetwork, FlowResult, max_flow
+from repro.flow.push_relabel import push_relabel_max_flow
+from repro.flow.uniform import max_uniform_flow, max_uniform_flow_assignment
+
+__all__ = [
+    "approx_max_flow",
+    "color_flow_network",
+    "lift_flow",
+    "reduced_network",
+    "dinic_max_flow",
+    "edmonds_karp_max_flow",
+    "min_cut",
+    "FlowNetwork",
+    "FlowResult",
+    "max_flow",
+    "push_relabel_max_flow",
+    "max_uniform_flow",
+    "max_uniform_flow_assignment",
+]

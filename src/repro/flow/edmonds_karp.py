@@ -1,0 +1,53 @@
+"""Edmonds–Karp max-flow: BFS augmenting paths, O(V E^2).
+
+The simplest correct solver; used as the ground truth the faster solvers
+are cross-checked against in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.flow.network import FlowNetwork, FlowResult, ResidualGraph
+
+_EPS = 1e-12
+
+
+def edmonds_karp_max_flow(network: FlowNetwork) -> FlowResult:
+    """Compute the maximum s-t flow with shortest augmenting paths."""
+    residual = ResidualGraph.from_network(network)
+    source, sink = network.source_index, network.sink_index
+    total = 0.0
+
+    while True:
+        # BFS for a shortest residual path, remembering the incoming arc.
+        parent_arc = [-1] * residual.n
+        parent_arc[source] = -2  # mark visited
+        queue = deque([source])
+        while queue and parent_arc[sink] == -1:
+            u = queue.popleft()
+            for arc_id in residual.adj[u]:
+                v = residual.to[arc_id]
+                if parent_arc[v] == -1 and residual.cap[arc_id] > _EPS:
+                    parent_arc[v] = arc_id
+                    queue.append(v)
+        if parent_arc[sink] == -1:
+            break
+
+        # Bottleneck along the path.
+        bottleneck = float("inf")
+        v = sink
+        while v != source:
+            arc_id = parent_arc[v]
+            bottleneck = min(bottleneck, residual.cap[arc_id])
+            v = residual.to[arc_id ^ 1]
+        # Augment.
+        v = sink
+        while v != source:
+            arc_id = parent_arc[v]
+            residual.cap[arc_id] -= bottleneck
+            residual.cap[arc_id ^ 1] += bottleneck
+            v = residual.to[arc_id ^ 1]
+        total += bottleneck
+
+    return FlowResult(value=total, arc_flow=residual.extract_flow())

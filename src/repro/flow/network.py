@@ -1,0 +1,184 @@
+"""Flow networks and flow validation (Sec. 4.2 definitions).
+
+A network is ``G = (X, c, S, T)`` — here specialized to single source and
+sink (as in Theorem 6); capacities are the positive arc weights of a
+:class:`~repro.graphs.digraph.WeightedDiGraph`.  Undirected graphs work
+unchanged: their adjacency already stores both arc directions, each with
+the full capacity, the standard reduction.
+
+``FlowResult`` carries the flow value and the per-arc assignment so
+callers can validate capacity and conservation (done in
+:func:`validate_flow`, used heavily by the test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Tuple
+
+from repro.exceptions import FlowError
+from repro.graphs.digraph import WeightedDiGraph
+
+ArcFlow = Dict[Tuple[int, int], float]
+
+
+@dataclass(frozen=True)
+class FlowNetwork:
+    """A single-source single-sink flow network."""
+
+    graph: WeightedDiGraph
+    source: Hashable
+    sink: Hashable
+
+    def __post_init__(self) -> None:
+        if not self.graph.has_node(self.source):
+            raise FlowError(f"source {self.source!r} not in graph")
+        if not self.graph.has_node(self.sink):
+            raise FlowError(f"sink {self.sink!r} not in graph")
+        if self.source == self.sink:
+            raise FlowError("source and sink must differ")
+        for _, _, weight in self.graph.edges():
+            if weight < 0:
+                raise FlowError(f"negative capacity {weight}")
+
+    @property
+    def source_index(self) -> int:
+        return self.graph.index_of(self.source)
+
+    @property
+    def sink_index(self) -> int:
+        return self.graph.index_of(self.sink)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.graph.n_nodes
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """A max-flow answer: the value plus per-arc flows (by node index)."""
+
+    value: float
+    arc_flow: ArcFlow = field(default_factory=dict)
+
+    def out_flow(self, node: int) -> float:
+        return sum(f for (u, _), f in self.arc_flow.items() if u == node)
+
+    def in_flow(self, node: int) -> float:
+        return sum(f for (_, v), f in self.arc_flow.items() if v == node)
+
+
+def validate_flow(
+    network: FlowNetwork, result: FlowResult, tol: float = 1e-7
+) -> None:
+    """Raise :class:`FlowError` unless ``result`` is a valid s-t flow.
+
+    Checks the capacity condition, conservation at internal nodes, and
+    that the claimed value matches the net out-flow at the source.
+    """
+    graph = network.graph
+    capacities: dict[tuple[int, int], float] = {}
+    for ui in range(graph.n_nodes):
+        for vi, cap in graph.out_items(ui).items():
+            capacities[(ui, vi)] = cap
+
+    net = [0.0] * graph.n_nodes
+    for (u, v), f in result.arc_flow.items():
+        if f < -tol:
+            raise FlowError(f"negative flow {f} on arc {(u, v)}")
+        cap = capacities.get((u, v))
+        if cap is None:
+            raise FlowError(f"flow on non-existent arc {(u, v)}")
+        if f > cap + tol:
+            raise FlowError(f"flow {f} exceeds capacity {cap} on {(u, v)}")
+        net[u] += f
+        net[v] -= f
+
+    s, t = network.source_index, network.sink_index
+    for node in range(graph.n_nodes):
+        if node in (s, t):
+            continue
+        if abs(net[node]) > tol:
+            raise FlowError(f"conservation violated at node {node}: {net[node]}")
+    if abs(net[s] - result.value) > tol:
+        raise FlowError(
+            f"claimed value {result.value} but source pushes {net[s]}"
+        )
+    if abs(net[t] + result.value) > tol:
+        raise FlowError(
+            f"claimed value {result.value} but sink receives {-net[t]}"
+        )
+
+
+def max_flow(
+    network: FlowNetwork, algorithm: str = "push_relabel"
+) -> FlowResult:
+    """Dispatch to one of the max-flow solvers.
+
+    ``push_relabel`` (the paper's exact baseline), ``dinic`` or
+    ``edmonds_karp``.
+    """
+    from repro.flow.dinic import dinic_max_flow
+    from repro.flow.edmonds_karp import edmonds_karp_max_flow
+    from repro.flow.push_relabel import push_relabel_max_flow
+
+    solvers = {
+        "push_relabel": push_relabel_max_flow,
+        "dinic": dinic_max_flow,
+        "edmonds_karp": edmonds_karp_max_flow,
+    }
+    if algorithm not in solvers:
+        raise ValueError(
+            f"algorithm must be one of {sorted(solvers)}, got {algorithm!r}"
+        )
+    return solvers[algorithm](network)
+
+
+class ResidualGraph:
+    """Paired-edge residual representation shared by all three solvers.
+
+    Arc ``e`` and its reverse ``e ^ 1`` are adjacent in the edge arrays,
+    so the reverse of any arc is a single XOR away — the classic trick.
+    """
+
+    __slots__ = ("n", "to", "cap", "adj", "_original_cap", "_forward")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.to: list[int] = []
+        self.cap: list[float] = []
+        self.adj: list[list[int]] = [[] for _ in range(n)]
+        self._original_cap: list[float] = []
+        self._forward: list[bool] = []
+
+    def add_arc(self, u: int, v: int, capacity: float) -> int:
+        """Add a forward arc and its zero-capacity residual twin."""
+        arc_id = len(self.to)
+        self.to.extend((v, u))
+        self.cap.extend((capacity, 0.0))
+        self._original_cap.extend((capacity, 0.0))
+        self._forward.extend((True, False))
+        self.adj[u].append(arc_id)
+        self.adj[v].append(arc_id + 1)
+        return arc_id
+
+    @classmethod
+    def from_network(cls, network: FlowNetwork) -> "ResidualGraph":
+        graph = network.graph
+        residual = cls(graph.n_nodes)
+        for ui in range(graph.n_nodes):
+            for vi, capacity in graph.out_items(ui).items():
+                if capacity > 0:
+                    residual.add_arc(ui, vi, capacity)
+        return residual
+
+    def extract_flow(self) -> ArcFlow:
+        """Per-arc flows of the forward arcs (flow = original - residual)."""
+        flow: ArcFlow = {}
+        for arc_id in range(0, len(self.to), 2):
+            pushed = self._original_cap[arc_id] - self.cap[arc_id]
+            if pushed > 0:
+                u = self.to[arc_id + 1]
+                v = self.to[arc_id]
+                flow[(u, v)] = flow.get((u, v), 0.0) + pushed
+        return flow

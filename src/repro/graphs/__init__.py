@@ -1,0 +1,51 @@
+"""Graph substrate: weighted digraphs, bipartite graphs, generators, and IO."""
+
+from repro.graphs.bipartite import BipartiteGraph
+from repro.graphs.digraph import WeightedDiGraph
+from repro.graphs.generators import (
+    barabasi_albert,
+    biregular_bipartite,
+    centrality_counterexample,
+    cycle_graph,
+    erdos_renyi,
+    grid_2d,
+    grid_3d,
+    karate_club,
+    lifted_biregular,
+    pathological_flow_network,
+    path_graph,
+    powerlaw_cluster,
+    star_graph,
+    stochastic_block,
+    two_maximal_colorings_graph,
+)
+from repro.graphs.ops import (
+    bipartite_block,
+    degree_vector,
+    induced_subgraph,
+    perturb_add_random_edges,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "WeightedDiGraph",
+    "barabasi_albert",
+    "biregular_bipartite",
+    "centrality_counterexample",
+    "cycle_graph",
+    "erdos_renyi",
+    "grid_2d",
+    "grid_3d",
+    "karate_club",
+    "lifted_biregular",
+    "pathological_flow_network",
+    "path_graph",
+    "powerlaw_cluster",
+    "star_graph",
+    "stochastic_block",
+    "two_maximal_colorings_graph",
+    "bipartite_block",
+    "degree_vector",
+    "induced_subgraph",
+    "perturb_add_random_edges",
+]

@@ -1,0 +1,116 @@
+"""Weighted bipartite graphs ``(X, Y, w)`` (Sec. 3, Definition 1).
+
+The LP reduction views the extended constraint matrix as a bipartite graph
+between rows and columns; the max-flow theory (Theorem 6) works with the
+bipartite block between two color classes.  This class is a thin, explicit
+wrapper over a scipy sparse matrix with the handful of aggregate-weight
+operations the theory needs (``w(U, V)``, row/column sums, biregularity
+checks).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+
+
+class BipartiteGraph:
+    """A weighted bipartite graph stored as an ``|X| x |Y|`` sparse matrix."""
+
+    def __init__(self, matrix: sp.spmatrix | np.ndarray) -> None:
+        self.matrix = sp.csr_matrix(matrix, dtype=np.float64)
+
+    @property
+    def n_left(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_right(self) -> int:
+        return self.matrix.shape[1]
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.matrix.nnz)
+
+    def weight(self, x: int, y: int) -> float:
+        return float(self.matrix[x, y])
+
+    def total_weight(self) -> float:
+        """``w(X, Y)``: the sum of all edge weights."""
+        return float(self.matrix.sum())
+
+    def block_weight(self, left: Sequence[int], right: Sequence[int]) -> float:
+        """``w(U, V)`` of Eq. (1): total weight from ``U`` to ``V``."""
+        sub = self.matrix[np.asarray(left, dtype=np.intp)][
+            :, np.asarray(right, dtype=np.intp)
+        ]
+        return float(sub.sum())
+
+    def row_sums(self) -> np.ndarray:
+        """``w(x, Y)`` for every left node ``x``."""
+        return np.asarray(self.matrix.sum(axis=1)).ravel()
+
+    def col_sums(self) -> np.ndarray:
+        """``w(X, y)`` for every right node ``y``."""
+        return np.asarray(self.matrix.sum(axis=0)).ravel()
+
+    def is_biregular(self, tol: float = 1e-9) -> bool:
+        """True when all row sums agree and all column sums agree.
+
+        This is the ``(a, b)``-biregularity of Sec. 3.1 (with weights).
+        """
+        rows = self.row_sums()
+        cols = self.col_sums()
+        return bool(
+            (rows.size == 0 or np.ptp(rows) <= tol)
+            and (cols.size == 0 or np.ptp(cols) <= tol)
+        )
+
+    def regularity_error(self) -> float:
+        """Max spread of row sums and column sums (0 iff biregular)."""
+        spreads = []
+        rows = self.row_sums()
+        cols = self.col_sums()
+        if rows.size:
+            spreads.append(float(np.ptp(rows)))
+        if cols.size:
+            spreads.append(float(np.ptp(cols)))
+        return max(spreads) if spreads else 0.0
+
+    def transpose(self) -> "BipartiteGraph":
+        return BipartiteGraph(self.matrix.T)
+
+    @classmethod
+    def biregular(cls, n_left: int, n_right: int, out_degree: int) -> "BipartiteGraph":
+        """Unit-weight biregular graph via round-robin wiring.
+
+        Left node ``i`` connects to ``out_degree`` consecutive right nodes
+        starting at ``i * out_degree (mod n_right)``.  Requires
+        ``n_left * out_degree`` to be a multiple of ``n_right`` so the
+        in-degree ``b = n_left * out_degree / n_right`` is integral.
+        """
+        if out_degree > n_right:
+            raise GraphError(
+                f"out_degree {out_degree} exceeds right side size {n_right}"
+            )
+        if (n_left * out_degree) % n_right != 0:
+            raise GraphError(
+                "biregular graph needs n_left * out_degree divisible by n_right"
+            )
+        rows = np.repeat(np.arange(n_left), out_degree)
+        cols = (
+            np.arange(n_left * out_degree, dtype=np.int64) % n_right
+        )
+        data = np.ones(n_left * out_degree)
+        matrix = sp.csr_matrix((data, (rows, cols)), shape=(n_left, n_right))
+        return cls(matrix)
+
+    def __repr__(self) -> str:
+        return (
+            f"<BipartiteGraph {self.n_left}x{self.n_right} "
+            f"n_edges={self.n_edges}>"
+        )

@@ -1,0 +1,351 @@
+"""A weighted directed graph tailored to the coloring algorithms.
+
+Design notes
+------------
+The coloring engine (``repro.core``) works on contiguous integer node ids
+``0..n-1`` and a scipy CSR adjacency matrix.  :class:`WeightedDiGraph`
+therefore keeps a dict-of-dicts adjacency for cheap construction and
+mutation, plus lazily-built, cached CSR/CSC snapshots for the vectorized
+kernels.  Mutations invalidate the cache.
+
+Node labels may be arbitrary hashable objects; the label <-> index mapping
+is maintained internally.  Undirected graphs are represented by storing both
+edge directions and setting ``directed=False`` for bookkeeping (this makes
+every algorithm in the package uniform over both cases, matching the paper's
+treatment in Sec. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator, Mapping, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+
+EdgeTriple = Tuple[Hashable, Hashable, float]
+
+
+class WeightedDiGraph:
+    """Weighted directed graph with contiguous internal indices.
+
+    Parameters
+    ----------
+    directed:
+        When ``False``, :meth:`add_edge` stores both directions so the
+        adjacency matrix is symmetric.  Self-loops are stored once.
+    """
+
+    def __init__(self, directed: bool = True) -> None:
+        self.directed = directed
+        self._labels: list[Hashable] = []
+        self._index: dict[Hashable, int] = {}
+        self._succ: list[dict[int, float]] = []
+        self._pred: list[dict[int, float]] = []
+        self._csr: sp.csr_matrix | None = None
+        self._csc: sp.csc_matrix | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, label: Hashable | None = None) -> int:
+        """Add a node (default label = its index); return its index."""
+        if label is None:
+            label = len(self._labels)
+        if label in self._index:
+            return self._index[label]
+        index = len(self._labels)
+        self._labels.append(label)
+        self._index[label] = index
+        self._succ.append({})
+        self._pred.append({})
+        self._invalidate()
+        return index
+
+    def add_nodes(self, labels: Iterable[Hashable]) -> list[int]:
+        """Add several nodes; return their indices."""
+        return [self.add_node(label) for label in labels]
+
+    def add_edge(self, u: Hashable, v: Hashable, weight: float = 1.0) -> None:
+        """Add (or overwrite) the edge ``u -> v`` with the given weight.
+
+        For undirected graphs the reverse direction is stored as well.
+        A weight of exactly zero means "no edge" (Sec. 3 convention), so
+        adding a zero-weight edge removes any existing edge instead.
+        """
+        if weight == 0.0:
+            self.remove_edge(u, v, missing_ok=True)
+            return
+        ui = self.add_node(u)
+        vi = self.add_node(v)
+        self._succ[ui][vi] = float(weight)
+        self._pred[vi][ui] = float(weight)
+        if not self.directed and ui != vi:
+            self._succ[vi][ui] = float(weight)
+            self._pred[ui][vi] = float(weight)
+        self._invalidate()
+
+    def add_weighted_edges(self, edges: Iterable[EdgeTriple]) -> None:
+        for u, v, w in edges:
+            self.add_edge(u, v, w)
+
+    def add_edges(self, edges: Iterable[Tuple[Hashable, Hashable]]) -> None:
+        for u, v in edges:
+            self.add_edge(u, v, 1.0)
+
+    def remove_edge(self, u: Hashable, v: Hashable, missing_ok: bool = False) -> None:
+        """Remove the edge ``u -> v`` (both directions if undirected)."""
+        try:
+            ui, vi = self._index[u], self._index[v]
+        except KeyError as exc:
+            if missing_ok:
+                return
+            raise GraphError(f"unknown node in remove_edge({u!r}, {v!r})") from exc
+        if vi not in self._succ[ui]:
+            if missing_ok:
+                return
+            raise GraphError(f"no edge {u!r} -> {v!r}")
+        del self._succ[ui][vi]
+        del self._pred[vi][ui]
+        if not self.directed and ui != vi:
+            del self._succ[vi][ui]
+            del self._pred[ui][vi]
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self._labels)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of stored directed arcs (undirected edges count once)."""
+        arcs = sum(len(adj) for adj in self._succ)
+        if self.directed:
+            return arcs
+        loops = sum(1 for i, adj in enumerate(self._succ) if i in adj)
+        return (arcs - loops) // 2 + loops
+
+    @property
+    def n_arcs(self) -> int:
+        """Number of stored directed arcs, regardless of directedness."""
+        return sum(len(adj) for adj in self._succ)
+
+    def labels(self) -> list[Hashable]:
+        """Return node labels ordered by internal index."""
+        return list(self._labels)
+
+    def index_of(self, label: Hashable) -> int:
+        try:
+            return self._index[label]
+        except KeyError as exc:
+            raise GraphError(f"unknown node {label!r}") from exc
+
+    def label_of(self, index: int) -> Hashable:
+        return self._labels[index]
+
+    def has_node(self, label: Hashable) -> bool:
+        return label in self._index
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        if u not in self._index or v not in self._index:
+            return False
+        return self._index[v] in self._succ[self._index[u]]
+
+    def weight(self, u: Hashable, v: Hashable) -> float:
+        """Return the weight of ``u -> v`` (0.0 if absent, Sec. 3 convention)."""
+        if u not in self._index or v not in self._index:
+            return 0.0
+        return self._succ[self._index[u]].get(self._index[v], 0.0)
+
+    def successors(self, u: Hashable) -> Iterator[Hashable]:
+        for vi in self._succ[self.index_of(u)]:
+            yield self._labels[vi]
+
+    def predecessors(self, u: Hashable) -> Iterator[Hashable]:
+        for vi in self._pred[self.index_of(u)]:
+            yield self._labels[vi]
+
+    def out_items(self, index: int) -> Mapping[int, float]:
+        """Successor index -> weight map for an internal node index."""
+        return self._succ[index]
+
+    def in_items(self, index: int) -> Mapping[int, float]:
+        """Predecessor index -> weight map for an internal node index."""
+        return self._pred[index]
+
+    def out_degree(self, u: Hashable, weighted: bool = False) -> float:
+        adj = self._succ[self.index_of(u)]
+        return sum(adj.values()) if weighted else float(len(adj))
+
+    def in_degree(self, u: Hashable, weighted: bool = False) -> float:
+        adj = self._pred[self.index_of(u)]
+        return sum(adj.values()) if weighted else float(len(adj))
+
+    def edges(self) -> Iterator[EdgeTriple]:
+        """Yield ``(u_label, v_label, weight)``.
+
+        Undirected graphs yield each edge once, with ``u_index <= v_index``.
+        """
+        for ui, adj in enumerate(self._succ):
+            for vi, w in adj.items():
+                if not self.directed and vi < ui:
+                    continue
+                yield self._labels[ui], self._labels[vi], w
+
+    def total_weight(self) -> float:
+        """Sum of arc weights (undirected edges counted once)."""
+        return sum(w for _, _, w in self.edges())
+
+    def __len__(self) -> int:
+        return self.n_nodes
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._index
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"<WeightedDiGraph {kind} n_nodes={self.n_nodes} "
+            f"n_edges={self.n_edges}>"
+        )
+
+    # ------------------------------------------------------------------
+    # matrix views
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._csr = None
+        self._csc = None
+
+    def to_csr(self) -> sp.csr_matrix:
+        """Adjacency as a cached ``n x n`` CSR matrix of weights."""
+        if self._csr is None:
+            n = self.n_nodes
+            rows, cols, data = [], [], []
+            for ui, adj in enumerate(self._succ):
+                for vi, w in adj.items():
+                    rows.append(ui)
+                    cols.append(vi)
+                    data.append(w)
+            self._csr = sp.csr_matrix(
+                (np.asarray(data, dtype=np.float64), (rows, cols)), shape=(n, n)
+            )
+        return self._csr
+
+    def to_csc(self) -> sp.csc_matrix:
+        if self._csc is None:
+            self._csc = self.to_csr().tocsc()
+        return self._csc
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_csr().toarray()
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Hashable, Hashable]],
+        directed: bool = True,
+        n_nodes: int | None = None,
+    ) -> "WeightedDiGraph":
+        """Build a unit-weight graph from ``(u, v)`` pairs.
+
+        If ``n_nodes`` is given, nodes ``0..n_nodes-1`` are pre-created so
+        isolated vertices survive the conversion.
+        """
+        graph = cls(directed=directed)
+        if n_nodes is not None:
+            for i in range(n_nodes):
+                graph.add_node(i)
+        graph.add_edges(edges)
+        return graph
+
+    @classmethod
+    def from_weighted_edges(
+        cls,
+        edges: Iterable[EdgeTriple],
+        directed: bool = True,
+        n_nodes: int | None = None,
+    ) -> "WeightedDiGraph":
+        graph = cls(directed=directed)
+        if n_nodes is not None:
+            for i in range(n_nodes):
+                graph.add_node(i)
+        graph.add_weighted_edges(edges)
+        return graph
+
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix, directed: bool = True) -> "WeightedDiGraph":
+        """Build from a square sparse adjacency matrix."""
+        coo = sp.coo_matrix(matrix)
+        if coo.shape[0] != coo.shape[1]:
+            raise GraphError(f"adjacency matrix must be square, got {coo.shape}")
+        graph = cls(directed=directed)
+        for i in range(coo.shape[0]):
+            graph.add_node(i)
+        for u, v, w in zip(coo.row, coo.col, coo.data):
+            if w != 0.0:
+                if not directed and v < u:
+                    continue
+                graph.add_edge(int(u), int(v), float(w))
+        return graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph: Any, weight: str = "weight") -> "WeightedDiGraph":
+        """Convert a networkx (Di)Graph; missing weights default to 1.0."""
+        directed = bool(nx_graph.is_directed())
+        graph = cls(directed=directed)
+        for node in nx_graph.nodes():
+            graph.add_node(node)
+        for u, v, data in nx_graph.edges(data=True):
+            graph.add_edge(u, v, float(data.get(weight, 1.0)))
+        return graph
+
+    def to_networkx(self) -> Any:
+        import networkx as nx
+
+        nx_graph = nx.DiGraph() if self.directed else nx.Graph()
+        nx_graph.add_nodes_from(self._labels)
+        for u, v, w in self.edges():
+            nx_graph.add_edge(u, v, weight=w)
+        return nx_graph
+
+    def copy(self) -> "WeightedDiGraph":
+        clone = WeightedDiGraph(directed=self.directed)
+        for label in self._labels:
+            clone.add_node(label)
+        clone._succ = [dict(adj) for adj in self._succ]
+        clone._pred = [dict(adj) for adj in self._pred]
+        return clone
+
+    def reverse(self) -> "WeightedDiGraph":
+        """Return the graph with every arc reversed (no-op when undirected)."""
+        if not self.directed:
+            return self.copy()
+        rev = WeightedDiGraph(directed=True)
+        for label in self._labels:
+            rev.add_node(label)
+        for u, v, w in self.edges():
+            rev.add_edge(v, u, w)
+        return rev
+
+    def as_undirected(self) -> "WeightedDiGraph":
+        """Symmetrized copy; antiparallel weights are summed."""
+        if not self.directed:
+            return self.copy()
+        und = WeightedDiGraph(directed=False)
+        for label in self._labels:
+            und.add_node(label)
+        seen: dict[tuple[int, int], float] = {}
+        for ui, adj in enumerate(self._succ):
+            for vi, w in adj.items():
+                key = (min(ui, vi), max(ui, vi))
+                seen[key] = seen.get(key, 0.0) + w
+        for (ui, vi), w in seen.items():
+            und.add_edge(self._labels[ui], self._labels[vi], w)
+        return und

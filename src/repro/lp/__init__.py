@@ -1,0 +1,22 @@
+"""LP substrate and the quasi-stable LP reduction (Sec. 4.1)."""
+
+from repro.lp.model import LinearProgram
+from repro.lp.reduction import (
+    ApproxLPResult,
+    LPReduction,
+    approx_lp_opt,
+    reduce_lp,
+    reduce_lp_with_coloring,
+)
+from repro.lp.solve import LPSolution, solve_lp
+
+__all__ = [
+    "LinearProgram",
+    "ApproxLPResult",
+    "LPReduction",
+    "approx_lp_opt",
+    "reduce_lp",
+    "reduce_lp_with_coloring",
+    "LPSolution",
+    "solve_lp",
+]

@@ -1,0 +1,236 @@
+"""Mehrotra predictor–corrector interior-point solver.
+
+This is the substrate for the paper's exact LP baseline (they use Tulip,
+an open-source interior-point solver) *and* for the early-stopping
+baseline of Table 1 (bottom): interior-point methods maintain primal and
+dual iterates whose objectives sandwich the optimum, so a caller can stop
+as soon as the certified relative error ``dual/primal`` crosses a target —
+the "recommended approach in practice" the paper compares against.
+
+The LP ``max c^T x, A x <= b, x >= 0`` is converted to the standard form
+``min -c^T z, [A I] z = b, z >= 0`` by adding slack variables.  Newton
+steps solve the normal equations ``(A D^2 A^T) dy = r`` with a sparse LU
+factorization.
+
+References: Mehrotra (1992); Wright, "Primal-Dual Interior-Point
+Methods", SIAM 1997, Ch. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.exceptions import SolverError
+from repro.lp.model import LinearProgram
+
+
+@dataclass(frozen=True)
+class IPMIterate:
+    """Per-iteration snapshot passed to the early-stopping callback."""
+
+    iteration: int
+    primal_objective: float  # of the original max problem
+    dual_objective: float  # upper bound on the optimum (when feasible)
+    duality_gap: float
+    primal_infeasibility: float
+    dual_infeasibility: float
+
+    def certified_ratio(self) -> float:
+        """An upper bound on ``max(opt/primal, primal/opt)`` once the
+        iterate is near-feasible; inf while the bounds are useless."""
+        if self.primal_objective <= 0 or self.dual_objective <= 0:
+            return float("inf")
+        ratio = self.dual_objective / self.primal_objective
+        return max(ratio, 1.0 / ratio) if ratio > 0 else float("inf")
+
+
+@dataclass
+class IPMResult:
+    status: str
+    objective: float
+    x: np.ndarray
+    iterations: int
+    history: list[IPMIterate]
+
+
+def _solve_normal_equations(a_eq: sp.csr_matrix, d2: np.ndarray, dense: bool):
+    """Factor ``A D^2 A^T`` and return a solve closure."""
+    scaled = a_eq.multiply(d2)  # A * diag(d2) applied column-wise
+    normal = (scaled @ a_eq.T).tocsc()
+    m = normal.shape[0]
+    # Tiny Tikhonov regularization keeps the factorization alive on
+    # rank-deficient constraint matrices.
+    normal = normal + sp.identity(m, format="csc") * 1e-10
+    if dense or m <= 400:
+        dense_normal = normal.toarray()
+        try:
+            chol = np.linalg.cholesky(dense_normal)
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(f"normal equations not SPD: {exc}") from exc
+
+        def solve(vector: np.ndarray) -> np.ndarray:
+            y = np.linalg.solve(chol, vector)
+            return np.linalg.solve(chol.T, y)
+
+        return solve
+    try:
+        lu = spla.splu(normal)
+    except RuntimeError as exc:
+        raise SolverError(f"sparse factorization failed: {exc}") from exc
+    return lu.solve
+
+
+def interior_point_solve(
+    lp: LinearProgram,
+    tol: float = 1e-8,
+    max_iterations: int = 200,
+    callback: Optional[Callable[[IPMIterate], bool]] = None,
+    dense: bool = False,
+) -> IPMResult:
+    """Solve ``max c x, A x <= b, x >= 0`` with Mehrotra's method.
+
+    ``callback`` is invoked once per iteration with an :class:`IPMIterate`;
+    returning ``True`` stops the solve early with status
+    ``"early_stopped"`` (the Table 1 baseline).
+    """
+    m, n = lp.a_matrix.shape
+    # Standard form: min cs z, As z = b, z >= 0 with z = [x; slack].
+    a_eq = sp.hstack([lp.a_matrix, sp.identity(m, format="csr")]).tocsr()
+    cost = np.concatenate([-lp.c, np.zeros(m)])
+    b = lp.b.copy()
+    n_total = n + m
+
+    # Mehrotra starting point (Wright Ch. 10): least-squares primal/dual.
+    solve0 = _solve_normal_equations(a_eq, np.ones(n_total), dense)
+    x = a_eq.T @ solve0(b)
+    y = solve0(a_eq @ cost)
+    s = cost - a_eq.T @ y
+    shift_x = max(-1.25 * x.min(initial=0.0), 0.0)
+    shift_s = max(-1.25 * s.min(initial=0.0), 0.0)
+    x = x + shift_x + 0.1
+    s = s + shift_s + 0.1
+    correction = 0.5 * float(x @ s)
+    x += correction / max(float(s.sum()), 1e-8)
+    s += correction / max(float(x.sum()), 1e-8)
+    x = np.maximum(x, 1e-4)
+    s = np.maximum(s, 1e-4)
+
+    history: list[IPMIterate] = []
+    norm_b = 1.0 + np.linalg.norm(b)
+    norm_c = 1.0 + np.linalg.norm(cost)
+
+    status = "iteration_limit"
+    for iteration in range(1, max_iterations + 1):
+        r_primal = b - a_eq @ x
+        r_dual = cost - a_eq.T @ y - s
+        mu = float(x @ s) / n_total
+
+        primal_objective = float(lp.c @ x[:n])  # original max objective
+        dual_objective = float(b @ y)
+        iterate = IPMIterate(
+            iteration=iteration,
+            primal_objective=primal_objective,
+            dual_objective=dual_objective,
+            duality_gap=abs(primal_objective - dual_objective),
+            primal_infeasibility=float(np.linalg.norm(r_primal)) / norm_b,
+            dual_infeasibility=float(np.linalg.norm(r_dual)) / norm_c,
+        )
+        history.append(iterate)
+        if callback is not None and callback(iterate):
+            status = "early_stopped"
+            break
+        converged = (
+            mu < tol
+            and iterate.primal_infeasibility < tol * 100
+            and iterate.dual_infeasibility < tol * 100
+        )
+        if converged:
+            status = "optimal"
+            break
+
+        d2 = x / s
+        solver = _solve_normal_equations(a_eq, d2, dense)
+
+        def newton_step(comp_rhs: np.ndarray):
+            """Solve the KKT system with complementarity RHS ``comp_rhs``:
+
+                A dx           = r_primal
+                A^T dy + ds    = r_dual
+                S dx + X ds    = comp_rhs
+            """
+            rhs_y = r_primal + a_eq @ (d2 * r_dual) - a_eq @ (comp_rhs / s)
+            dy = solver(rhs_y)
+            ds = r_dual - a_eq.T @ dy
+            dx = comp_rhs / s - d2 * ds
+            return dx, dy, ds
+
+        # Predictor (affine scaling: comp_rhs = -XSe).
+        dx_aff, dy_aff, ds_aff = newton_step(-x * s)
+        alpha_p_aff = _max_step(x, dx_aff)
+        alpha_d_aff = _max_step(s, ds_aff)
+        mu_aff = float(
+            (x + alpha_p_aff * dx_aff) @ (s + alpha_d_aff * ds_aff)
+        ) / n_total
+        sigma = (mu_aff / mu) ** 3 if mu > 0 else 0.0
+
+        # Corrector: comp_rhs = sigma mu e - XSe - dXaff dSaff e.
+        dx, dy, ds = newton_step(sigma * mu - x * s - dx_aff * ds_aff)
+
+        alpha_p = min(0.995 * _max_step(x, dx), 1.0)
+        alpha_d = min(0.995 * _max_step(s, ds), 1.0)
+        x = x + alpha_p * dx
+        y = y + alpha_d * dy
+        s = s + alpha_d * ds
+        if x.min() <= 0 or s.min() <= 0:
+            raise SolverError("interior-point iterate left the positive cone")
+
+    return IPMResult(
+        status=status,
+        objective=float(lp.c @ x[:n]),
+        x=x[:n].copy(),
+        iterations=len(history),
+        history=history,
+    )
+
+
+def _max_step(values: np.ndarray, direction: np.ndarray) -> float:
+    """Largest ``alpha <= 1`` keeping ``values + alpha * direction > 0``."""
+    negative = direction < 0
+    if not negative.any():
+        return 1.0
+    return float(min(1.0, np.min(-values[negative] / direction[negative])))
+
+
+def early_stopping_solve(
+    lp: LinearProgram,
+    target_ratio: float,
+    max_iterations: int = 200,
+    dense: bool = False,
+) -> IPMResult:
+    """The Table 1 baseline: run the IPM until the certified relative
+    error ``max(dual/primal, primal/dual)`` drops below ``target_ratio``.
+
+    Requires near-feasible iterates before trusting the certificate, so
+    the stop also waits for small infeasibilities.
+    """
+    if target_ratio < 1.0:
+        raise ValueError(f"target_ratio must be >= 1.0, got {target_ratio}")
+
+    def stop(iterate: IPMIterate) -> bool:
+        near_feasible = (
+            iterate.primal_infeasibility < 1e-4
+            and iterate.dual_infeasibility < 1e-4
+        )
+        return near_feasible and iterate.certified_ratio() <= target_ratio
+
+    return interior_point_solve(
+        lp,
+        callback=stop,
+        max_iterations=max_iterations,
+        dense=dense,
+    )

@@ -1,0 +1,169 @@
+"""Minimal MPS reader/writer.
+
+Lets real Mittelmann/netlib instances (the paper's Table 3) be dropped in
+whenever files are available locally.  Supported subset: ``NAME``,
+``OBJSENSE``, ``ROWS`` (N/L/G/E), ``COLUMNS``, ``RHS``, ``BOUNDS``
+(UP/LO/FX with LO = 0), free-format whitespace.  Everything is normalized
+into the canonical ``max c x, A x <= b, x >= 0`` form:
+
+* ``G`` rows are negated; ``E`` rows become a pair of inequalities;
+* minimization objectives are negated;
+* ``UP`` bounds become extra constraint rows; nonzero ``LO``/``FX``
+  bounds and ``RANGES`` are rejected loudly rather than silently
+  mis-read.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import LPError
+from repro.lp.model import LinearProgram
+
+
+def read_mps(path: str | os.PathLike) -> LinearProgram:
+    """Parse an MPS file into a :class:`LinearProgram`."""
+    row_sense: "OrderedDict[str, str]" = OrderedDict()
+    objective_row: str | None = None
+    columns: "OrderedDict[str, dict[str, float]]" = OrderedDict()
+    rhs: dict[str, float] = {}
+    upper_bounds: dict[str, float] = {}
+    maximize = False
+    section = None
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            if raw.startswith("*") or not raw.strip():
+                continue
+            if not raw[0].isspace():
+                parts = raw.split()
+                section = parts[0].upper()
+                if section == "OBJSENSE" and len(parts) > 1:
+                    maximize = parts[1].upper() in ("MAX", "MAXIMIZE")
+                    section = "OBJSENSE_DONE"
+                if section == "ENDATA":
+                    break
+                continue
+            parts = raw.split()
+            if section == "OBJSENSE":
+                maximize = parts[0].upper() in ("MAX", "MAXIMIZE")
+            elif section == "ROWS":
+                sense, name = parts[0].upper(), parts[1]
+                if sense == "N":
+                    if objective_row is None:
+                        objective_row = name
+                elif sense in ("L", "G", "E"):
+                    row_sense[name] = sense
+                else:
+                    raise LPError(f"{path}:{line_number}: bad row sense {sense}")
+            elif section == "COLUMNS":
+                if "MARKER" in raw:
+                    raise LPError(
+                        f"{path}:{line_number}: integer markers unsupported"
+                    )
+                column = parts[0]
+                entries = columns.setdefault(column, {})
+                for row_name, value in zip(parts[1::2], parts[2::2]):
+                    entries[row_name] = float(value)
+            elif section == "RHS":
+                for row_name, value in zip(parts[1::2], parts[2::2]):
+                    rhs[row_name] = float(value)
+            elif section == "BOUNDS":
+                kind, column = parts[0].upper(), parts[2]
+                value = float(parts[3]) if len(parts) > 3 else 0.0
+                if kind == "UP":
+                    upper_bounds[column] = value
+                elif kind in ("LO", "FX"):
+                    if value != 0.0:
+                        raise LPError(
+                            f"{path}:{line_number}: nonzero {kind} bound "
+                            "unsupported"
+                        )
+                    if kind == "FX":
+                        upper_bounds[column] = 0.0
+                elif kind == "MI" or kind == "FR":
+                    raise LPError(
+                        f"{path}:{line_number}: free variables unsupported"
+                    )
+                else:
+                    raise LPError(f"{path}:{line_number}: bound {kind}")
+            elif section == "RANGES":
+                raise LPError(f"{path}:{line_number}: RANGES unsupported")
+
+    if objective_row is None:
+        raise LPError(f"{path}: no objective (N) row")
+
+    column_names = list(columns.keys())
+    column_index = {name: j for j, name in enumerate(column_names)}
+    n = len(column_names)
+
+    rows_out: list[tuple[dict[int, float], float]] = []
+    for row_name, sense in row_sense.items():
+        coefficients: dict[int, float] = {}
+        for column_name, entries in columns.items():
+            if row_name in entries:
+                coefficients[column_index[column_name]] = entries[row_name]
+        bound = rhs.get(row_name, 0.0)
+        if sense == "L":
+            rows_out.append((coefficients, bound))
+        elif sense == "G":
+            rows_out.append(
+                ({j: -v for j, v in coefficients.items()}, -bound)
+            )
+        else:  # E: two inequalities
+            rows_out.append((coefficients, bound))
+            rows_out.append(
+                ({j: -v for j, v in coefficients.items()}, -bound)
+            )
+    for column_name, upper in upper_bounds.items():
+        rows_out.append(({column_index[column_name]: 1.0}, upper))
+
+    data, row_ids, col_ids = [], [], []
+    b = np.empty(len(rows_out))
+    for i, (coefficients, bound) in enumerate(rows_out):
+        b[i] = bound
+        for j, value in coefficients.items():
+            row_ids.append(i)
+            col_ids.append(j)
+            data.append(value)
+    a_matrix = sp.csr_matrix(
+        (data, (row_ids, col_ids)), shape=(len(rows_out), n)
+    )
+    c = np.zeros(n)
+    for column_name, entries in columns.items():
+        if objective_row in entries:
+            c[column_index[column_name]] = entries[objective_row]
+    if not maximize:
+        c = -c
+    name = os.path.splitext(os.path.basename(str(path)))[0]
+    return LinearProgram(a_matrix, b, c, name=name)
+
+
+def write_mps(lp: LinearProgram, path: str | os.PathLike) -> None:
+    """Write the LP as a maximization MPS file (all rows ``L``)."""
+    coo = lp.a_matrix.tocoo()
+    entries_by_column: dict[int, list[tuple[int, float]]] = {}
+    for i, j, value in zip(coo.row, coo.col, coo.data):
+        entries_by_column.setdefault(int(j), []).append((int(i), float(value)))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"NAME          {lp.name or 'REPRO'}\n")
+        handle.write("OBJSENSE\n    MAX\n")
+        handle.write("ROWS\n")
+        handle.write(" N  COST\n")
+        for i in range(lp.n_rows):
+            handle.write(f" L  R{i}\n")
+        handle.write("COLUMNS\n")
+        for j in range(lp.n_cols):
+            if lp.c[j] != 0.0:
+                handle.write(f"    X{j}  COST  {lp.c[j]:.17g}\n")
+            for i, value in entries_by_column.get(j, []):
+                handle.write(f"    X{j}  R{i}  {value:.17g}\n")
+        handle.write("RHS\n")
+        for i in range(lp.n_rows):
+            if lp.b[i] != 0.0:
+                handle.write(f"    RHS  R{i}  {lp.b[i]:.17g}\n")
+        handle.write("ENDATA\n")

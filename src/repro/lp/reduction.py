@@ -1,0 +1,327 @@
+"""Quasi-stable LP reduction (Sec. 4.1, Eqs. 3-6).
+
+The constraint matrix, right-hand side and objective are packed into the
+extended matrix **A** (Eq. 3), viewed as a weighted bipartite graph between
+the ``m+1`` rows and ``n+1`` columns.  Rothko colors this graph with the
+last row (the objective) and last column (the RHS) pinned to singleton
+colors; the color classes then define the reduced LP (Eq. 6):
+
+    A_hat(r, s) = A(P_r, Q_s) / sqrt(|P_r| |Q_s|)
+    b_hat(r)    = b(P_r) / sqrt(|P_r|)
+    c_hat(s)    = c(Q_s) / sqrt(|Q_s|)
+
+Theorem 2: for a well-behaved LP there are ``q0, Delta`` such that any
+q-quasi-stable coloring with ``q <= q0`` satisfies
+``|OPT - OPT_hat| <= q * Delta``; for a stable coloring (q = 0) the
+optima agree exactly — the Grohe et al. result, recovered by the
+``mode="grohe"`` variant ``A(P_r, Q_s) / |Q_s|`` (Sec. 4.1 discussion).
+
+Solutions lift back by ``x = V^T x_hat`` (Eq. 10): each original column
+gets its color's reduced value scaled by ``1/sqrt(|Q_s|)`` (sqrt mode) or
+copied (grohe mode).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.partition import Coloring
+from repro.core.rothko import Rothko, RothkoResult
+from repro.exceptions import LPError
+from repro.lp.model import LinearProgram
+from repro.lp.solve import LPSolution, solve_lp
+
+MODES = ("sqrt", "grohe")
+
+
+@dataclass(frozen=True)
+class LPReduction:
+    """A colored, reduced LP plus everything needed to lift solutions."""
+
+    original: LinearProgram
+    reduced: LinearProgram
+    row_coloring: Coloring  # over the m+1 extended rows
+    col_coloring: Coloring  # over the n+1 extended columns
+    mode: str
+    max_q_err: float
+
+    @property
+    def n_colors(self) -> int:
+        """Total colors over rows and columns (incl. the two pinned)."""
+        return self.row_coloring.n_colors + self.col_coloring.n_colors
+
+    @property
+    def compression_ratio(self) -> float:
+        original_size = self.original.n_rows * self.original.n_cols
+        reduced_size = max(self.reduced.n_rows * self.reduced.n_cols, 1)
+        return original_size / reduced_size
+
+    def lift(self, x_hat: np.ndarray) -> np.ndarray:
+        """Lift a reduced solution to the original variable space.
+
+        For a stable coloring the lift is exactly feasible and preserves
+        the objective: ``x_j = x_hat_s / sqrt(|Q_s|)`` in sqrt mode and
+        ``x_j = x_hat_s / |Q_s|`` in grohe mode (spreading the class value
+        evenly over its members).
+        """
+        x_hat = np.asarray(x_hat, dtype=np.float64)
+        if x_hat.shape != (self.reduced.n_cols,):
+            raise LPError(
+                f"x_hat has shape {x_hat.shape}, expected "
+                f"({self.reduced.n_cols},)"
+            )
+        n = self.original.n_cols
+        # Reduced column r corresponds to the r-th non-pinned column color.
+        rhs_color = self.col_coloring.color_of(n)
+        col_colors = [
+            color
+            for color in range(self.col_coloring.n_colors)
+            if color != rhs_color
+        ]
+        value_of_color = dict(zip(col_colors, x_hat))
+        sizes = self.col_coloring.sizes
+        labels = self.col_coloring.labels[:n]
+        x = np.zeros(n)
+        for j in range(n):
+            color = int(labels[j])
+            if self.mode == "sqrt":
+                x[j] = value_of_color[color] / np.sqrt(sizes[color])
+            else:
+                x[j] = value_of_color[color] / sizes[color]
+        return x
+
+
+def _initial_bipartite_coloring(m: int, n: int) -> tuple[Coloring, tuple[int, int]]:
+    """Initial partition {rows} {obj row} {columns} {RHS column}.
+
+    Returns the coloring plus the (canonical) color ids of the two pinned
+    singletons — Coloring relabels by first occurrence, so callers must
+    not assume the ids they assigned survive construction.
+    """
+    labels = np.empty(m + n + 2, dtype=np.int64)
+    labels[:m] = 0
+    labels[m] = 2
+    labels[m + 1 : m + 1 + n] = 1
+    labels[m + 1 + n] = 3
+    coloring = Coloring(labels)
+    frozen = (coloring.color_of(m), coloring.color_of(m + 1 + n))
+    return coloring, frozen
+
+
+def color_lp(
+    lp: LinearProgram,
+    n_colors: int | None = None,
+    q: float | None = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> RothkoResult:
+    """Color the extended matrix's bipartite graph with Rothko.
+
+    ``alpha=1, beta=0`` is the paper's LP weighting ("prioritizes colors
+    with more rows", Sec. 5.2).  The split threshold is arithmetic because
+    LP matrices may carry negative weights.
+    """
+    adjacency = lp.bipartite_adjacency()
+    initial, frozen = _initial_bipartite_coloring(lp.n_rows, lp.n_cols)
+    engine = Rothko(
+        adjacency,
+        initial=initial,
+        alpha=alpha,
+        beta=beta,
+        split_mean="arithmetic",
+        frozen=frozen,
+    )
+    return engine.run(
+        max_colors=n_colors, q_tolerance=q if q is not None else 0.0
+    )
+
+
+def _split_bipartite_coloring(
+    lp: LinearProgram, coloring: Coloring
+) -> tuple[Coloring, Coloring]:
+    """Slice a bipartite-graph coloring into row and column colorings."""
+    m1 = lp.n_rows + 1
+    row_coloring = Coloring(coloring.labels[:m1])
+    col_coloring = Coloring(coloring.labels[m1:])
+    return row_coloring, col_coloring
+
+
+def reduce_lp_with_coloring(
+    lp: LinearProgram,
+    row_coloring: Coloring,
+    col_coloring: Coloring,
+    mode: str = "sqrt",
+) -> LPReduction:
+    """Build the reduced LP (Eq. 6) from explicit row/column colorings.
+
+    The colorings are over the extended matrix: ``m+1`` rows and ``n+1``
+    columns, with the objective row and RHS column in singleton colors.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    m, n = lp.n_rows, lp.n_cols
+    if row_coloring.n != m + 1:
+        raise LPError(
+            f"row coloring covers {row_coloring.n} rows, expected {m + 1}"
+        )
+    if col_coloring.n != n + 1:
+        raise LPError(
+            f"column coloring covers {col_coloring.n} cols, expected {n + 1}"
+        )
+    obj_color = row_coloring.color_of(m)
+    rhs_color = col_coloring.color_of(n)
+    if row_coloring.sizes[obj_color] != 1:
+        raise LPError("objective row must be a singleton color")
+    if col_coloring.sizes[rhs_color] != 1:
+        raise LPError("RHS column must be a singleton color")
+
+    # Colors of the real rows/columns, in a stable order excluding pins.
+    row_colors = [
+        color for color in range(row_coloring.n_colors) if color != obj_color
+    ]
+    col_colors = [
+        color for color in range(col_coloring.n_colors) if color != rhs_color
+    ]
+    row_classes = row_coloring.classes()
+    col_classes = col_coloring.classes()
+
+    # Aggregate A over blocks: S_rows^T A S_cols restricted to real colors.
+    row_indicator = sp.csr_matrix(
+        (
+            np.ones(m),
+            (row_coloring.labels[:m], np.arange(m)),
+        ),
+        shape=(row_coloring.n_colors, m),
+    )
+    col_indicator = sp.csr_matrix(
+        (
+            np.ones(n),
+            (np.arange(n), col_coloring.labels[:n]),
+        ),
+        shape=(n, col_coloring.n_colors),
+    )
+    block = (row_indicator @ lp.a_matrix @ col_indicator).toarray()
+    b_block = row_indicator @ lp.b
+    c_block = lp.c @ col_indicator
+
+    row_sizes = np.array(
+        [len(row_classes[color]) for color in row_colors], dtype=np.float64
+    )
+    col_sizes = np.array(
+        [len(col_classes[color]) for color in col_colors], dtype=np.float64
+    )
+    sub = block[np.ix_(row_colors, col_colors)]
+    b_sub = b_block[row_colors]
+    c_sub = np.asarray(c_block).ravel()[col_colors]
+
+    if mode == "sqrt":
+        a_hat = sub / np.sqrt(np.outer(row_sizes, col_sizes))
+        b_hat = b_sub / np.sqrt(row_sizes)
+        c_hat = c_sub / np.sqrt(col_sizes)
+    else:  # grohe
+        a_hat = sub / col_sizes[None, :]
+        b_hat = b_sub
+        c_hat = c_sub / col_sizes
+
+    reduced = LinearProgram(
+        sp.csr_matrix(a_hat),
+        b_hat,
+        c_hat,
+        name=f"{lp.name or 'lp'}-reduced-{len(row_colors)}x{len(col_colors)}",
+    )
+    from repro.core.qerror import max_q_err
+
+    # q-error of the bipartite coloring on the extended matrix.
+    labels = np.concatenate(
+        [
+            row_coloring.labels,
+            col_coloring.labels + row_coloring.n_colors,
+        ]
+    )
+    q_err = max_q_err(lp.bipartite_adjacency(), Coloring(labels))
+    return LPReduction(
+        original=lp,
+        reduced=reduced,
+        row_coloring=row_coloring,
+        col_coloring=col_coloring,
+        mode=mode,
+        max_q_err=q_err,
+    )
+
+
+def reduce_lp(
+    lp: LinearProgram,
+    n_colors: int | None = None,
+    q: float | None = None,
+    mode: str = "sqrt",
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> LPReduction:
+    """Color the LP with Rothko and build the reduced LP (Eq. 6).
+
+    ``n_colors`` counts *total* colors over rows and columns of the
+    extended matrix, including the two pinned singletons.
+    """
+    rothko = color_lp(lp, n_colors=n_colors, q=q, alpha=alpha, beta=beta)
+    row_coloring, col_coloring = _split_bipartite_coloring(
+        lp, rothko.coloring
+    )
+    return reduce_lp_with_coloring(
+        lp, row_coloring, col_coloring, mode=mode
+    )
+
+
+@dataclass(frozen=True)
+class ApproxLPResult:
+    """End-to-end output of :func:`approx_lp_opt`."""
+
+    value: float
+    reduction: LPReduction
+    solution: LPSolution
+    x_lifted: np.ndarray
+    coloring_seconds: float
+    solve_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.coloring_seconds + self.solve_seconds
+
+
+def approx_lp_opt(
+    lp: LinearProgram,
+    n_colors: int | None = None,
+    q: float | None = None,
+    mode: str = "sqrt",
+    method: str = "scipy",
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> ApproxLPResult:
+    """The paper's LP pipeline: color -> reduce -> solve the reduced LP.
+
+    The returned ``value`` approximates ``OPT(A, b, c)``; Theorem 2 bounds
+    the error by ``q * Delta``.
+    """
+    if n_colors is None and q is None:
+        raise ValueError("approx_lp_opt needs n_colors and/or q")
+    start = time.perf_counter()
+    reduction = reduce_lp(
+        lp, n_colors=n_colors, q=q, mode=mode, alpha=alpha, beta=beta
+    )
+    coloring_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    solution = solve_lp(reduction.reduced, method=method)
+    solve_seconds = time.perf_counter() - start
+
+    return ApproxLPResult(
+        value=solution.objective,
+        reduction=reduction,
+        solution=solution,
+        x_lifted=reduction.lift(solution.x),
+        coloring_seconds=coloring_seconds,
+        solve_seconds=solve_seconds,
+    )

@@ -1,0 +1,126 @@
+"""Dense two-phase primal simplex with Bland's rule.
+
+Intended for the *reduced* LPs, which have at most a few hundred rows and
+columns; the exact baselines use the interior-point solver or scipy.
+Bland's rule guarantees termination (no cycling) at the cost of speed —
+the right trade-off for a reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import LPError, LPInfeasibleError, LPUnboundedError
+from repro.lp.model import LinearProgram
+
+_TOL = 1e-9
+
+
+def _pivot(tableau: np.ndarray, basis: list[int], row: int, col: int) -> None:
+    pivot_value = tableau[row, col]
+    tableau[row, :] /= pivot_value
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > _TOL:
+            tableau[r, :] -= tableau[r, col] * tableau[row, :]
+    basis[row] = col
+
+
+def _run_simplex(
+    tableau: np.ndarray, basis: list[int], n_decision: int, max_iterations: int
+) -> None:
+    """Minimize the objective in the last tableau row over the first
+    ``n_decision`` columns; raises on unboundedness."""
+    m = tableau.shape[0] - 1
+    for _ in range(max_iterations):
+        costs = tableau[-1, :n_decision]
+        entering_candidates = np.nonzero(costs < -_TOL)[0]
+        if entering_candidates.size == 0:
+            return
+        col = int(entering_candidates[0])  # Bland: lowest index
+        column = tableau[:m, col]
+        positive = column > _TOL
+        if not positive.any():
+            raise LPUnboundedError("unbounded direction in simplex")
+        ratios = np.full(m, np.inf)
+        ratios[positive] = tableau[:m, -1][positive] / column[positive]
+        best = np.min(ratios)
+        # Bland tie-break: smallest basis index among the argmin rows.
+        tie_rows = np.nonzero(ratios <= best + _TOL)[0]
+        row = int(min(tie_rows, key=lambda r: basis[r]))
+        _pivot(tableau, basis, row, col)
+    raise LPError(f"simplex iteration limit ({max_iterations}) exceeded")
+
+
+def simplex_solve(
+    lp: LinearProgram, max_iterations: int = 100_000
+) -> tuple[float, np.ndarray, int]:
+    """Solve ``max c x, A x <= b, x >= 0`` exactly.
+
+    Returns ``(optimal_value, x, n_iterations_hint)``.  Phase 1 finds a
+    feasible basis when some ``b_i < 0``; phase 2 optimizes.  Raises
+    :class:`LPInfeasibleError` / :class:`LPUnboundedError`.
+    """
+    a_dense = lp.a_matrix.toarray()
+    b = lp.b.copy()
+    c = lp.c.copy()
+    m, n = a_dense.shape
+
+    # Standard form: A x + s = b with slack s >= 0.  Normalize rows so
+    # b >= 0, flipping the slack sign where needed; rows with a flipped
+    # slack need an artificial variable to form the initial basis.
+    slack = np.eye(m)
+    for i in range(m):
+        if b[i] < 0:
+            a_dense[i, :] *= -1
+            b[i] *= -1
+            slack[i, i] = -1
+    needs_artificial = [i for i in range(m) if slack[i, i] < 0]
+
+    n_art = len(needs_artificial)
+    artificial = np.zeros((m, n_art))
+    for k, i in enumerate(needs_artificial):
+        artificial[i, k] = 1.0
+
+    total = n + m + n_art
+    tableau = np.zeros((m + 1, total + 1))
+    tableau[:m, :n] = a_dense
+    tableau[:m, n : n + m] = slack
+    tableau[:m, n + m : n + m + n_art] = artificial
+    tableau[:m, -1] = b
+
+    basis: list[int] = []
+    artificial_of_row = {i: n + m + k for k, i in enumerate(needs_artificial)}
+    for i in range(m):
+        basis.append(artificial_of_row.get(i, n + i))
+
+    if n_art:
+        # Phase 1: minimize the sum of artificials.
+        tableau[-1, n + m : n + m + n_art] = 1.0
+        for i in needs_artificial:
+            tableau[-1, :] -= tableau[i, :]
+        _run_simplex(tableau, basis, n + m, max_iterations)
+        if tableau[-1, -1] < -1e-7:
+            raise LPInfeasibleError(
+                f"phase 1 left infeasibility {-tableau[-1, -1]:.3g}"
+            )
+        # Drive any remaining artificial out of the basis if possible.
+        for row, variable in enumerate(basis):
+            if variable >= n + m:
+                pivots = np.nonzero(np.abs(tableau[row, : n + m]) > _TOL)[0]
+                if pivots.size:
+                    _pivot(tableau, basis, row, int(pivots[0]))
+        # Rebuild the objective row for phase 2.
+        tableau[-1, :] = 0.0
+
+    # Phase 2: minimize -c x (we maximize c x).
+    tableau[-1, :n] = -c
+    for row, variable in enumerate(basis):
+        if variable < n and abs(tableau[-1, variable]) > _TOL:
+            tableau[-1, :] -= tableau[-1, variable] * tableau[row, :]
+    _run_simplex(tableau, basis, n + m, max_iterations)
+
+    x = np.zeros(n)
+    for row, variable in enumerate(basis):
+        if variable < n:
+            x[variable] = tableau[row, -1]
+    return float(lp.c @ x), x, 0

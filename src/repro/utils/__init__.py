@@ -1,0 +1,26 @@
+"""Shared utilities: seeded RNG helpers, timing, stats, and table rendering."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.stats import (
+    geometric_mean,
+    log_mean_threshold,
+    ratio_error,
+    spearman_rho,
+    top_k_overlap,
+)
+from repro.utils.tables import format_table, render_rows
+from repro.utils.timing import Stopwatch, time_call
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "geometric_mean",
+    "log_mean_threshold",
+    "ratio_error",
+    "spearman_rho",
+    "top_k_overlap",
+    "format_table",
+    "render_rows",
+    "Stopwatch",
+    "time_call",
+]

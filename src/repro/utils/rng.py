@@ -1,0 +1,45 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts a ``seed`` argument that
+may be ``None``, an integer, or an existing :class:`numpy.random.Generator`.
+:func:`ensure_rng` normalizes all three into a ``Generator`` so downstream
+code never touches global random state, which keeps experiments reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for nondeterministic entropy, an ``int`` for a fixed seed,
+        or an existing ``Generator`` which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed.
+
+    Uses ``SeedSequence.spawn`` so the children are statistically independent
+    regardless of how many draws each one performs.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by drawing fresh seed material from the generator.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

@@ -1,0 +1,125 @@
+"""Statistical helpers: error metrics, rank correlation, and split means.
+
+The paper's evaluation uses two accuracy metrics:
+
+* **relative (ratio) error** ``max(v / v_hat, v_hat / v)`` for max-flow and
+  linear programs, where 1.0 is a perfect score (Sec. 6.1);
+* **Spearman's rank correlation** between exact and approximate betweenness
+  centrality vectors, where 1.0 is a perfect score.
+
+Both are implemented here from first principles (the Spearman implementation
+is cross-checked against :func:`scipy.stats.spearmanr` in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def ratio_error(actual: float, predicted: float) -> float:
+    """Return the paper's relative error ``max(v/v_hat, v_hat/v)``.
+
+    Defined in Sec. 6.1 for max-flow and linear-optimization tasks; the
+    ideal score is ``1.0``.  Signs must agree; a zero on exactly one side
+    yields ``inf`` (the approximation missed entirely).
+    """
+    if actual == 0.0 and predicted == 0.0:
+        return 1.0
+    if actual == 0.0 or predicted == 0.0:
+        return float("inf")
+    ratio = actual / predicted
+    if ratio < 0.0:
+        return float("inf")
+    return max(ratio, 1.0 / ratio)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Used to aggregate ratio errors across datasets, mirroring the paper's
+    "geometric-mean error" summary statistic.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("geometric_mean of an empty sequence")
+    if np.any(array <= 0.0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def log_mean_threshold(values: np.ndarray) -> float:
+    """Shifted geometric mean ``expm1(mean(log1p(values)))``.
+
+    This is the split threshold used by Rothko's geometric-mean mode
+    (Sec. 5.2).  The shift by one keeps zero degrees well-defined: a plain
+    geometric mean collapses to zero whenever any member has degree zero,
+    which would make the split degenerate.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("threshold of an empty degree vector")
+    if np.any(array < 0.0):
+        raise ValueError("geometric-mean split requires non-negative degrees")
+    return float(np.expm1(np.mean(np.log1p(array))))
+
+
+def _rank_with_ties(values: np.ndarray) -> np.ndarray:
+    """Return average ranks (1-based) with ties sharing their mean rank."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=float)
+    sorted_values = values[order]
+    i = 0
+    n = len(values)
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        # Positions i..j (0-based) share the average of ranks i+1..j+1.
+        average_rank = (i + j) / 2.0 + 1.0
+        ranks[order[i : j + 1]] = average_rank
+        i = j + 1
+    return ranks
+
+
+def spearman_rho(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman's rank correlation coefficient with tie handling.
+
+    Computed as the Pearson correlation of the (average-tied) ranks, which
+    is the textbook definition and what ``scipy.stats.spearmanr`` returns.
+    """
+    ax = np.asarray(x, dtype=float)
+    ay = np.asarray(y, dtype=float)
+    if ax.shape != ay.shape:
+        raise ValueError(f"length mismatch: {ax.shape} vs {ay.shape}")
+    if ax.size < 2:
+        raise ValueError("spearman_rho requires at least two observations")
+    rx = _rank_with_ties(ax)
+    ry = _rank_with_ties(ay)
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denom = np.sqrt((rx * rx).sum() * (ry * ry).sum())
+    if denom == 0.0:
+        # One of the vectors is constant; correlation is undefined.  By
+        # convention we return 1.0 when both are constant (identical
+        # orderings) and 0.0 otherwise.
+        return 1.0 if (rx == 0).all() and (ry == 0).all() else 0.0
+    return float((rx * ry).sum() / denom)
+
+
+def top_k_overlap(x: Sequence[float], y: Sequence[float], k: int) -> float:
+    """Fraction of the top-``k`` items (by score) shared between two vectors.
+
+    A secondary accuracy metric for centrality experiments: how many of the
+    truly most-central vertices the approximation also ranks in its top k.
+    """
+    ax = np.asarray(x, dtype=float)
+    ay = np.asarray(y, dtype=float)
+    if ax.shape != ay.shape:
+        raise ValueError(f"length mismatch: {ax.shape} vs {ay.shape}")
+    if not 0 < k <= ax.size:
+        raise ValueError(f"k must be in [1, {ax.size}], got {k}")
+    top_x = set(np.argsort(-ax, kind="stable")[:k].tolist())
+    top_y = set(np.argsort(-ay, kind="stable")[:k].tolist())
+    return len(top_x & top_y) / k

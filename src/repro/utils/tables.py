@@ -1,0 +1,73 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark entry points print paper-style rows (Tables 1, 4, 5, 6); this
+module renders them as aligned ASCII tables so the output is directly
+comparable to the paper's tables without any plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def _stringify(value: Any) -> str:
+    """Render a cell: floats get a compact human-friendly format."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Format ``rows`` under ``headers`` as an aligned ASCII table."""
+    cells = [[_stringify(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[i]) for i, value in enumerate(values))
+
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = render_line(list(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    lines.extend(render_line(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_rows(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Format a list of dict rows; columns default to first row's keys."""
+    if not rows:
+        return title or "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    body = [[row.get(col, "") for col in columns] for row in rows]
+    return format_table(columns, body, title=title)

@@ -1,0 +1,60 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Tuple
+
+
+class Stopwatch:
+    """A restartable wall-clock stopwatch with lap support.
+
+    Used by the responsiveness experiment (Table 6) to record the
+    time-to-first-result and the inter-update latency of the anytime
+    Rothko loop.
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.laps: list[float] = []
+
+    def start(self) -> "Stopwatch":
+        """Start (or restart) the stopwatch and clear recorded laps."""
+        self._start = time.perf_counter()
+        self.laps = []
+        return self
+
+    def lap(self) -> float:
+        """Record and return the elapsed time since :meth:`start`."""
+        if self._start is None:
+            raise RuntimeError("Stopwatch.lap() called before start()")
+        elapsed = time.perf_counter() - self._start
+        self.laps.append(elapsed)
+        return elapsed
+
+    def elapsed(self) -> float:
+        """Return elapsed seconds since :meth:`start` without recording."""
+        if self._start is None:
+            raise RuntimeError("Stopwatch.elapsed() called before start()")
+        return time.perf_counter() - self._start
+
+
+def time_call(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Call ``fn(*args, **kwargs)`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class Timings:
+    """Accumulates named wall-clock measurements for an experiment row."""
+
+    entries: dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.entries[name] = self.entries.get(name, 0.0) + seconds
+
+    def total(self) -> float:
+        return sum(self.entries.values())

@@ -1,0 +1,73 @@
+"""Tests for the Riondato–Kornaropoulos sampling baseline."""
+
+import numpy as np
+import pytest
+
+from repro.centrality.brandes import betweenness_centrality
+from repro.centrality.sampling import (
+    riondato_kornaropoulos_betweenness,
+    rk_sample_size,
+    vertex_diameter_estimate,
+)
+from repro.graphs.generators import barabasi_albert, path_graph
+from repro.utils.stats import spearman_rho
+
+
+class TestSampleSize:
+    def test_formula_monotone_in_eps(self):
+        assert rk_sample_size(10, 0.01) > rk_sample_size(10, 0.1)
+
+    def test_formula_monotone_in_diameter(self):
+        assert rk_sample_size(1000, 0.05) >= rk_sample_size(4, 0.05)
+
+    def test_bad_eps(self):
+        with pytest.raises(ValueError):
+            rk_sample_size(10, 0.0)
+
+    def test_bad_delta(self):
+        with pytest.raises(ValueError):
+            rk_sample_size(10, 0.1, delta=1.5)
+
+
+class TestVertexDiameter:
+    def test_path_graph(self):
+        # The 6-node path has vertex diameter 6; BFS from any node sees
+        # at least half of it.
+        estimate = vertex_diameter_estimate(path_graph(6), samples=6, seed=0)
+        assert 4 <= estimate <= 6
+
+    def test_at_least_one(self):
+        graph = barabasi_albert(20, 2, seed=0)
+        assert vertex_diameter_estimate(graph, seed=1) >= 2
+
+
+class TestSampledScores:
+    def test_converges_in_rank(self):
+        graph = barabasi_albert(150, 3, seed=1)
+        exact = betweenness_centrality(graph)
+        scores = riondato_kornaropoulos_betweenness(
+            graph, n_samples=4000, seed=2
+        )
+        assert spearman_rho(exact, scores) > 0.7
+
+    def test_scale_comparable_to_exact(self):
+        """Sampled estimates approximate the unnormalized scores."""
+        graph = barabasi_albert(100, 3, seed=3)
+        exact = betweenness_centrality(graph)
+        scores = riondato_kornaropoulos_betweenness(
+            graph, n_samples=6000, seed=4
+        )
+        top = np.argsort(-exact)[:5]
+        ratio = scores[top].sum() / exact[top].sum()
+        assert 0.5 < ratio < 2.0
+
+    def test_uses_vc_bound_when_unspecified(self):
+        graph = barabasi_albert(30, 2, seed=5)
+        scores = riondato_kornaropoulos_betweenness(graph, eps=0.2, seed=6)
+        assert scores.shape == (30,)
+
+    def test_deterministic(self):
+        graph = barabasi_albert(50, 2, seed=7)
+        a = riondato_kornaropoulos_betweenness(graph, n_samples=500, seed=8)
+        b = riondato_kornaropoulos_betweenness(graph, n_samples=500, seed=8)
+        assert np.allclose(a, b)

@@ -1,0 +1,92 @@
+"""Tests for the eps-relative Rothko mode (Sec. 3.1's second variant)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.qerror import is_quasi_stable
+from repro.core.rothko import Rothko, eps_color
+from repro.core.similarity import EpsRelative
+from repro.exceptions import ColoringError
+from repro.graphs.generators import barabasi_albert, karate_club
+from tests.conftest import random_adjacency
+
+
+class TestEpsColorValidity:
+    @pytest.mark.parametrize("eps", [0.3, 0.7, 1.5])
+    def test_achieved_eps_is_valid(self, eps):
+        graph = karate_club()
+        result = eps_color(graph, eps=eps)
+        achieved = result.max_q_err
+        assert achieved <= eps or not np.isfinite(achieved)
+        assert is_quasi_stable(
+            graph.to_csr(),
+            result.coloring,
+            EpsRelative(max(achieved, 0.0) + 1e-12),
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_eps_zero_reaches_relative_stability(self, seed):
+        adjacency = random_adjacency(10, 0.4, seed)
+        result = eps_color(adjacency, eps=0.0, n_colors=10)
+        # eps = 0 relative stability == equal block sums == stable coloring
+        assert is_quasi_stable(
+            adjacency, result.coloring, EpsRelative(1e-12)
+        )
+
+    def test_budget_capped_run_may_stay_infinite(self):
+        """Stopping by color budget can leave mixed zero/nonzero blocks;
+        the achieved relative error is then reported as inf (zero is
+        similar only to itself, Sec. 3.1)."""
+        graph = barabasi_albert(300, 3, seed=0)
+        result = eps_color(graph, n_colors=10)
+        assert result.n_colors <= 10
+        # Either a finite eps was reached or it is honestly infinite.
+        assert result.max_q_err >= 0
+
+
+class TestRelativeModeGuards:
+    def test_negative_weights_rejected(self):
+        dense = np.array([[0.0, -1.0], [1.0, 0.0]])
+        with pytest.raises(ColoringError):
+            Rothko(sp.csr_matrix(dense), error_mode="relative")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Rothko(np.zeros((2, 2)), error_mode="logarithmic")
+
+    def test_needs_stopping_rule(self):
+        with pytest.raises(ValueError):
+            eps_color(np.zeros((3, 3)))
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            eps_color(np.zeros((3, 3)), n_colors=0)
+        with pytest.raises(ValueError):
+            eps_color(np.zeros((3, 3)), eps=-0.5)
+
+    def test_relative_forces_geometric_split(self):
+        engine = Rothko(
+            np.zeros((3, 3)), split_mean="arithmetic", error_mode="relative"
+        )
+        assert engine.split_mean == "geometric"
+
+
+class TestZeroSeparation:
+    def test_isolated_nodes_get_own_color(self):
+        """Sec. 3.1: under ~eps, isolated nodes are separated from
+        connected ones because 0 ~ v implies v = 0."""
+        dense = np.zeros((5, 5))
+        dense[0, 1] = dense[1, 2] = dense[2, 0] = 1.0  # triangle 0-1-2
+        result = eps_color(sp.csr_matrix(dense), eps=10.0, n_colors=5)
+        labels = result.coloring.labels
+        assert labels[3] == labels[4]  # both isolated
+        assert labels[3] != labels[0]  # separated from the triangle
+
+    def test_weight_scale_invariance(self):
+        """Relative error is scale-free: multiplying all weights by a
+        constant must not change the coloring trajectory."""
+        adjacency = random_adjacency(12, 0.4, 7)
+        a = eps_color(adjacency, n_colors=6)
+        b = eps_color(adjacency * 1000.0, n_colors=6)
+        assert a.coloring == b.coloring

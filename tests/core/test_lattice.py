@@ -1,0 +1,93 @@
+"""Tests for the partition lattice (meet/join)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lattice import join, meet
+from repro.core.partition import Coloring
+from repro.exceptions import ColoringError
+
+
+def pair_of_colorings(max_n=20, max_colors=5):
+    return st.integers(2, max_n).flatmap(
+        lambda n: st.tuples(
+            st.lists(
+                st.integers(0, max_colors - 1), min_size=n, max_size=n
+            ).map(Coloring),
+            st.lists(
+                st.integers(0, max_colors - 1), min_size=n, max_size=n
+            ).map(Coloring),
+        )
+    )
+
+
+class TestMeet:
+    def test_example(self):
+        p = Coloring([0, 0, 1, 1])
+        q = Coloring([0, 1, 0, 1])
+        assert meet(p, q).n_colors == 4
+
+    def test_size_mismatch(self):
+        with pytest.raises(ColoringError):
+            meet(Coloring([0]), Coloring([0, 1]))
+
+    @given(pair_of_colorings())
+    def test_meet_refines_both(self, pair):
+        p, q = pair
+        both = meet(p, q)
+        assert both.refines(p)
+        assert both.refines(q)
+
+    @given(pair_of_colorings())
+    def test_meet_is_greatest(self, pair):
+        """Anything refining both p and q refines the meet; the discrete
+        partition is such a lower bound."""
+        p, q = pair
+        discrete = Coloring.discrete(p.n)
+        assert discrete.refines(meet(p, q))
+
+    @given(pair_of_colorings())
+    def test_meet_idempotent_commutative(self, pair):
+        p, q = pair
+        assert meet(p, p) == p
+        assert meet(p, q) == meet(q, p)
+
+
+class TestJoin:
+    def test_example(self):
+        p = Coloring([0, 0, 1, 2])
+        q = Coloring([0, 1, 1, 2])
+        # 0~1 via p, 1~2 via q -> {0,1,2}, {3}
+        assert join(p, q).labels.tolist() == [0, 0, 0, 1]
+
+    def test_size_mismatch(self):
+        with pytest.raises(ColoringError):
+            join(Coloring([0]), Coloring([0, 1]))
+
+    @given(pair_of_colorings())
+    def test_both_refine_join(self, pair):
+        p, q = pair
+        joined = join(p, q)
+        assert p.refines(joined)
+        assert q.refines(joined)
+
+    @given(pair_of_colorings())
+    def test_join_is_least(self, pair):
+        """The trivial partition is an upper bound; the join refines it."""
+        p, q = pair
+        assert join(p, q).refines(Coloring.trivial(p.n))
+
+    @given(pair_of_colorings())
+    def test_join_idempotent_commutative(self, pair):
+        p, q = pair
+        assert join(p, p) == p
+        assert join(p, q) == join(q, p)
+
+    @given(pair_of_colorings())
+    def test_absorption(self, pair):
+        """Lattice absorption laws: p ∨ (p ∧ q) = p = p ∧ (p ∨ q)."""
+        p, q = pair
+        assert join(p, meet(p, q)) == p
+        assert meet(p, join(p, q)) == p

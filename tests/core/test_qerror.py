@@ -1,0 +1,143 @@
+"""Tests for repro.core.qerror — cross-checked against the reference."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import Coloring
+from repro.core.qerror import (
+    color_degree_matrices,
+    error_matrices,
+    grouped_minmax,
+    is_q_stable,
+    is_quasi_stable,
+    max_q_err,
+    mean_q_err,
+    q_error_report,
+)
+from repro.core.reference import max_q_err_reference
+from repro.core.similarity import QAbsolute
+from tests.conftest import random_adjacency
+
+
+def random_case(seed):
+    generator = np.random.default_rng(seed)
+    n = int(generator.integers(3, 15))
+    adjacency = random_adjacency(n, 0.4, seed)
+    labels = generator.integers(0, max(1, n // 2), size=n)
+    return adjacency, Coloring(labels)
+
+
+class TestDegreeMatrices:
+    def test_row_sums(self, small_directed):
+        coloring = Coloring([0, 0, 1, 1, 2, 2])
+        d_out, d_in = color_degree_matrices(
+            small_directed.to_csr(), coloring
+        )
+        # node 0 -> {1: 2.0 (color 0), 2: 1.0 (color 1)}
+        assert d_out[0].tolist() == [2.0, 1.0, 0.0]
+        # node 3 <- {1: 1.0 (color 0), 2: 2.0 (color 1)}
+        assert d_in[3].tolist() == [1.0, 2.0, 0.0]
+
+    def test_grouped_minmax_shapes(self):
+        values = np.arange(12, dtype=float).reshape(6, 2)
+        coloring = Coloring([0, 0, 1, 1, 1, 2])
+        upper, lower = grouped_minmax(values, coloring)
+        assert upper.shape == (3, 2)
+        assert upper[1, 0] == 8.0 and lower[1, 0] == 4.0
+
+    def test_grouped_minmax_row_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_minmax(np.zeros((3, 2)), Coloring([0, 1]))
+
+
+class TestMaxQErr:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_reference(self, seed):
+        adjacency, coloring = random_case(seed)
+        fast = max_q_err(adjacency, coloring)
+        slow = max_q_err_reference(adjacency.toarray(), coloring)
+        assert fast == pytest.approx(slow)
+
+    def test_discrete_coloring_has_zero_error(self):
+        adjacency = random_adjacency(8, 0.5, 0)
+        assert max_q_err(adjacency, Coloring.discrete(8)) == 0.0
+
+    def test_trivial_coloring_error_is_degree_spread(self):
+        # Star: center has out-degree n-1, leaves 0 -> spread n-1.
+        n = 5
+        dense = np.zeros((n, n))
+        dense[0, 1:] = 1.0
+        err = max_q_err(sp.csr_matrix(dense), Coloring.trivial(n))
+        assert err == n - 1
+
+    def test_directed_asymmetry_detected(self):
+        # 0 -> 1, 1 -> nothing; in-degrees differ within the color.
+        dense = np.array([[0.0, 1.0], [0.0, 0.0]])
+        assert max_q_err(sp.csr_matrix(dense), Coloring.trivial(2)) == 1.0
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            max_q_err(np.zeros((2, 3)), Coloring.trivial(2))
+
+
+class TestErrorMatrices:
+    def test_undirected_symmetry(self, karate):
+        """Symmetric adjacency: the incoming spread into P_j from P_i is
+        the outgoing spread from P_j into P_i, i.e. in_err = out_err.T."""
+        coloring = Coloring.trivial(34).split(0, list(range(10)))
+        out_err, in_err = error_matrices(karate.to_csr(), coloring)
+        assert np.allclose(in_err, out_err.T)
+
+    def test_orientation(self):
+        # Color 0 = {0, 1} with differing out-weights into color 1 = {2}.
+        dense = np.array(
+            [[0.0, 0.0, 3.0], [0.0, 0.0, 1.0], [0.0, 0.0, 0.0]]
+        )
+        coloring = Coloring([0, 0, 1])
+        out_err, in_err = error_matrices(sp.csr_matrix(dense), coloring)
+        assert out_err[0, 1] == 2.0  # spread of out-weights 3 vs 1
+        assert in_err[0, 1] == 0.0  # single node in target color
+
+
+class TestMeanAndReport:
+    def test_mean_leq_max(self):
+        for seed in range(6):
+            adjacency, coloring = random_case(seed)
+            assert mean_q_err(adjacency, coloring) <= max_q_err(
+                adjacency, coloring
+            ) + 1e-12
+
+    def test_report_fields(self, karate):
+        coloring = Coloring.trivial(34)
+        report = q_error_report(karate.to_csr(), coloring)
+        assert report.n_colors == 1
+        assert report.compression_ratio == 34.0
+        assert report.max_q > 0
+        row = report.as_row()
+        assert "compression" in row
+
+    def test_empty_graph_mean(self):
+        adjacency = sp.csr_matrix((3, 3))
+        assert mean_q_err(adjacency, Coloring.trivial(3)) == 0.0
+
+
+class TestStability:
+    def test_is_q_stable(self, karate):
+        adjacency = karate.to_csr()
+        coloring = Coloring.trivial(34)
+        q = max_q_err(adjacency, coloring)
+        assert is_q_stable(adjacency, coloring, q)
+        assert not is_q_stable(adjacency, coloring, q - 0.5)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_is_quasi_stable_consistent(self, seed):
+        adjacency, coloring = random_case(seed)
+        q = max_q_err(adjacency, coloring)
+        assert is_quasi_stable(adjacency, coloring, QAbsolute(q))
+        if q > 0:
+            assert not is_quasi_stable(
+                adjacency, coloring, QAbsolute(q * 0.99)
+            )

@@ -1,0 +1,149 @@
+"""Tests for reduced-graph construction and lifting matrices."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.partition import Coloring
+from repro.core.reduced import (
+    averaging_matrix,
+    block_weights,
+    broadcast_matrix,
+    lifting_matrices,
+    reduced_adjacency,
+    reduced_graph,
+)
+from tests.conftest import random_adjacency
+
+
+@pytest.fixture
+def case():
+    adjacency = random_adjacency(8, 0.5, 0)
+    coloring = Coloring([0, 0, 1, 1, 1, 2, 2, 2])
+    return adjacency, coloring
+
+
+class TestBlockWeights:
+    def test_totals(self, case):
+        adjacency, coloring = case
+        weights = block_weights(adjacency, coloring).toarray()
+        dense = adjacency.toarray()
+        for i, members_i in enumerate(coloring.classes()):
+            for j, members_j in enumerate(coloring.classes()):
+                expected = dense[np.ix_(members_i, members_j)].sum()
+                assert weights[i, j] == pytest.approx(expected)
+
+    def test_total_weight_preserved(self, case):
+        adjacency, coloring = case
+        weights = block_weights(adjacency, coloring)
+        assert weights.sum() == pytest.approx(adjacency.sum())
+
+
+class TestReducedAdjacency:
+    def test_sum_mode_is_block_weights(self, case):
+        adjacency, coloring = case
+        assert np.allclose(
+            reduced_adjacency(adjacency, coloring, "sum").toarray(),
+            block_weights(adjacency, coloring).toarray(),
+        )
+
+    def test_normalized_mode(self, case):
+        adjacency, coloring = case
+        weights = block_weights(adjacency, coloring).toarray()
+        sizes = coloring.sizes
+        expected = weights / np.sqrt(np.outer(sizes, sizes))
+        assert np.allclose(
+            reduced_adjacency(adjacency, coloring, "normalized").toarray(),
+            expected,
+        )
+
+    def test_grohe_mode(self, case):
+        adjacency, coloring = case
+        weights = block_weights(adjacency, coloring).toarray()
+        expected = weights / coloring.sizes[None, :]
+        assert np.allclose(
+            reduced_adjacency(adjacency, coloring, "grohe").toarray(),
+            expected,
+        )
+
+    def test_mean_mode(self, case):
+        adjacency, coloring = case
+        weights = block_weights(adjacency, coloring).toarray()
+        sizes = coloring.sizes
+        expected = weights / np.outer(sizes, sizes)
+        assert np.allclose(
+            reduced_adjacency(adjacency, coloring, "mean").toarray(),
+            expected,
+        )
+
+    def test_bad_mode(self, case):
+        adjacency, coloring = case
+        with pytest.raises(ValueError):
+            reduced_adjacency(adjacency, coloring, "bogus")
+
+
+class TestReducedGraph:
+    def test_nodes_are_colors(self, karate):
+        coloring = Coloring.trivial(34).split(0, list(range(17)))
+        reduced = reduced_graph(karate, coloring)
+        assert reduced.n_nodes == 2
+        assert reduced.directed
+
+
+class TestLiftingMatrices:
+    def test_eq10_values(self, case):
+        _, coloring = case
+        lift_u, lift_v = lifting_matrices(coloring)
+        assert lift_u.shape == (3, 8)
+        dense = lift_u.toarray()
+        for r in range(3):
+            members = coloring.members(r)
+            expected = 1.0 / np.sqrt(len(members))
+            for i in range(8):
+                if i in members:
+                    assert dense[r, i] == pytest.approx(expected)
+                else:
+                    assert dense[r, i] == 0.0
+
+    def test_uut_is_identity(self, case):
+        """U U^T = I_k for the Eq. 10 lifting (orthonormal rows)."""
+        _, coloring = case
+        lift_u, _ = lifting_matrices(coloring)
+        product = (lift_u @ lift_u.T).toarray()
+        assert np.allclose(product, np.eye(coloring.n_colors))
+
+    def test_averaging_is_row_stochastic(self, case):
+        _, coloring = case
+        averaging = averaging_matrix(coloring)
+        assert np.allclose(
+            np.asarray(averaging.sum(axis=1)).ravel(), 1.0
+        )
+
+    def test_broadcast_then_average_is_identity(self, case):
+        _, coloring = case
+        averaging = averaging_matrix(coloring)
+        broadcast = broadcast_matrix(coloring)
+        product = (averaging @ broadcast).toarray()
+        assert np.allclose(product, np.eye(coloring.n_colors))
+
+    def test_fractional_isomorphism_on_stable_coloring(self):
+        """Eq. (7) holds exactly when the coloring is stable: the planted
+        groups of a lifted biregular graph are equitable, so
+        U A = A_hat V with the Eq. 4/10 choices."""
+        from repro.core.refinement import stable_coloring
+        from repro.graphs.generators import lifted_biregular
+
+        graph, membership = lifted_biregular(
+            n_groups=8, group_size=5, template_edges=12, seed=2
+        )
+        adjacency = graph.to_csr()
+        coloring = Coloring(membership)
+        # Sanity: planted partition must be equitable.
+        from repro.core.qerror import max_q_err
+
+        assert max_q_err(adjacency, coloring) == 0.0
+        lift_u, lift_v = lifting_matrices(coloring)
+        a_hat = reduced_adjacency(adjacency, coloring, "normalized")
+        left = (lift_u @ adjacency).toarray()
+        right = (a_hat @ lift_v).toarray()
+        assert np.allclose(left, right)

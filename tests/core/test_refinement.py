@@ -1,0 +1,161 @@
+"""Tests for exact color refinement (stable and congruence colorings)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.partition import Coloring
+from repro.core.qerror import is_quasi_stable, max_q_err
+from repro.core.refinement import congruence_coloring, stable_coloring
+from repro.core.similarity import Bisimulation, CappedCongruence, QAbsolute
+from repro.exceptions import ColoringError
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi,
+    karate_club,
+    star_graph,
+)
+from tests.conftest import random_adjacency
+
+
+def independent_wl(adjacency: np.ndarray) -> int:
+    """Multiset-signature 1-WL color count, written independently."""
+    n = adjacency.shape[0]
+    colors = [0] * n
+    while True:
+        signatures = {}
+        new = [0] * n
+        for v in range(n):
+            out_sig = tuple(
+                sorted(
+                    (colors[u], adjacency[v, u])
+                    for u in range(n)
+                    if adjacency[v, u] != 0
+                )
+            )
+            in_sig = tuple(
+                sorted(
+                    (colors[u], adjacency[u, v])
+                    for u in range(n)
+                    if adjacency[u, v] != 0
+                )
+            )
+            key = (colors[v], out_sig, in_sig)
+            if key not in signatures:
+                signatures[key] = len(signatures)
+            new[v] = signatures[key]
+        if len(set(new)) == len(set(colors)):
+            return len(set(colors))
+        colors = new
+
+
+class TestStableColoring:
+    def test_karate_has_27_colors(self):
+        """The paper's Fig. 1(a): 27 stable colors on the karate club."""
+        coloring = stable_coloring(karate_club().to_csr())
+        assert coloring.n_colors == 27
+
+    def test_result_is_stable(self):
+        for seed in range(8):
+            adjacency = random_adjacency(12, 0.3, seed)
+            coloring = stable_coloring(adjacency)
+            assert max_q_err(adjacency, coloring) == 0.0
+
+    def test_cycle_is_single_color(self):
+        coloring = stable_coloring(cycle_graph(7).to_csr())
+        assert coloring.n_colors == 1
+
+    def test_star_two_colors(self):
+        coloring = stable_coloring(star_graph(5).to_csr())
+        assert coloring.n_colors == 2
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_color_count_matches_independent_wl(self, seed):
+        """Sum-based refinement equals multiset 1-WL on 0/1 weights."""
+        graph = erdos_renyi(18, 0.25, seed=seed)
+        dense = graph.to_dense()
+        ours = stable_coloring(sp.csr_matrix(dense)).n_colors
+        assert ours == independent_wl(dense)
+
+    def test_weighted_distinctions(self):
+        # Two nodes, same neighbor counts, different weights.
+        dense = np.array(
+            [
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, 2.0],
+                [0.0, 0.0, 0.0],
+            ]
+        )
+        coloring = stable_coloring(sp.csr_matrix(dense))
+        assert coloring.labels[0] != coloring.labels[1]
+
+    def test_respects_initial_partition(self):
+        # Cycle normally collapses to one color; a forced split persists.
+        adjacency = cycle_graph(6).to_csr()
+        initial = Coloring([0, 1, 1, 1, 1, 1])
+        coloring = stable_coloring(adjacency, initial=initial)
+        assert coloring.refines(initial)
+        assert coloring.n_colors > 1
+
+    def test_coarsest_property_vs_planted(self):
+        """Stable coloring must be coarser than (refined by no more than)
+        any stable partition we know — the planted groups of the lifted
+        graph are equitable, so stable colors <= planted groups."""
+        from repro.graphs.generators import lifted_biregular
+
+        graph, membership = lifted_biregular(
+            n_groups=10, group_size=4, template_edges=18, seed=5
+        )
+        stable = stable_coloring(graph.to_csr())
+        planted = Coloring(membership)
+        assert planted.refines(stable) or stable.n_colors <= planted.n_colors
+
+    def test_initial_size_mismatch(self):
+        with pytest.raises(ColoringError):
+            stable_coloring(np.zeros((3, 3)), initial=Coloring([0, 1]))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ColoringError):
+            stable_coloring(np.zeros((2, 3)))
+
+
+class TestCongruenceColoring:
+    def test_non_congruence_rejected(self):
+        with pytest.raises(ColoringError):
+            congruence_coloring(np.zeros((2, 2)), QAbsolute(1.0))
+
+    def test_bisimulation_fixpoint_is_quasi_stable(self):
+        for seed in range(5):
+            adjacency = random_adjacency(10, 0.3, seed)
+            coloring = congruence_coloring(adjacency, Bisimulation())
+            assert is_quasi_stable(adjacency, coloring, Bisimulation())
+
+    def test_bisimulation_coarser_than_stable(self):
+        """Bisimulation ignores weights/multiplicities, so its maximum
+        coloring is coarser (fewer colors) than the stable coloring."""
+        for seed in range(5):
+            adjacency = random_adjacency(12, 0.3, seed)
+            bisim = congruence_coloring(adjacency, Bisimulation())
+            stable = stable_coloring(adjacency)
+            assert bisim.n_colors <= stable.n_colors
+            assert stable.refines(bisim)
+
+    def test_capped_interpolates(self):
+        """cap = infinity reproduces the stable coloring exactly."""
+        adjacency = random_adjacency(12, 0.4, 3)
+        capped = congruence_coloring(
+            adjacency, CappedCongruence(float("inf"))
+        )
+        stable = stable_coloring(adjacency)
+        assert capped == stable
+
+    def test_capped_maximum_is_unique(self):
+        """Theorem 12(1): the congruence fixpoint from the trivial
+        partition is the unique maximum — any other quasi-stable coloring
+        refines it.  We check against the discrete partition (always
+        quasi-stable) and the fixpoint itself."""
+        adjacency = random_adjacency(9, 0.4, 4)
+        relation = CappedCongruence(2.0)
+        maximum = congruence_coloring(adjacency, relation)
+        assert is_quasi_stable(adjacency, maximum, relation)
+        assert Coloring.discrete(9).refines(maximum)

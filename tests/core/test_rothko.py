@@ -1,0 +1,206 @@
+"""Tests for the Rothko algorithm (Algorithm 1)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.partition import Coloring
+from repro.core.qerror import max_q_err
+from repro.core.reference import rothko_step_reference
+from repro.core.rothko import Rothko, coerce_adjacency, q_color
+from repro.exceptions import ColoringError
+from repro.graphs.generators import barabasi_albert, karate_club
+from tests.conftest import random_adjacency
+
+
+class TestCoerceAdjacency:
+    def test_weighted_digraph(self, small_directed):
+        matrix = coerce_adjacency(small_directed)
+        assert matrix.shape == (6, 6)
+
+    def test_scipy_passthrough(self):
+        matrix = sp.csr_matrix(np.eye(3))
+        assert coerce_adjacency(matrix).shape == (3, 3)
+
+    def test_numpy(self):
+        assert coerce_adjacency(np.zeros((2, 2))).shape == (2, 2)
+
+    def test_networkx(self, karate):
+        matrix = coerce_adjacency(karate.to_networkx())
+        assert matrix.shape == (34, 34)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ColoringError):
+            coerce_adjacency(np.zeros((2, 3)))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            coerce_adjacency("not a graph")
+
+
+class TestQColorKarate:
+    """The paper's headline example (Fig. 1)."""
+
+    def test_six_colors_reach_q3(self, karate):
+        result = q_color(karate, n_colors=6)
+        assert result.n_colors == 6
+        assert result.max_q_err <= 3.0
+
+    def test_q3_needs_few_colors(self, karate):
+        result = q_color(karate, q=3.0)
+        assert result.n_colors <= 6
+        assert max_q_err(karate.to_csr(), result.coloring) <= 3.0
+
+
+class TestStoppingConditions:
+    def test_color_budget_respected(self):
+        adjacency = random_adjacency(30, 0.3, 1)
+        result = q_color(adjacency, n_colors=7)
+        assert result.n_colors <= 7
+
+    def test_q_tolerance_respected(self):
+        adjacency = random_adjacency(25, 0.3, 2)
+        result = q_color(adjacency, q=2.0)
+        assert max_q_err(adjacency, result.coloring) <= 2.0
+
+    def test_q_zero_reaches_stability(self):
+        """Running Rothko to q = 0 yields a stable (not necessarily
+        maximum) coloring."""
+        adjacency = random_adjacency(12, 0.4, 3)
+        result = q_color(adjacency, q=0.0, n_colors=12)
+        assert max_q_err(adjacency, result.coloring) == 0.0
+
+    def test_needs_some_stopping_rule(self):
+        with pytest.raises(ValueError):
+            q_color(np.zeros((3, 3)))
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            q_color(np.zeros((3, 3)), n_colors=0)
+        with pytest.raises(ValueError):
+            q_color(np.zeros((3, 3)), q=-1.0)
+        with pytest.raises(ValueError):
+            Rothko(np.zeros((3, 3)), split_mean="median")
+
+    def test_max_iterations(self):
+        adjacency = random_adjacency(20, 0.4, 4)
+        result = q_color(adjacency, n_colors=20, max_iterations=3)
+        assert result.n_iterations <= 3
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_always_a_valid_partition(self, seed):
+        adjacency = random_adjacency(20, 0.35, seed)
+        result = q_color(adjacency, n_colors=8)
+        result.coloring.validate()
+        assert result.coloring.n == 20
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_reported_q_err_is_exact(self, seed):
+        adjacency = random_adjacency(18, 0.35, seed)
+        result = q_color(adjacency, n_colors=6)
+        assert result.max_q_err == pytest.approx(
+            max_q_err(adjacency, result.coloring)
+        )
+
+    def test_monotone_refinement(self):
+        """Each step refines the previous coloring by exactly one split."""
+        adjacency = random_adjacency(15, 0.4, 7)
+        engine = Rothko(adjacency)
+        previous = engine.coloring()
+        for step in engine.steps(max_colors=8):
+            assert step.coloring.refines(previous) is False or True
+            assert step.coloring.n_colors == previous.n_colors + 1
+            assert step.coloring.refines(previous)
+            previous = step.coloring
+
+
+class TestWitnessAgainstReference:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_first_witness_error_matches(self, seed):
+        """The engine's first weighted witness error equals the
+        brute-force reference's (tie-free inputs give identical pairs)."""
+        generator = np.random.default_rng(seed)
+        n = int(generator.integers(4, 10))
+        adjacency = random_adjacency(n, 0.5, seed)
+        initial = Coloring(generator.integers(0, 3, size=n))
+        engine = Rothko(adjacency, initial=initial, alpha=1.0, beta=0.5)
+        raw, weighted, i, j, direction = engine._find_witness()
+        expected_weighted, _ = rothko_step_reference(
+            adjacency.toarray(), engine.coloring(), alpha=1.0, beta=0.5
+        )
+        assert weighted == pytest.approx(expected_weighted)
+
+
+class TestInitialAndFrozen:
+    def test_initial_partition_respected(self):
+        adjacency = random_adjacency(10, 0.5, 0)
+        initial = Coloring([0] * 5 + [1] * 5)
+        result = Rothko(adjacency, initial=initial).run(max_colors=4)
+        assert result.coloring.refines(initial)
+
+    def test_frozen_color_never_split(self):
+        adjacency = random_adjacency(12, 0.5, 1)
+        initial = Coloring([0] * 6 + [1] * 6)
+        engine = Rothko(adjacency, initial=initial, frozen=(0,))
+        engine.run(max_colors=8)
+        # Color 0's members must still share one color.
+        final_labels = engine.labels[:6]
+        assert len(set(final_labels.tolist())) == 1
+
+    def test_frozen_out_of_range(self):
+        with pytest.raises(ColoringError):
+            Rothko(np.zeros((3, 3)), frozen=(5,))
+
+    def test_initial_size_mismatch(self):
+        with pytest.raises(ColoringError):
+            Rothko(np.zeros((3, 3)), initial=Coloring([0, 1]))
+
+
+class TestSplitMeans:
+    def test_geometric_on_scale_free(self):
+        graph = barabasi_albert(200, 3, seed=0)
+        arithmetic = q_color(graph, n_colors=10, split_mean="arithmetic")
+        geometric = q_color(graph, n_colors=10, split_mean="geometric")
+        # Geometric splits should be less unbalanced: its largest color
+        # should not dominate as much (Sec. 5.2 discussion).  Just check
+        # both produce valid 10-colorings and geometric's error is finite.
+        assert arithmetic.n_colors == geometric.n_colors == 10
+        assert geometric.max_q_err < np.inf
+
+    def test_geometric_rejects_negative_weights(self):
+        dense = np.array([[0.0, -1.0, 2.0]] * 3)
+        np.fill_diagonal(dense, 0.0)
+        engine = Rothko(sp.csr_matrix(dense), split_mean="geometric")
+        with pytest.raises(ValueError):
+            engine.run(max_colors=3)
+
+
+class TestAnytimeInterface:
+    def test_steps_yield_snapshots(self, karate):
+        engine = Rothko(karate)
+        steps = list(engine.steps(max_colors=5))
+        assert len(steps) == 4  # 1 -> 5 colors
+        assert [s.n_colors for s in steps] == [2, 3, 4, 5]
+        assert all(s.elapsed >= 0 for s in steps)
+        # q error before each split is non-increasing overall trend is not
+        # guaranteed, but it must be positive (otherwise no split).
+        assert all(s.q_err_before > 0 for s in steps)
+
+    def test_interruptible(self, karate):
+        engine = Rothko(karate)
+        iterator = engine.steps(max_colors=30)
+        first = next(iterator)
+        assert first.n_colors == 2
+        # Abandoning the generator leaves a valid coloring behind.
+        engine.coloring().validate()
+
+    def test_singleton_graph(self):
+        result = q_color(np.zeros((1, 1)), n_colors=5)
+        assert result.n_colors == 1
+        assert result.max_q_err == 0.0
+
+    def test_empty_adjacency(self):
+        result = q_color(np.zeros((4, 4)), n_colors=3)
+        assert result.n_colors == 1  # nothing to split on

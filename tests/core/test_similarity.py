@@ -1,0 +1,142 @@
+"""Tests for repro.core.similarity."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.similarity import (
+    Bisimulation,
+    CappedCongruence,
+    EpsRelative,
+    Equality,
+    QAbsolute,
+)
+
+finite_floats = st.floats(-1e6, 1e6, allow_nan=False)
+ALL_RELATIONS = [
+    Equality(),
+    QAbsolute(2.0),
+    EpsRelative(0.5),
+    Bisimulation(),
+    CappedCongruence(3.0),
+]
+
+
+class TestReflexivitySymmetry:
+    @pytest.mark.parametrize("relation", ALL_RELATIONS, ids=repr)
+    @given(u=finite_floats)
+    def test_reflexive(self, relation, u):
+        assert relation.similar(u, u)
+
+    @pytest.mark.parametrize("relation", ALL_RELATIONS, ids=repr)
+    @given(u=finite_floats, v=finite_floats)
+    def test_symmetric(self, relation, u, v):
+        assert relation.similar(u, v) == relation.similar(v, u)
+
+    @pytest.mark.parametrize("relation", ALL_RELATIONS, ids=repr)
+    @given(st.lists(finite_floats, min_size=0, max_size=8))
+    def test_all_similar_matches_pairwise(self, relation, values):
+        array = np.array(values)
+        expected = all(
+            relation.similar(a, b) for a in values for b in values
+        )
+        assert relation.all_similar(array) == expected
+
+
+class TestEquality:
+    def test_is_congruence(self):
+        assert Equality().is_congruence
+        assert Equality().canonical(3.5) == 3.5
+
+    def test_similar(self):
+        assert Equality().similar(1.0, 1.0)
+        assert not Equality().similar(1.0, 1.0001)
+
+
+class TestQAbsolute:
+    def test_threshold(self):
+        relation = QAbsolute(2.0)
+        assert relation.similar(1.0, 3.0)
+        assert not relation.similar(1.0, 3.1)
+
+    def test_not_transitive(self):
+        relation = QAbsolute(1.0)
+        assert relation.similar(0.0, 1.0) and relation.similar(1.0, 2.0)
+        assert not relation.similar(0.0, 2.0)
+
+    def test_negative_q_rejected(self):
+        with pytest.raises(ValueError):
+            QAbsolute(-1.0)
+
+    def test_no_canonical(self):
+        with pytest.raises(NotImplementedError):
+            QAbsolute(1.0).canonical(2.0)
+
+    def test_q_zero_is_equality(self):
+        relation = QAbsolute(0.0)
+        assert relation.similar(2.0, 2.0)
+        assert not relation.similar(2.0, 2.0000001)
+
+
+class TestEpsRelative:
+    def test_bounds(self):
+        relation = EpsRelative(np.log(2.0))  # factor-of-2 tolerance
+        assert relation.similar(1.0, 2.0)
+        assert relation.similar(2.0, 1.0)
+        assert not relation.similar(1.0, 2.1)
+
+    def test_zero_only_similar_to_zero(self):
+        relation = EpsRelative(10.0)
+        assert relation.similar(0.0, 0.0)
+        assert not relation.similar(0.0, 1e-9)
+
+    def test_sign_mismatch(self):
+        assert not EpsRelative(5.0).similar(-1.0, 1.0)
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ValueError):
+            EpsRelative(-0.1)
+
+    def test_all_similar_with_zero(self):
+        relation = EpsRelative(1.0)
+        assert relation.all_similar(np.array([0.0, 0.0]))
+        assert not relation.all_similar(np.array([0.0, 1.0]))
+
+
+class TestBisimulation:
+    def test_zero_nonzero(self):
+        relation = Bisimulation()
+        assert relation.similar(0.0, 0.0)
+        assert relation.similar(1.0, -5.0)
+        assert not relation.similar(0.0, 2.0)
+
+    def test_canonical(self):
+        assert Bisimulation().canonical(7.0) == 1.0
+        assert Bisimulation().canonical(0.0) == 0.0
+
+    def test_is_congruence(self):
+        assert Bisimulation().is_congruence
+
+
+class TestCappedCongruence:
+    def test_cap_behavior(self):
+        relation = CappedCongruence(3.0)
+        assert relation.similar(4.0, 100.0)  # both above the cap
+        assert not relation.similar(2.0, 3.0)
+
+    def test_canonical(self):
+        relation = CappedCongruence(3.0)
+        assert relation.canonical(10.0) == 3.0
+        assert relation.canonical(1.5) == 1.5
+
+    def test_congruence_property(self):
+        """x ~ y implies x + z ~ y + z (on non-negative weights)."""
+        relation = CappedCongruence(3.0)
+        for x, y, z in [(4.0, 5.0, 1.0), (1.0, 1.0, 2.5), (3.0, 3.0, 0.5)]:
+            if relation.similar(x, y):
+                assert relation.similar(x + z, y + z)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            CappedCongruence(-2.0)

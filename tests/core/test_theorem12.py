@@ -1,0 +1,87 @@
+"""Property tests for Theorem 12(1): congruence joins stay quasi-stable.
+
+The theorem's key lemma: when ``~`` is a congruence w.r.t. addition, the
+join ``P ∨ Q`` of two ``~``quasi-stable colorings is ``~``quasi-stable —
+hence a unique maximum exists.  For non-congruences (q-absolute) the
+lemma fails, which is exactly why Fig. 6's graph has two incomparable
+maximal colorings.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lattice import join
+from repro.core.partition import Coloring
+from repro.core.qerror import is_quasi_stable, max_q_err
+from repro.core.refinement import congruence_coloring, stable_coloring
+from repro.core.similarity import Bisimulation, CappedCongruence, Equality
+from repro.graphs.generators import two_maximal_colorings_graph
+from tests.conftest import random_adjacency
+
+CONGRUENCES = [Equality(), Bisimulation(), CappedCongruence(2.0)]
+
+
+def _random_quasi_stable(adjacency, relation, seed):
+    """A (generally non-maximum) ~-stable coloring: refine a random
+    initial partition to the relation's fixpoint."""
+    generator = np.random.default_rng(seed)
+    n = adjacency.shape[0]
+    initial = Coloring(generator.integers(0, 3, size=n))
+    return congruence_coloring(adjacency, relation, initial=initial)
+
+
+class TestJoinPreservesStability:
+    @pytest.mark.parametrize("relation", CONGRUENCES, ids=repr)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_join_of_stable_colorings_is_stable(self, relation, seed):
+        adjacency = random_adjacency(10, 0.4, seed)
+        p = _random_quasi_stable(adjacency, relation, seed)
+        q = _random_quasi_stable(adjacency, relation, seed + 100)
+        assert is_quasi_stable(adjacency, p, relation)
+        assert is_quasi_stable(adjacency, q, relation)
+        joined = join(p, q)
+        assert is_quasi_stable(adjacency, joined, relation)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_everything_refines_the_maximum(self, seed):
+        """The fixpoint from the trivial partition is the unique maximum:
+        every other stable coloring refines it."""
+        adjacency = random_adjacency(10, 0.4, seed)
+        maximum = stable_coloring(adjacency)
+        other = _random_quasi_stable(adjacency, Equality(), seed + 7)
+        assert other.refines(maximum)
+
+    def test_q_stable_join_can_break(self):
+        """Theorem 12(2)'s flip side on Fig. 6: joining the two maximal
+        1-stable colorings merges all three bottom nodes, whose degree
+        spread is 2 > 1 — the join is NOT 1-stable."""
+        graph, bottoms = two_maximal_colorings_graph(3)
+        adjacency = graph.to_csr()
+        n = graph.n_nodes
+        b_idx = [graph.index_of(b) for b in bottoms]
+
+        def coloring_with(groups):
+            labels = np.zeros(n, dtype=np.int64)
+            for color, group in enumerate(groups, start=1):
+                for member in group:
+                    labels[b_idx[member]] = color
+            return Coloring(labels)
+
+        first = coloring_with([[0, 1], [2]])
+        second = coloring_with([[0], [1, 2]])
+        assert max_q_err(adjacency, first) <= 1.0
+        assert max_q_err(adjacency, second) <= 1.0
+        joined = join(first, second)
+        assert max_q_err(adjacency, joined) > 1.0
+
+
+class TestMaximumViaHypothesis:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_bisim_fixpoint_dominates_random_bisimulations(self, seed):
+        adjacency = random_adjacency(8, 0.4, seed % 1000)
+        maximum = congruence_coloring(adjacency, Bisimulation())
+        other = _random_quasi_stable(adjacency, Bisimulation(), seed)
+        assert other.refines(maximum)

@@ -1,0 +1,84 @@
+"""Tests for 1-WL / 2-WL colorings and Theorem 11."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.centrality.brandes import betweenness_centrality
+from repro.core.refinement import stable_coloring
+from repro.core.wl import wl1_coloring, wl2_node_coloring, wl2_pair_coloring
+from repro.graphs.digraph import WeightedDiGraph
+from repro.graphs.generators import (
+    centrality_counterexample,
+    cycle_graph,
+    erdos_renyi,
+    karate_club,
+    path_graph,
+)
+
+
+class TestWL1:
+    def test_alias_of_stable(self):
+        graph = karate_club()
+        assert wl1_coloring(graph) == stable_coloring(graph.to_csr())
+
+
+class TestWL2Pairs:
+    def test_shape(self):
+        colors = wl2_pair_coloring(path_graph(4))
+        assert colors.shape == (4, 4)
+
+    def test_diagonal_distinct_from_offdiagonal(self):
+        colors = wl2_pair_coloring(cycle_graph(4))
+        assert colors[0, 0] != colors[0, 1]
+
+    def test_symmetric_graph_collapses(self):
+        """All nodes of a cycle are 2-WL equivalent."""
+        coloring = wl2_node_coloring(cycle_graph(6))
+        assert coloring.n_colors == 1
+
+    def test_path_endpoints_vs_middle(self):
+        coloring = wl2_node_coloring(path_graph(3))
+        assert coloring.labels[0] == coloring.labels[2]
+        assert coloring.labels[0] != coloring.labels[1]
+
+
+class TestWL2RefinesWL1:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_refinement(self, seed):
+        graph = erdos_renyi(10, 0.35, seed=seed)
+        node_2wl = wl2_node_coloring(graph)
+        node_1wl = wl1_coloring(graph)
+        assert node_2wl.refines(node_1wl)
+
+
+class TestTheorem11:
+    """Nodes with the same 2-WL color have the same betweenness."""
+
+    def _check(self, graph):
+        coloring = wl2_node_coloring(graph)
+        scores = betweenness_centrality(graph)
+        for members in coloring.classes():
+            values = scores[members]
+            assert np.allclose(values, values[0]), (
+                f"2-WL-equivalent nodes with different centrality: {values}"
+            )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_on_random_graphs(self, seed):
+        self._check(erdos_renyi(9, 0.4, seed=seed))
+
+    def test_on_counterexample_graph(self):
+        """On Fig. 5's graph 1-WL merges u and v but 2-WL must separate
+        them (otherwise Theorem 11 would be violated)."""
+        graph, u, v = centrality_counterexample()
+        self._check(graph)
+        coloring = wl2_node_coloring(graph)
+        assert coloring.labels[u] != coloring.labels[v]
+
+    def test_on_small_trees(self):
+        graph = WeightedDiGraph(directed=False)
+        for u, v in [(0, 1), (1, 2), (1, 3), (3, 4), (3, 5)]:
+            graph.add_edge(u, v)
+        self._check(graph)

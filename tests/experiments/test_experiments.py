@@ -1,0 +1,175 @@
+"""Smoke tests of every experiment driver at tiny scale.
+
+These check wiring and invariants (columns present, accuracies in range,
+monotone trends where the paper guarantees them) — the real runs live in
+``benchmarks/``.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.common import geometric_budgets, print_rows
+from repro.experiments.fig2_robustness import run_fig2
+from repro.experiments.fig7_tradeoff import (
+    centrality_tradeoff,
+    lp_tradeoff,
+    maxflow_tradeoff,
+)
+from repro.experiments.fig8_colors import accuracy_vs_colors
+from repro.experiments.table1_runtime import (
+    centrality_runtime_rows,
+    lp_runtime_rows,
+)
+from repro.experiments.table4_compression import compression_rows
+from repro.experiments.table5_lp import lp_compression_rows
+from repro.experiments.table6_responsiveness import responsiveness_rows
+
+
+class TestCommon:
+    def test_geometric_budgets(self):
+        budgets = geometric_budgets(5, 100, 4)
+        assert budgets[0] == 5
+        assert budgets[-1] == 100
+        assert budgets == sorted(budgets)
+
+    def test_geometric_budgets_single(self):
+        assert geometric_budgets(5, 100, 1) == [5]
+
+    def test_bad_steps(self):
+        with pytest.raises(ValueError):
+            geometric_budgets(5, 10, 0)
+
+    def test_print_rows(self, capsys):
+        print_rows([{"a": 1}], title="T")
+        assert "T" in capsys.readouterr().out
+
+
+class TestFig2:
+    def test_shape_of_story(self):
+        rows = run_fig2(
+            n_groups=20,
+            group_size=5,
+            template_edges=60,
+            fractions=(0.0, 0.05),
+            q=4.0,
+        )
+        assert len(rows) == 2
+        base, perturbed = rows
+        # Unperturbed: stable coloring compact (= 20 planted groups).
+        assert base["stable_colors"] <= 21
+        # Perturbed: stable coloring explodes, q-stable stays small.
+        assert perturbed["stable_colors"] > 3 * base["stable_colors"]
+        assert perturbed["qstable_colors"] < perturbed["stable_colors"]
+
+
+class TestFig7:
+    def test_maxflow_rows(self):
+        rows = maxflow_tradeoff(
+            datasets=("tsukuba0",), scale=0.001, color_budgets=(4, 8)
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["accuracy"] >= 1.0
+            assert row["approx_value"] >= row["exact_value"] - 1e-9
+
+    def test_lp_rows(self):
+        rows = lp_tradeoff(
+            datasets=("qap15",), scale=0.03, color_budgets=(8, 16)
+        )
+        assert len(rows) == 2
+        assert all(math.isfinite(row["time_s"]) for row in rows)
+
+    def test_centrality_rows(self):
+        rows = centrality_tradeoff(
+            datasets=("deezer",), scale=0.004, color_budgets=(5, 20)
+        )
+        assert len(rows) == 2
+        assert all(-1.0 <= row["accuracy"] <= 1.0 for row in rows)
+        # More colors should not hurt (paper: centrality is monotone).
+        assert rows[1]["accuracy"] >= rows[0]["accuracy"] - 0.15
+
+
+class TestFig8:
+    def test_dispatch(self):
+        rows = accuracy_vs_colors(
+            "centrality",
+            scale=0.004,
+            datasets=("deezer",),
+            color_budgets=(5, 10),
+        )
+        assert len(rows) == 2
+
+    def test_unknown_task(self):
+        with pytest.raises(ValueError):
+            accuracy_vs_colors("sorting")
+
+
+class TestTable1:
+    def test_centrality_runtime(self):
+        rows = centrality_runtime_rows(
+            datasets=("deezer",),
+            scale=0.004,
+            color_ladder=(10, 40),
+            sample_ladder=(200, 2000),
+            targets=(0.5, 0.9),
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert "ours_rho0.5" in row and "prior_rho0.5" in row
+        assert row["exact_s"] > 0
+
+    def test_lp_runtime(self):
+        rows = lp_runtime_rows(
+            datasets=("qap15",),
+            scale=0.03,
+            color_ladder=(8, 32),
+            targets=(3.0, 1.5),
+        )
+        assert len(rows) == 1
+        assert rows[0]["exact_s"] > 0
+
+
+class TestTable4:
+    def test_rows_and_trends(self):
+        rows = compression_rows(
+            datasets=("openflights",), scale=0.05, q_targets=(16.0, 8.0)
+        )
+        assert len(rows) == 3  # stable + two q targets
+        stable, q16, q8 = rows
+        assert stable["max_q"] == 0.0
+        # Lower q target -> more colors (finer coloring).
+        assert q8["colors"] >= q16["colors"]
+        # Quasi-stable compresses far better than stable.
+        assert q16["colors"] < stable["colors"]
+        assert q16["max_q"] <= 16.0
+        assert q8["mean_q"] <= q8["max_q"]
+
+
+class TestTable5:
+    def test_rows(self):
+        rows = lp_compression_rows(
+            datasets=("qap15",), scale=0.03, color_budgets=(10, 30)
+        )
+        assert len(rows) == 2
+        small, large = rows
+        assert small["nnz"] <= large["nnz"]
+        assert large["compression"] >= 1.0
+        assert large["rel_error"] >= 1.0
+
+
+class TestTable6:
+    def test_rows(self):
+        rows = responsiveness_rows(
+            flow_scale=0.001,
+            lp_scale=0.02,
+            centrality_scale=0.003,
+            max_colors=8,
+        )
+        assert [row["task"] for row in rows] == [
+            "maxflow", "lp", "centrality",
+        ]
+        for row in rows:
+            assert row["time_to_first_s"] > 0
+            assert row["time_to_converge_s"] >= row["time_to_first_s"] - 1e-9
+            assert row["updates"] >= 1

@@ -1,0 +1,125 @@
+"""Tests for the Theorem 6 flow approximation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import Coloring
+from repro.flow.approx import (
+    approx_max_flow,
+    color_flow_network,
+    reduced_network,
+)
+from repro.flow.network import FlowNetwork, max_flow
+from repro.graphs.digraph import WeightedDiGraph
+from repro.graphs.generators import (
+    pathological_flow_network,
+    pathological_layer_coloring,
+)
+from tests.conftest import random_adjacency
+
+
+def random_flow_network(seed: int, n: int = 14) -> FlowNetwork:
+    adjacency = random_adjacency(n, 0.35, seed)
+    graph = WeightedDiGraph.from_scipy(adjacency, directed=True)
+    return FlowNetwork(graph, 0, n - 1)
+
+
+class TestTheorem6Bounds:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sandwich(self, seed):
+        """maxFlow(G_hat_1) <= maxFlow(G) <= maxFlow(G_hat_2)."""
+        network = random_flow_network(seed)
+        exact = max_flow(network).value
+        rothko = color_flow_network(network, n_colors=5)
+        upper_net = reduced_network(network, rothko.coloring, bound="upper")
+        lower_net = reduced_network(network, rothko.coloring, bound="lower")
+        upper = max_flow(upper_net).value
+        lower = max_flow(lower_net).value
+        assert lower <= exact + 1e-6
+        assert exact <= upper + 1e-6
+
+    def test_discrete_coloring_is_exact(self):
+        """With every node its own color the reduced graph IS the graph."""
+        network = random_flow_network(3, n=10)
+        labels = np.arange(10)
+        labels[[0, network.sink_index]] = [0, 9]
+        coloring = Coloring(labels)
+        upper = max_flow(
+            reduced_network(network, coloring, bound="upper")
+        ).value
+        assert upper == pytest.approx(max_flow(network).value)
+
+
+class TestPathologicalExample:
+    """Example 7: the upper bound is wildly loose, the lower bound is 0."""
+
+    def test_bounds(self):
+        n = 6
+        graph, s, t = pathological_flow_network(n)
+        network = FlowNetwork(graph, s, t)
+        coloring = Coloring(pathological_layer_coloring(n))
+        upper = max_flow(
+            reduced_network(network, coloring, bound="upper")
+        ).value
+        lower = max_flow(
+            reduced_network(network, coloring, bound="lower")
+        ).value
+        exact = max_flow(network).value
+        assert exact == 2.0
+        assert upper >= n - 1  # ~n: a huge overestimate
+        assert lower == 0.0  # maxUFlow collapses
+
+
+class TestColorFlowNetwork:
+    def test_source_sink_pinned(self):
+        network = random_flow_network(1)
+        result = color_flow_network(network, n_colors=6)
+        coloring = result.coloring
+        source_color = coloring.color_of(network.source_index)
+        sink_color = coloring.color_of(network.sink_index)
+        assert coloring.sizes[source_color] == 1
+        assert coloring.sizes[sink_color] == 1
+        assert source_color != sink_color
+
+    def test_unpinned_coloring_rejected(self):
+        network = random_flow_network(2)
+        with pytest.raises(ValueError, match="singleton"):
+            reduced_network(
+                network, Coloring.trivial(network.n_nodes), bound="upper"
+            )
+
+    def test_bad_bound(self):
+        network = random_flow_network(2)
+        rothko = color_flow_network(network, n_colors=4)
+        with pytest.raises(ValueError):
+            reduced_network(network, rothko.coloring, bound="middle")
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_upper_approximation(self, seed):
+        network = random_flow_network(seed, n=20)
+        exact = max_flow(network).value
+        result = approx_max_flow(network, n_colors=8)
+        assert result.value >= exact - 1e-6
+        assert result.n_colors <= 8
+        assert result.total_seconds > 0
+
+    def test_more_colors_tighter_or_equal(self):
+        """At the full discrete budget the reduced graph is the original
+        graph (or a stable coloring, where Corollary 9(2) gives equality),
+        so the approximation is exact."""
+        network = random_flow_network(5, n=12)
+        exact = max_flow(network).value
+        full = approx_max_flow(network, n_colors=12)
+        assert full.value == pytest.approx(exact)
+
+    def test_q_stopping(self):
+        network = random_flow_network(6, n=12)
+        result = approx_max_flow(network, q=1.0)
+        assert result.value >= max_flow(network).value - 1e-6
+
+    def test_needs_stopping_rule(self):
+        network = random_flow_network(7)
+        with pytest.raises(ValueError):
+            approx_max_flow(network)

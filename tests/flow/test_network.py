@@ -1,0 +1,104 @@
+"""Tests for repro.flow.network (validation, residual graph)."""
+
+import pytest
+
+from repro.exceptions import FlowError
+from repro.flow.network import (
+    FlowNetwork,
+    FlowResult,
+    ResidualGraph,
+    validate_flow,
+)
+from repro.graphs.digraph import WeightedDiGraph
+
+
+@pytest.fixture
+def diamond():
+    """s -> {a, b} -> t with capacities 3/2/2/3."""
+    graph = WeightedDiGraph(directed=True)
+    graph.add_edge("s", "a", 3.0)
+    graph.add_edge("s", "b", 2.0)
+    graph.add_edge("a", "t", 2.0)
+    graph.add_edge("b", "t", 3.0)
+    return FlowNetwork(graph, "s", "t")
+
+
+class TestFlowNetwork:
+    def test_valid(self, diamond):
+        assert diamond.n_nodes == 4
+        assert diamond.source_index == 0
+
+    def test_missing_source(self):
+        graph = WeightedDiGraph(directed=True)
+        graph.add_edge(0, 1, 1.0)
+        with pytest.raises(FlowError):
+            FlowNetwork(graph, 99, 1)
+
+    def test_same_source_sink(self):
+        graph = WeightedDiGraph(directed=True)
+        graph.add_edge(0, 1, 1.0)
+        with pytest.raises(FlowError):
+            FlowNetwork(graph, 0, 0)
+
+    def test_negative_capacity(self):
+        graph = WeightedDiGraph(directed=True)
+        graph.add_edge(0, 1, -2.0)
+        with pytest.raises(FlowError):
+            FlowNetwork(graph, 0, 1)
+
+
+class TestValidateFlow:
+    def test_valid_flow_accepted(self, diamond):
+        flow = {
+            (0, 1): 2.0,  # s->a
+            (0, 2): 2.0,  # s->b
+            (1, 3): 2.0,  # a->t
+            (2, 3): 2.0,  # b->t
+        }
+        validate_flow(diamond, FlowResult(value=4.0, arc_flow=flow))
+
+    def test_capacity_violation(self, diamond):
+        flow = {(0, 1): 5.0, (1, 3): 5.0}
+        with pytest.raises(FlowError, match="exceeds capacity"):
+            validate_flow(diamond, FlowResult(value=5.0, arc_flow=flow))
+
+    def test_conservation_violation(self, diamond):
+        flow = {(0, 1): 1.0}
+        with pytest.raises(FlowError, match="conservation"):
+            validate_flow(diamond, FlowResult(value=1.0, arc_flow=flow))
+
+    def test_phantom_arc(self, diamond):
+        flow = {(1, 2): 1.0}
+        with pytest.raises(FlowError, match="non-existent"):
+            validate_flow(diamond, FlowResult(value=0.0, arc_flow=flow))
+
+    def test_wrong_value(self, diamond):
+        flow = {(0, 1): 1.0, (1, 3): 1.0}
+        with pytest.raises(FlowError, match="claimed value"):
+            validate_flow(diamond, FlowResult(value=7.0, arc_flow=flow))
+
+    def test_negative_flow(self, diamond):
+        flow = {(0, 1): -1.0, (1, 3): -1.0}
+        with pytest.raises(FlowError, match="negative flow"):
+            validate_flow(diamond, FlowResult(value=-1.0, arc_flow=flow))
+
+
+class TestResidualGraph:
+    def test_paired_arcs(self):
+        residual = ResidualGraph(3)
+        arc = residual.add_arc(0, 1, 5.0)
+        assert residual.to[arc] == 1
+        assert residual.to[arc ^ 1] == 0
+        assert residual.cap[arc] == 5.0
+        assert residual.cap[arc ^ 1] == 0.0
+
+    def test_extract_flow_empty(self, diamond):
+        residual = ResidualGraph.from_network(diamond)
+        assert residual.extract_flow() == {}
+
+    def test_extract_flow_after_push(self, diamond):
+        residual = ResidualGraph.from_network(diamond)
+        residual.cap[0] -= 1.0  # push 1 unit on the first arc
+        residual.cap[1] += 1.0
+        flow = residual.extract_flow()
+        assert sum(flow.values()) == 1.0

@@ -1,0 +1,149 @@
+"""Tests for maxUFlow (Definition 5, Lemma 8, Corollary 9)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FlowError
+from repro.graphs.bipartite import BipartiteGraph
+from repro.flow.uniform import (
+    lemma8_condition_holds,
+    max_uniform_flow,
+)
+
+
+class TestBiregularClosedForm:
+    @pytest.mark.parametrize("n_left,n_right,degree", [(4, 4, 2), (6, 4, 2), (6, 3, 1)])
+    def test_equals_total_capacity(self, n_left, n_right, degree):
+        """Corollary 9(1): biregular graphs achieve maxUFlow = c(X, Y)."""
+        graph = BipartiteGraph.biregular(n_left, n_right, degree)
+        assert max_uniform_flow(graph, method="biregular") == pytest.approx(
+            graph.total_weight()
+        )
+
+    def test_methods_agree_on_biregular(self):
+        graph = BipartiteGraph.biregular(4, 4, 2)
+        expected = graph.total_weight()
+        for method in ("auto", "biregular", "lp", "parametric"):
+            assert max_uniform_flow(graph, method=method) == pytest.approx(
+                expected, rel=1e-4
+            )
+
+    def test_biregular_method_rejects_irregular(self):
+        graph = BipartiteGraph(np.array([[1.0, 0.0], [1.0, 1.0]]))
+        with pytest.raises(FlowError):
+            max_uniform_flow(graph, method="biregular")
+
+
+class TestLemma8Condition:
+    def test_holds_on_biregular(self):
+        graph = BipartiteGraph.biregular(4, 4, 2)
+        assert lemma8_condition_holds(graph, 2.0, 2.0)
+
+    def test_fails_on_shift_matching(self):
+        """The Fig. 4 layer block (shift matching) violates Eq. (8)."""
+        n = 4
+        dense = np.zeros((n, n))
+        for j in range(n - 1):
+            dense[j, j + 1] = 1.0
+        graph = BipartiteGraph(dense)
+        assert not lemma8_condition_holds(graph, 1.0, 1.0)
+
+    def test_size_guard(self):
+        graph = BipartiteGraph(np.ones((13, 2)))
+        with pytest.raises(ValueError):
+            lemma8_condition_holds(graph, 1.0, 1.0)
+
+
+class TestGeneralGraphs:
+    def test_empty_graph(self):
+        graph = BipartiteGraph(np.zeros((3, 3)))
+        assert max_uniform_flow(graph) == 0.0
+
+    def test_shift_matching_is_zero(self):
+        """Example 7's key fact: the staircase block admits no nonzero
+        uniform flow."""
+        n = 5
+        dense = np.zeros((n, n))
+        for j in range(n - 1):
+            dense[j, j + 1] = 1.0
+        graph = BipartiteGraph(dense)
+        for method in ("lp", "parametric"):
+            assert max_uniform_flow(graph, method=method) == pytest.approx(
+                0.0, abs=1e-6
+            )
+
+    def test_lp_matches_parametric_on_random(self):
+        generator = np.random.default_rng(0)
+        for _ in range(5):
+            dense = np.where(
+                generator.random((4, 5)) < 0.6,
+                generator.integers(1, 6, size=(4, 5)).astype(float),
+                0.0,
+            )
+            graph = BipartiteGraph(dense)
+            lp_value = max_uniform_flow(graph, method="lp")
+            search_value = max_uniform_flow(
+                graph, method="parametric", tol=1e-7
+            )
+            assert lp_value == pytest.approx(search_value, abs=1e-4)
+
+    def test_uniform_leq_total(self):
+        generator = np.random.default_rng(1)
+        for _ in range(5):
+            dense = np.where(
+                generator.random((5, 4)) < 0.5,
+                generator.integers(1, 5, size=(5, 4)).astype(float),
+                0.0,
+            )
+            graph = BipartiteGraph(dense)
+            assert max_uniform_flow(graph) <= graph.total_weight() + 1e-9
+
+    def test_bad_method(self):
+        graph = BipartiteGraph(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            max_uniform_flow(graph, method="psychic")
+
+
+class TestUniformAssignment:
+    def test_assignment_is_uniform_and_feasible(self):
+        """The returned flow must respect capacities, have equal row sums
+        and equal column sums, and sum to the reported value."""
+        from repro.flow.uniform import max_uniform_flow_assignment
+
+        generator = np.random.default_rng(5)
+        for _ in range(5):
+            dense = np.where(
+                generator.random((5, 4)) < 0.7,
+                generator.integers(1, 6, size=(5, 4)).astype(float),
+                0.0,
+            )
+            graph = BipartiteGraph(dense)
+            value, assignment = max_uniform_flow_assignment(graph)
+            flow = assignment.toarray()
+            assert np.all(flow <= dense + 1e-7)
+            assert np.all(flow >= -1e-9)
+            row_sums = flow.sum(axis=1)
+            col_sums = flow.sum(axis=0)
+            assert np.ptp(row_sums) < 1e-6
+            assert np.ptp(col_sums) < 1e-6
+            assert flow.sum() == pytest.approx(value, abs=1e-6)
+            assert value == pytest.approx(
+                max_uniform_flow(graph, method="lp"), abs=1e-7
+            )
+
+    def test_assignment_on_biregular_saturates(self):
+        from repro.flow.uniform import max_uniform_flow_assignment
+
+        graph = BipartiteGraph.biregular(4, 4, 2)
+        value, assignment = max_uniform_flow_assignment(graph)
+        assert value == pytest.approx(graph.total_weight())
+        assert np.allclose(assignment.toarray(), graph.matrix.toarray())
+
+    def test_empty_assignment(self):
+        from repro.flow.uniform import max_uniform_flow_assignment
+
+        value, assignment = max_uniform_flow_assignment(
+            BipartiteGraph(np.zeros((3, 2)))
+        )
+        assert value == 0.0
+        assert assignment.nnz == 0

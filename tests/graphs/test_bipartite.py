@@ -1,0 +1,56 @@
+"""Tests for repro.graphs.bipartite."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.bipartite import BipartiteGraph
+
+
+class TestBasics:
+    def test_shape_and_sums(self):
+        graph = BipartiteGraph(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        assert (graph.n_left, graph.n_right) == (2, 2)
+        assert graph.total_weight() == 6.0
+        assert np.allclose(graph.row_sums(), [3.0, 3.0])
+        assert np.allclose(graph.col_sums(), [1.0, 5.0])
+
+    def test_block_weight(self):
+        graph = BipartiteGraph(np.arange(12, dtype=float).reshape(3, 4))
+        assert graph.block_weight([0, 2], [1, 3]) == 1.0 + 3.0 + 9.0 + 11.0
+
+    def test_weight_lookup(self):
+        graph = BipartiteGraph(np.array([[0.0, 7.0]]))
+        assert graph.weight(0, 1) == 7.0
+        assert graph.weight(0, 0) == 0.0
+
+
+class TestBiregularity:
+    def test_biregular_construction(self):
+        graph = BipartiteGraph.biregular(6, 4, 2)
+        assert graph.is_biregular()
+        assert np.allclose(graph.row_sums(), 2.0)
+        assert np.allclose(graph.col_sums(), 3.0)
+
+    def test_biregular_bad_divisibility(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph.biregular(5, 3, 2)
+
+    def test_biregular_excess_degree(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph.biregular(2, 2, 3)
+
+    def test_not_biregular(self):
+        graph = BipartiteGraph(np.array([[1.0, 0.0], [1.0, 1.0]]))
+        assert not graph.is_biregular()
+        assert graph.regularity_error() == pytest.approx(1.0)
+
+    def test_regularity_error_zero_for_biregular(self):
+        graph = BipartiteGraph.biregular(4, 4, 2)
+        assert graph.regularity_error() == 0.0
+
+    def test_transpose(self):
+        graph = BipartiteGraph(np.array([[1.0, 2.0]]))
+        transposed = graph.transpose()
+        assert (transposed.n_left, transposed.n_right) == (2, 1)
+        assert transposed.weight(1, 0) == 2.0

@@ -1,0 +1,188 @@
+"""Tests for repro.graphs.digraph."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.graphs.digraph import WeightedDiGraph
+
+
+class TestConstruction:
+    def test_add_node_default_labels(self):
+        graph = WeightedDiGraph()
+        assert graph.add_node() == 0
+        assert graph.add_node() == 1
+        assert graph.labels() == [0, 1]
+
+    def test_add_node_idempotent(self):
+        graph = WeightedDiGraph()
+        assert graph.add_node("a") == graph.add_node("a") == 0
+
+    def test_add_edge_creates_nodes(self):
+        graph = WeightedDiGraph()
+        graph.add_edge("x", "y", 2.5)
+        assert graph.has_node("x") and graph.has_node("y")
+        assert graph.weight("x", "y") == 2.5
+
+    def test_zero_weight_means_no_edge(self):
+        graph = WeightedDiGraph()
+        graph.add_edge(0, 1, 3.0)
+        graph.add_edge(0, 1, 0.0)
+        assert not graph.has_edge(0, 1)
+
+    def test_overwrite_weight(self):
+        graph = WeightedDiGraph()
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(0, 1, 9.0)
+        assert graph.weight(0, 1) == 9.0
+        assert graph.n_edges == 1
+
+
+class TestDirectedness:
+    def test_directed_one_way(self):
+        graph = WeightedDiGraph(directed=True)
+        graph.add_edge(0, 1)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_undirected_both_ways(self):
+        graph = WeightedDiGraph(directed=False)
+        graph.add_edge(0, 1, 2.0)
+        assert graph.weight(1, 0) == 2.0
+        assert graph.n_edges == 1
+        assert graph.n_arcs == 2
+
+    def test_undirected_edges_iter_once(self):
+        graph = WeightedDiGraph(directed=False)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        assert len(list(graph.edges())) == 2
+
+    def test_self_loop(self):
+        graph = WeightedDiGraph(directed=False)
+        graph.add_edge(0, 0, 5.0)
+        assert graph.n_edges == 1
+        assert graph.weight(0, 0) == 5.0
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        graph = WeightedDiGraph()
+        graph.add_edge(0, 1)
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+
+    def test_remove_missing_raises(self):
+        graph = WeightedDiGraph()
+        graph.add_node(0)
+        graph.add_node(1)
+        with pytest.raises(GraphError):
+            graph.remove_edge(0, 1)
+
+    def test_remove_missing_ok(self):
+        graph = WeightedDiGraph()
+        graph.remove_edge("a", "b", missing_ok=True)
+
+    def test_remove_undirected_removes_both(self):
+        graph = WeightedDiGraph(directed=False)
+        graph.add_edge(0, 1)
+        graph.remove_edge(1, 0)
+        assert graph.n_arcs == 0
+
+
+class TestQueries:
+    def test_degrees(self, small_directed):
+        assert small_directed.out_degree(0) == 2
+        assert small_directed.out_degree(0, weighted=True) == 3.0
+        assert small_directed.in_degree(3) == 2
+        assert small_directed.in_degree(3, weighted=True) == 3.0
+
+    def test_successors_predecessors(self, small_directed):
+        assert set(small_directed.successors(0)) == {1, 2}
+        assert set(small_directed.predecessors(5)) == {4, 2}
+
+    def test_unknown_node_raises(self):
+        graph = WeightedDiGraph()
+        with pytest.raises(GraphError):
+            graph.index_of("nope")
+
+    def test_total_weight(self, small_directed):
+        assert small_directed.total_weight() == pytest.approx(14.5)
+
+    def test_contains_and_len(self, small_directed):
+        assert 0 in small_directed
+        assert "?" not in small_directed
+        assert len(small_directed) == 6
+
+
+class TestMatrixViews:
+    def test_csr_matches_weights(self, small_directed):
+        matrix = small_directed.to_csr()
+        assert matrix[0, 1] == 2.0
+        assert matrix[1, 0] == 0.0
+        assert matrix.shape == (6, 6)
+
+    def test_csr_cache_invalidation(self):
+        graph = WeightedDiGraph()
+        graph.add_edge(0, 1, 1.0)
+        first = graph.to_csr()
+        graph.add_edge(1, 0, 2.0)
+        second = graph.to_csr()
+        assert first.nnz == 1 and second.nnz == 2
+
+    def test_undirected_symmetric(self):
+        graph = WeightedDiGraph(directed=False)
+        graph.add_edge(0, 1, 3.0)
+        graph.add_edge(1, 2, 1.0)
+        dense = graph.to_dense()
+        assert np.allclose(dense, dense.T)
+
+
+class TestConversions:
+    def test_from_scipy_roundtrip(self):
+        matrix = sp.csr_matrix(
+            np.array([[0.0, 2.0, 0.0], [0.0, 0.0, 1.0], [3.0, 0.0, 0.0]])
+        )
+        graph = WeightedDiGraph.from_scipy(matrix)
+        assert np.allclose(graph.to_dense(), matrix.toarray())
+
+    def test_from_scipy_nonsquare_raises(self):
+        with pytest.raises(GraphError):
+            WeightedDiGraph.from_scipy(sp.csr_matrix((2, 3)))
+
+    def test_networkx_roundtrip(self, karate):
+        back = WeightedDiGraph.from_networkx(karate.to_networkx())
+        assert back.n_nodes == karate.n_nodes
+        assert back.n_edges == karate.n_edges
+        assert back.directed == karate.directed
+
+    def test_from_edges_with_isolated(self):
+        graph = WeightedDiGraph.from_edges([(0, 1)], n_nodes=4)
+        assert graph.n_nodes == 4
+        assert graph.out_degree(3) == 0
+
+    def test_copy_independent(self, small_directed):
+        clone = small_directed.copy()
+        clone.add_edge(5, 0, 1.0)
+        assert not small_directed.has_edge(5, 0)
+
+    def test_reverse(self, small_directed):
+        rev = small_directed.reverse()
+        assert rev.has_edge(1, 0)
+        assert not rev.has_edge(0, 1)
+        assert rev.weight(3, 1) == 1.0
+
+    def test_as_undirected_sums_antiparallel(self):
+        graph = WeightedDiGraph(directed=True)
+        graph.add_edge(0, 1, 2.0)
+        graph.add_edge(1, 0, 3.0)
+        und = graph.as_undirected()
+        assert und.weight(0, 1) == 5.0
+        assert und.weight(1, 0) == 5.0
+
+    def test_as_undirected_of_undirected_is_copy(self):
+        graph = WeightedDiGraph(directed=False)
+        graph.add_edge(0, 1, 2.0)
+        und = graph.as_undirected()
+        assert und.weight(0, 1) == 2.0

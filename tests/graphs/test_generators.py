@@ -1,0 +1,205 @@
+"""Tests for repro.graphs.generators, including the paper's special graphs."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import Coloring
+from repro.core.qerror import max_q_err
+from repro.core.refinement import stable_coloring
+from repro.exceptions import GraphError
+from repro.graphs import generators as gen
+
+
+class TestKarate:
+    def test_size(self):
+        graph = gen.karate_club()
+        assert graph.n_nodes == 34
+        assert graph.n_edges == 78
+        assert not graph.directed
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        ours = {
+            frozenset((u - 1, v - 1)) for u, v, _ in gen.karate_club().edges()
+        }
+        theirs = {frozenset(e) for e in nx.karate_club_graph().edges()}
+        assert ours == theirs
+
+
+class TestRandomModels:
+    def test_erdos_renyi_determinism(self):
+        a = gen.erdos_renyi(50, 0.1, seed=3)
+        b = gen.erdos_renyi(50, 0.1, seed=3)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_erdos_renyi_extremes(self):
+        assert gen.erdos_renyi(10, 0.0, seed=0).n_edges == 0
+        assert gen.erdos_renyi(10, 1.0, seed=0).n_edges == 45
+
+    def test_erdos_renyi_bad_p(self):
+        with pytest.raises(GraphError):
+            gen.erdos_renyi(10, 1.5)
+
+    def test_barabasi_albert_edge_count(self):
+        graph = gen.barabasi_albert(100, 3, seed=0)
+        # m initial star edges + m per subsequent node
+        assert graph.n_edges == 3 + 3 * 96
+        assert graph.n_nodes == 100
+
+    def test_barabasi_albert_bad_m(self):
+        with pytest.raises(GraphError):
+            gen.barabasi_albert(5, 5)
+
+    def test_powerlaw_cluster_size(self):
+        graph = gen.powerlaw_cluster(80, 4, 0.5, seed=1)
+        assert graph.n_nodes == 80
+        assert graph.n_edges >= 4 * 70  # at least m per attached node
+
+    def test_stochastic_block_structure(self):
+        graph = gen.stochastic_block(
+            [20, 20], [[1.0, 0.0], [0.0, 1.0]], seed=0
+        )
+        # No cross-block edges with p_out = 0.
+        for u, v, _ in graph.edges():
+            assert (u < 20) == (v < 20)
+
+    def test_stochastic_block_bad_matrix(self):
+        with pytest.raises(GraphError):
+            gen.stochastic_block([5, 5], [[0.5]])
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        assert gen.path_graph(5).n_edges == 4
+
+    def test_cycle(self):
+        graph = gen.cycle_graph(5)
+        assert graph.n_edges == 5
+        assert all(graph.out_degree(v) == 2 for v in range(5))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            gen.cycle_graph(2)
+
+    def test_star(self):
+        graph = gen.star_graph(6)
+        assert graph.n_edges == 6
+        assert graph.out_degree(0) == 6
+
+    def test_grid_2d(self):
+        graph = gen.grid_2d(4, 3)
+        assert graph.n_nodes == 12
+        assert graph.n_edges == 3 * 3 + 4 * 2  # horizontal + vertical
+
+    def test_grid_3d(self):
+        graph = gen.grid_3d(2, 2, 2)
+        assert graph.n_nodes == 8
+        assert graph.n_edges == 12
+
+    def test_biregular_bipartite(self):
+        graph = gen.biregular_bipartite(6, 4, 2)
+        lefts = [("L", i) for i in range(6)]
+        rights = [("R", j) for j in range(4)]
+        assert all(graph.out_degree(x) == 2 for x in lefts)
+        assert all(graph.in_degree(y) == 3 for y in rights)
+
+
+class TestLiftedBiregular:
+    def test_paper_sizes(self):
+        graph, membership = gen.lifted_biregular(seed=7)
+        assert graph.n_nodes == 1000
+        assert graph.n_edges == 21_600
+        assert membership.shape == (1000,)
+
+    def test_groups_form_equitable_partition(self):
+        graph, membership = gen.lifted_biregular(
+            n_groups=12, group_size=5, template_edges=30, seed=3
+        )
+        coloring = Coloring(membership)
+        assert max_q_err(graph.to_csr(), coloring) == 0.0
+
+    def test_stable_coloring_equals_groups(self):
+        graph, membership = gen.lifted_biregular(seed=7)
+        stable = stable_coloring(graph.to_csr())
+        assert stable.n_colors == 100
+
+    def test_bad_lift_degree(self):
+        with pytest.raises(GraphError):
+            gen.lifted_biregular(lift_degree=0)
+
+    def test_bad_template_edges(self):
+        with pytest.raises(GraphError):
+            gen.lifted_biregular(n_groups=5, template_edges=100)
+
+
+class TestPathologicalFlowNetwork:
+    def test_structure(self):
+        graph, s, t = gen.pathological_flow_network(5)
+        assert s == "s" and t == "t"
+        # s, t plus (n-1) layers of n nodes
+        assert graph.n_nodes == 2 + 4 * 5
+
+    def test_layer_coloring_is_one_stable(self):
+        n = 6
+        graph, _, _ = gen.pathological_flow_network(n)
+        coloring = Coloring(gen.pathological_layer_coloring(n))
+        assert max_q_err(graph.to_csr(), coloring) == 1.0
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            gen.pathological_flow_network(2)
+
+
+class TestCentralityCounterexample:
+    def test_same_stable_color(self):
+        graph, u, v = gen.centrality_counterexample()
+        coloring = stable_coloring(graph.to_csr())
+        assert coloring.labels[u] == coloring.labels[v]
+
+    def test_different_centrality(self):
+        from repro.centrality.brandes import betweenness_centrality
+
+        graph, u, v = gen.centrality_counterexample()
+        scores = betweenness_centrality(graph)
+        assert scores[u] != scores[v]
+
+
+class TestTwoMaximalColorings:
+    def test_structure(self):
+        graph, bottoms = gen.two_maximal_colorings_graph(3)
+        degrees = sorted(graph.out_degree(b) for b in bottoms)
+        assert degrees == [3, 4, 5]
+
+    def test_both_groupings_are_one_stable(self):
+        """Fig. 6: both {1,2},{3} and {1},{2,3} are valid 1-stable
+        colorings, and the fully coarse grouping {1,2,3} is not."""
+        n = 3
+        graph, bottoms = gen.two_maximal_colorings_graph(n)
+        adjacency = graph.to_csr()
+        top_indices = [
+            i
+            for i in range(graph.n_nodes)
+            if graph.label_of(i) not in bottoms
+        ]
+        b_idx = [graph.index_of(b) for b in bottoms]
+
+        def coloring_with(groups):
+            labels = np.zeros(graph.n_nodes, dtype=np.int64)
+            for i in top_indices:
+                labels[i] = 0
+            for color, group in enumerate(groups, start=1):
+                for b in group:
+                    labels[b_idx[b]] = color
+            return Coloring(labels)
+
+        first = coloring_with([[0, 1], [2]])
+        second = coloring_with([[0], [1, 2]])
+        merged = coloring_with([[0, 1, 2]])
+        assert max_q_err(adjacency, first) <= 1.0
+        assert max_q_err(adjacency, second) <= 1.0
+        assert max_q_err(adjacency, merged) > 1.0
+
+    def test_bad_n(self):
+        with pytest.raises(GraphError):
+            gen.two_maximal_colorings_graph(0)

@@ -1,0 +1,113 @@
+"""Tests for the MPS reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LPError
+from repro.lp.generators import fig3_example, transportation
+from repro.lp.mps import read_mps, write_mps
+from repro.lp.scipy_backend import scipy_solve
+
+
+class TestRoundTrip:
+    def test_fig3(self, tmp_path):
+        lp = fig3_example()
+        path = tmp_path / "fig3.mps"
+        write_mps(lp, path)
+        back = read_mps(path)
+        assert (back.n_rows, back.n_cols) == (lp.n_rows, lp.n_cols)
+        expected, _ = scipy_solve(lp)
+        actual, _ = scipy_solve(back)
+        assert actual == pytest.approx(expected)
+
+    def test_transportation(self, tmp_path):
+        lp = transportation(3, 3, seed=2)
+        path = tmp_path / "transport.mps"
+        write_mps(lp, path)
+        back = read_mps(path)
+        expected, _ = scipy_solve(lp)
+        actual, _ = scipy_solve(back)
+        assert actual == pytest.approx(expected)
+
+
+class TestParsing:
+    def test_minimization_negated(self, tmp_path):
+        path = tmp_path / "min.mps"
+        path.write_text(
+            "NAME TEST\n"
+            "ROWS\n"
+            " N  OBJ\n"
+            " L  R1\n"
+            "COLUMNS\n"
+            "    X1  OBJ  -1.0  R1  1.0\n"
+            "RHS\n"
+            "    RHS  R1  4.0\n"
+            "ENDATA\n"
+        )
+        lp = read_mps(path)
+        # min -x1 == max x1; optimum 4.
+        value, _ = scipy_solve(lp)
+        assert value == pytest.approx(4.0)
+
+    def test_g_and_e_rows(self, tmp_path):
+        path = tmp_path / "ge.mps"
+        path.write_text(
+            "NAME T\n"
+            "OBJSENSE\n"
+            "    MAX\n"
+            "ROWS\n"
+            " N  OBJ\n"
+            " G  LOW\n"
+            " E  EXACT\n"
+            "COLUMNS\n"
+            "    X  OBJ  1.0  LOW  1.0\n"
+            "    X  EXACT  1.0\n"
+            "RHS\n"
+            "    RHS  LOW  1.0  EXACT  2.0\n"
+            "ENDATA\n"
+        )
+        lp = read_mps(path)
+        value, _ = scipy_solve(lp)
+        assert value == pytest.approx(2.0)
+
+    def test_up_bound_becomes_row(self, tmp_path):
+        path = tmp_path / "ub.mps"
+        path.write_text(
+            "NAME T\n"
+            "OBJSENSE\n"
+            "    MAX\n"
+            "ROWS\n"
+            " N  OBJ\n"
+            "COLUMNS\n"
+            "    X  OBJ  1.0\n"
+            "BOUNDS\n"
+            " UP BND  X  3.5\n"
+            "ENDATA\n"
+        )
+        lp = read_mps(path)
+        value, _ = scipy_solve(lp)
+        assert value == pytest.approx(3.5)
+
+    def test_ranges_rejected(self, tmp_path):
+        path = tmp_path / "ranges.mps"
+        path.write_text(
+            "NAME T\nROWS\n N OBJ\n L R1\nCOLUMNS\n    X OBJ 1 R1 1\n"
+            "RANGES\n    RNG R1 5\nENDATA\n"
+        )
+        with pytest.raises(LPError):
+            read_mps(path)
+
+    def test_free_variable_rejected(self, tmp_path):
+        path = tmp_path / "fr.mps"
+        path.write_text(
+            "NAME T\nROWS\n N OBJ\nCOLUMNS\n    X OBJ 1\n"
+            "BOUNDS\n FR BND X\nENDATA\n"
+        )
+        with pytest.raises(LPError):
+            read_mps(path)
+
+    def test_no_objective_rejected(self, tmp_path):
+        path = tmp_path / "noobj.mps"
+        path.write_text("NAME T\nROWS\n L R1\nENDATA\n")
+        with pytest.raises(LPError):
+            read_mps(path)

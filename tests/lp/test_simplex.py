@@ -1,0 +1,102 @@
+"""Tests for the dense two-phase simplex."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import LPInfeasibleError, LPUnboundedError
+from repro.lp.generators import fig3_example, transportation
+from repro.lp.model import LinearProgram
+from repro.lp.scipy_backend import scipy_solve
+from repro.lp.simplex import simplex_solve
+
+
+def random_feasible_lp(seed: int, m: int = 6, n: int = 5) -> LinearProgram:
+    """Random LP with A >= 0, b > 0 (so x = 0 is feasible and the LP is
+    bounded whenever every column has a positive entry)."""
+    generator = np.random.default_rng(seed)
+    a_dense = generator.integers(0, 4, size=(m, n)).astype(float)
+    # Ensure bounded: give every column at least one positive entry.
+    for j in range(n):
+        if a_dense[:, j].sum() == 0:
+            a_dense[generator.integers(0, m), j] = 1.0
+    b = generator.integers(5, 20, size=m).astype(float)
+    c = generator.integers(1, 9, size=n).astype(float)
+    return LinearProgram(sp.csr_matrix(a_dense), b, c)
+
+
+class TestAgainstScipy:
+    def test_fig3(self):
+        lp = fig3_example()
+        value, x, _ = simplex_solve(lp)
+        assert value == pytest.approx(128.157, abs=1e-3)
+        assert lp.is_feasible(x)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_lps(self, seed):
+        lp = random_feasible_lp(seed)
+        value, x, _ = simplex_solve(lp)
+        expected, _ = scipy_solve(lp)
+        assert value == pytest.approx(expected, abs=1e-7)
+        assert lp.is_feasible(x)
+
+    def test_transportation(self):
+        lp = transportation(4, 5, seed=0)
+        value, x, _ = simplex_solve(lp)
+        expected, _ = scipy_solve(lp)
+        assert value == pytest.approx(expected, abs=1e-6)
+
+
+class TestPhase1:
+    def test_negative_b_feasible(self):
+        """A x <= b with negative b needs phase 1; x >= 1 style rows."""
+        # maximize x1 subject to -x1 <= -2 (x1 >= 2), x1 <= 5
+        lp = LinearProgram(
+            sp.csr_matrix(np.array([[-1.0], [1.0]])),
+            np.array([-2.0, 5.0]),
+            np.array([1.0]),
+        )
+        value, x, _ = simplex_solve(lp)
+        assert value == pytest.approx(5.0)
+        assert x[0] == pytest.approx(5.0)
+
+    def test_infeasible_detected(self):
+        # x1 >= 3 and x1 <= 1 simultaneously.
+        lp = LinearProgram(
+            sp.csr_matrix(np.array([[-1.0], [1.0]])),
+            np.array([-3.0, 1.0]),
+            np.array([1.0]),
+        )
+        with pytest.raises(LPInfeasibleError):
+            simplex_solve(lp)
+
+
+class TestUnbounded:
+    def test_unbounded_detected(self):
+        # maximize x with no constraint on x.
+        lp = LinearProgram(
+            sp.csr_matrix(np.array([[0.0]])),
+            np.array([1.0]),
+            np.array([1.0]),
+        )
+        with pytest.raises(LPUnboundedError):
+            simplex_solve(lp)
+
+
+class TestDegenerate:
+    def test_zero_objective(self):
+        lp = LinearProgram(
+            sp.csr_matrix(np.eye(2)), np.ones(2), np.zeros(2)
+        )
+        value, x, _ = simplex_solve(lp)
+        assert value == 0.0
+
+    def test_single_variable(self):
+        lp = LinearProgram(
+            sp.csr_matrix(np.array([[2.0]])),
+            np.array([6.0]),
+            np.array([3.0]),
+        )
+        value, x, _ = simplex_solve(lp)
+        assert value == pytest.approx(9.0)
+        assert x[0] == pytest.approx(3.0)

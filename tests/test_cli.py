@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import karate_club
+from repro.graphs.io import write_edgelist
+
+
+@pytest.fixture
+def karate_file(tmp_path):
+    path = tmp_path / "karate.edges"
+    write_edgelist(karate_club(), path)
+    return str(path)
+
+
+class TestColorCommand:
+    def test_color_by_budget(self, karate_file, capsys):
+        assert main(["color", karate_file, "--colors", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "colors" in out
+        assert "6" in out
+
+    def test_color_by_q(self, karate_file, capsys):
+        assert main(["color", karate_file, "--q", "3"]) == 0
+        assert "compression" in capsys.readouterr().out
+
+    def test_color_eps_mode(self, karate_file, capsys):
+        assert main(["color", karate_file, "--eps", "0.5"]) == 0
+        assert "colors" in capsys.readouterr().out
+
+    def test_color_writes_assignment(self, karate_file, tmp_path, capsys):
+        out_path = tmp_path / "assignment.txt"
+        assert main(
+            ["color", karate_file, "--colors", "4", "--out", str(out_path)]
+        ) == 0
+        lines = out_path.read_text().strip().splitlines()
+        assert len(lines) == 34
+        colors = {line.split()[1] for line in lines}
+        assert len(colors) <= 4
+
+    def test_color_requires_stopping_rule(self, karate_file):
+        with pytest.raises(SystemExit):
+            main(["color", karate_file])
+
+
+class TestDatasetsCommand:
+    def test_prints_both_tables(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "Table 3" in out
+        assert "qap15" in out and "karate" in out
+
+
+class TestTablesCommand:
+    def test_fig2(self, capsys):
+        assert main(["tables", "fig2"]) == 0
+        assert "robustness" in capsys.readouterr().out
+
+    def test_table5_with_scale(self, capsys):
+        assert main(["tables", "table5", "--scale", "0.03"]) == 0
+        assert "compressed LP" in capsys.readouterr().out
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tables", "table99"])

@@ -1,0 +1,91 @@
+"""Cross-module integration tests: the three paper pipelines end to end,
+sharing one coloring engine, plus determinism guarantees."""
+
+import numpy as np
+import pytest
+
+from repro import q_color, stable_coloring
+from repro.centrality.approx import approx_betweenness
+from repro.centrality.brandes import betweenness_centrality
+from repro.datasets.registry import load_flow, load_graph, load_lp
+from repro.flow.approx import approx_max_flow
+from repro.flow.network import max_flow
+from repro.lp.reduction import approx_lp_opt
+from repro.lp.solve import solve_lp
+from repro.utils.stats import ratio_error, spearman_rho
+
+
+class TestThreePipelinesEndToEnd:
+    """One shared scenario per task, asserting the paper's qualitative
+    guarantees all at once."""
+
+    def test_flow_pipeline(self):
+        network = load_flow("tsukuba0", scale=0.002)
+        exact = max_flow(network, algorithm="push_relabel").value
+        coarse = approx_max_flow(network, n_colors=6)
+        fine = approx_max_flow(network, n_colors=24)
+        # Upper bound at any budget; tighter with more colors.
+        assert coarse.value >= exact - 1e-9
+        assert fine.value >= exact - 1e-9
+        assert ratio_error(exact, fine.value) <= ratio_error(
+            exact, coarse.value
+        ) + 1e-9
+
+    def test_lp_pipeline(self):
+        lp = load_lp("ex10", scale=0.03)
+        exact = solve_lp(lp).objective
+        result = approx_lp_opt(lp, n_colors=60)
+        assert ratio_error(exact, result.value) < 1.5
+        # Reduced LP must be dramatically smaller.
+        assert result.reduction.reduced.nnz < lp.nnz / 3
+
+    def test_centrality_pipeline(self):
+        graph = load_graph("deezer", scale=0.01)
+        exact = betweenness_centrality(graph)
+        result = approx_betweenness(graph, n_colors=60, seed=0)
+        assert spearman_rho(exact, result.scores) > 0.8
+
+
+class TestColoringConsistencyAcrossTasks:
+    """The engine behind all three pipelines is the same; its invariants
+    must hold regardless of the weighting profile used."""
+
+    @pytest.mark.parametrize(
+        "alpha,beta", [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)]
+    )
+    def test_profiles_produce_valid_colorings(self, alpha, beta):
+        from repro.core.rothko import Rothko
+
+        graph = load_graph("openflights", scale=0.05)
+        engine = Rothko(graph, alpha=alpha, beta=beta)
+        result = engine.run(max_colors=20)
+        result.coloring.validate()
+        assert result.coloring.n == graph.n_nodes
+
+    def test_stable_coloring_is_rothko_fixpoint(self):
+        """Running Rothko to q = 0 yields a stable coloring that refines
+        the maximum stable coloring (it cannot be coarser)."""
+        graph = load_graph("karate")
+        adjacency = graph.to_csr()
+        maximum = stable_coloring(adjacency)
+        rothko = q_color(adjacency, q=0.0, n_colors=graph.n_nodes)
+        assert rothko.max_q_err == 0.0
+        assert rothko.coloring.refines(maximum)
+
+
+class TestDeterminism:
+    def test_full_pipelines_are_deterministic(self):
+        lp = load_lp("qap15", scale=0.03)
+        a = approx_lp_opt(lp, n_colors=24).value
+        b = approx_lp_opt(lp, n_colors=24).value
+        assert a == b
+
+        network = load_flow("venus0", scale=0.001)
+        x = approx_max_flow(network, n_colors=8).value
+        y = approx_max_flow(network, n_colors=8).value
+        assert x == y
+
+    def test_dataset_scale_monotone(self):
+        small = load_graph("astroph", scale=0.005)
+        large = load_graph("astroph", scale=0.01)
+        assert large.n_nodes > small.n_nodes

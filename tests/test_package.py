@@ -1,0 +1,49 @@
+"""Package-level hygiene: every module imports, public API is exposed."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    # __main__ exits on import by design (CLI entry point).
+    if name != "repro.__main__"
+)
+
+
+class TestImports:
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_every_module_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_api_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+class TestSubpackageAll:
+    @pytest.mark.parametrize(
+        "package_name",
+        [
+            "repro.core",
+            "repro.graphs",
+            "repro.flow",
+            "repro.lp",
+            "repro.centrality",
+            "repro.datasets",
+            "repro.utils",
+        ],
+    )
+    def test_all_lists_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert getattr(package, name, None) is not None, (
+                f"{package_name}.{name} in __all__ but missing"
+            )

@@ -1,0 +1,44 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_from_int_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_differ(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 10**9, size=8)
+        b = children[1].integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic(self):
+        a = spawn_rngs(7, 3)[2].integers(0, 10**9, size=4)
+        b = spawn_rngs(7, 3)[2].integers(0, 10**9, size=4)
+        assert np.array_equal(a, b)
+
+    def test_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(0), 3)
+        assert len(children) == 3
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

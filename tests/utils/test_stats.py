@@ -1,0 +1,146 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    geometric_mean,
+    log_mean_threshold,
+    ratio_error,
+    spearman_rho,
+    top_k_overlap,
+)
+
+
+class TestRatioError:
+    def test_perfect(self):
+        assert ratio_error(5.0, 5.0) == 1.0
+
+    def test_symmetric(self):
+        assert ratio_error(2.0, 4.0) == ratio_error(4.0, 2.0) == 2.0
+
+    def test_both_zero(self):
+        assert ratio_error(0.0, 0.0) == 1.0
+
+    def test_one_zero(self):
+        assert ratio_error(0.0, 3.0) == math.inf
+        assert ratio_error(3.0, 0.0) == math.inf
+
+    def test_sign_mismatch(self):
+        assert ratio_error(-2.0, 2.0) == math.inf
+
+    def test_negative_pair(self):
+        assert ratio_error(-2.0, -4.0) == 2.0
+
+    @given(
+        st.floats(0.01, 1e6),
+        st.floats(0.01, 1e6),
+    )
+    def test_always_at_least_one(self, a, b):
+        assert ratio_error(a, b) >= 1.0
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        result = geometric_mean(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+class TestLogMeanThreshold:
+    def test_constant(self):
+        assert log_mean_threshold(np.array([3.0, 3.0])) == pytest.approx(3.0)
+
+    def test_strictly_between_for_nonconstant(self):
+        values = np.array([0.0, 0.0, 8.0])
+        threshold = log_mean_threshold(values)
+        assert 0.0 < threshold < 8.0
+
+    def test_zero_safe(self):
+        assert log_mean_threshold(np.array([0.0, 0.0])) == pytest.approx(0.0)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            log_mean_threshold(np.array([-1.0, 2.0]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            log_mean_threshold(np.array([]))
+
+
+class TestSpearman:
+    def test_perfect_correlation(self):
+        assert spearman_rho([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert spearman_rho([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    @pytest.mark.filterwarnings("ignore::scipy.stats.ConstantInputWarning")
+    def test_matches_scipy_with_ties(self, rng):
+        for _ in range(20):
+            x = rng.integers(0, 5, size=30).astype(float)
+            y = rng.integers(0, 5, size=30).astype(float)
+            expected = scipy.stats.spearmanr(x, y).statistic
+            if np.isnan(expected):
+                continue
+            assert spearman_rho(x, y) == pytest.approx(expected, abs=1e-12)
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=3, max_size=40
+        )
+    )
+    @pytest.mark.filterwarnings("ignore::scipy.stats.ConstantInputWarning")
+    def test_matches_scipy_random(self, x):
+        y = list(reversed(x))
+        expected = scipy.stats.spearmanr(x, y).statistic
+        ours = spearman_rho(x, y)
+        if np.isnan(expected):
+            return
+        assert ours == pytest.approx(expected, abs=1e-9)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman_rho([1, 2], [1, 2, 3])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            spearman_rho([1], [2])
+
+    def test_constant_vectors(self):
+        assert spearman_rho([1, 1, 1], [1, 1, 1]) == 1.0
+        assert spearman_rho([1, 1, 1], [1, 2, 3]) == 0.0
+
+
+class TestTopKOverlap:
+    def test_identical(self):
+        assert top_k_overlap([3, 1, 2], [30, 10, 20], 2) == 1.0
+
+    def test_disjoint(self):
+        assert top_k_overlap([1, 0, 0, 0], [0, 0, 0, 1], 1) == 0.0
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            top_k_overlap([1, 2], [1, 2], 3)
+        with pytest.raises(ValueError):
+            top_k_overlap([1, 2], [1, 2], 0)

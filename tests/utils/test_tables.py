@@ -1,0 +1,47 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table, render_rows
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "33" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000123456]])
+        assert "0.000123" in text
+
+    def test_inf_and_nan(self):
+        text = format_table(["v"], [[float("inf")], [float("nan")]])
+        assert "inf" in text
+        assert "nan" in text
+
+    def test_bool_rendering(self):
+        text = format_table(["v"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestRenderRows:
+    def test_dict_rows(self):
+        text = render_rows([{"x": 1, "y": 2}, {"x": 3, "y": 4}])
+        assert "x" in text and "4" in text
+
+    def test_column_selection(self):
+        text = render_rows([{"x": 1, "y": 2}], columns=["y"])
+        assert "x" not in text.splitlines()[0]
+
+    def test_empty(self):
+        assert render_rows([], title="t") == "t"

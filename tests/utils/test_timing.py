@@ -1,0 +1,45 @@
+"""Tests for repro.utils.timing."""
+
+import pytest
+
+from repro.utils.timing import Stopwatch, Timings, time_call
+
+
+class TestStopwatch:
+    def test_laps_accumulate(self):
+        watch = Stopwatch().start()
+        first = watch.lap()
+        second = watch.lap()
+        assert second >= first >= 0.0
+        assert watch.laps == [first, second]
+
+    def test_elapsed_monotone(self):
+        watch = Stopwatch().start()
+        assert watch.elapsed() <= watch.elapsed() + 1e-9
+
+    def test_lap_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().lap()
+
+    def test_restart_clears_laps(self):
+        watch = Stopwatch().start()
+        watch.lap()
+        watch.start()
+        assert watch.laps == []
+
+
+class TestTimeCall:
+    def test_returns_result_and_time(self):
+        result, seconds = time_call(lambda a, b: a + b, 2, b=3)
+        assert result == 5
+        assert seconds >= 0.0
+
+
+class TestTimings:
+    def test_add_and_total(self):
+        timings = Timings()
+        timings.add("color", 1.0)
+        timings.add("solve", 2.0)
+        timings.add("color", 0.5)
+        assert timings.entries["color"] == pytest.approx(1.5)
+        assert timings.total() == pytest.approx(3.5)
