@@ -1,0 +1,101 @@
+"""Dynamic maintenance: update latency vs recolor-from-scratch.
+
+For each churn scenario (random endpoint churn, hub-concentrated churn,
+multiplicative weight jitter) on registry datasets, a
+:class:`DynamicColoring` absorbs single-edge updates one at a time while
+a from-scratch Rothko run on the final graph provides the baseline.
+
+The acceptance bar: the maintained coloring's max q-error stays within
+the configured tolerance (same bar the scratch run meets), and the mean
+per-update repair cost is a fraction (``work_ratio < 1``) of one full
+recoloring.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.qerror import max_q_err
+from repro.core.rothko import Rothko, q_color
+from repro.datasets.churn import churn_scenario
+from repro.datasets.registry import load_graph
+from repro.dynamic import DynamicColoring
+
+from _bench_utils import run_once, scale_factor
+
+SCENARIOS = ("random", "hub", "jitter")
+DATASETS = (("openflights", 0.06), ("deezer", 0.015))
+SEED_COLORS = 40
+N_UPDATES = 60
+TOLERANCE_SLACK = 1e-6
+
+
+def _scenario_row(dataset_name, scale, scenario, n_updates=N_UPDATES, seed=11):
+    graph = load_graph(dataset_name, scale=scale)
+    seeded = q_color(graph, n_colors=SEED_COLORS)
+    tolerance = seeded.max_q_err
+    updates = churn_scenario(scenario, graph, n_updates, seed=seed)
+
+    dynamic = DynamicColoring(
+        graph, q_tolerance=tolerance, coloring=seeded.coloring
+    )
+    latencies = []
+    for update in updates:
+        start = time.perf_counter()
+        dynamic.apply(update)
+        latencies.append(time.perf_counter() - start)
+    snapshot = dynamic.snapshot()
+    dynamic.detach()
+
+    adjacency = graph.to_csr()
+    start = time.perf_counter()
+    scratch = Rothko(adjacency).run(
+        q_tolerance=tolerance, max_colors=graph.n_nodes
+    )
+    recolor_s = time.perf_counter() - start
+
+    mean_update_s = sum(latencies) / len(latencies)
+    achieved = max_q_err(adjacency, snapshot)
+    return {
+        "dataset": dataset_name,
+        "scenario": scenario,
+        "nodes": graph.n_nodes,
+        "updates": len(latencies),
+        "tolerance": tolerance,
+        "incr_max_q": achieved,
+        "scratch_max_q": scratch.max_q_err,
+        "incr_colors": snapshot.n_colors,
+        "scratch_colors": scratch.n_colors,
+        "update_ms": mean_update_s * 1e3,
+        "recolor_ms": recolor_s * 1e3,
+        "work_ratio": mean_update_s / recolor_s,
+        "splits": dynamic.stats.splits,
+        "merges": dynamic.stats.merges,
+        "rebuilds": dynamic.stats.rebuilds,
+    }
+
+
+def _all_rows():
+    rows = []
+    for dataset_name, base_scale in DATASETS:
+        scale = scale_factor(base_scale)
+        for scenario in SCENARIOS:
+            rows.append(_scenario_row(dataset_name, scale, scenario))
+    return rows
+
+
+def test_dynamic_updates(benchmark, report):
+    rows = run_once(benchmark, _all_rows)
+    report(
+        "dynamic_updates",
+        rows,
+        "Dynamic maintenance: per-update repair vs recolor-from-scratch",
+    )
+    for row in rows:
+        context = f"{row['dataset']}/{row['scenario']}"
+        # Invariant: incremental repair meets the same tolerance a
+        # from-scratch recoloring is run to.
+        assert row["incr_max_q"] <= row["tolerance"] + TOLERANCE_SLACK, context
+        # Single-edge maintenance must be measurably cheaper than one
+        # full recoloring.
+        assert row["work_ratio"] < 1.0, context

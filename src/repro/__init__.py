@@ -18,9 +18,15 @@ Applications:
     :func:`repro.centrality.approx_betweenness` — color-pivot betweenness
     (Sec. 4.3).
 
+Streaming:
+    :class:`repro.dynamic.DynamicColoring` — incremental maintenance of a
+    quasi-stable coloring under edge insertions, deletions, and weight
+    changes (local repair with a drift-budget fallback to recoloring).
+
 Substrates live in :mod:`repro.graphs`, :mod:`repro.lp`, :mod:`repro.flow`,
-:mod:`repro.centrality`; dataset stand-ins in :mod:`repro.datasets`; the
-paper's tables and figures in :mod:`repro.experiments` and ``benchmarks/``.
+:mod:`repro.centrality`; dataset stand-ins and churn scenarios in
+:mod:`repro.datasets`; the paper's tables and figures in
+:mod:`repro.experiments` and ``benchmarks/``.
 """
 
 from repro.core.partition import Coloring
@@ -35,6 +41,7 @@ from repro.core.similarity import (
     EpsRelative,
     QAbsolute,
 )
+from repro.dynamic import DynamicColoring, EdgeUpdate
 from repro.graphs.digraph import WeightedDiGraph
 
 __version__ = "1.0.0"
@@ -58,6 +65,8 @@ __all__ = [
     "Equality",
     "EpsRelative",
     "QAbsolute",
+    "DynamicColoring",
+    "EdgeUpdate",
     "WeightedDiGraph",
     "__version__",
 ]

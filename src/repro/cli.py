@@ -4,6 +4,10 @@ Commands
 --------
 ``color``    color a graph file (edge list) with the Rothko heuristic and
              print coloring statistics;
+``update``   maintain a coloring incrementally under a churn scenario or
+             a recorded update trace, reporting repair statistics;
+``stream``   consume an update trace from stdin (or a file) and emit one
+             stats row per batch — the anytime view of maintenance;
 ``datasets`` print the Tables 2/3 dataset inventory;
 ``tables``   regenerate one of the paper's experiment tables at a chosen
              scale (the pytest benchmarks wrap the same drivers).
@@ -17,7 +21,7 @@ import sys
 from repro.utils.tables import render_rows
 
 TABLE_CHOICES = (
-    "fig2", "fig7-maxflow", "fig7-lp", "fig7-centrality",
+    "fig2", "fig2-dynamic", "fig7-maxflow", "fig7-lp", "fig7-centrality",
     "table1-centrality", "table1-lp", "table4", "table5", "table6",
 )
 
@@ -53,6 +57,130 @@ def _cmd_color(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_update_graph(args: argparse.Namespace):
+    """Graph for the update/stream commands: a file path or a registry name."""
+    if args.dataset is not None:
+        from repro.datasets.registry import load_graph
+
+        return load_graph(args.dataset, scale=args.scale or 1.0)
+    if args.path is None:
+        raise SystemExit("update needs a graph PATH or --dataset NAME")
+    from repro.graphs.io import read_edgelist
+
+    return read_edgelist(args.path, directed=args.directed)
+
+
+def _apply_batch_row(dynamic, index: int, batch: list) -> dict:
+    """Apply one update batch; return its per-batch stats deltas.
+
+    ``max_q`` comes from the engine's maintained degree matrices —
+    ``O(n k)`` — rather than rebuilding the CSR adjacency per batch.
+    """
+    before_splits = dynamic.stats.splits
+    before_merges = dynamic.stats.merges
+    before_rebuilds = dynamic.stats.rebuilds
+    before_repair_s = dynamic.stats.repair_seconds
+    dynamic.apply_batch(batch)
+    return {
+        "batch": index,
+        "updates": len(batch),
+        "colors": dynamic.snapshot().n_colors,
+        "max_q": dynamic.max_q_err(),
+        "splits": dynamic.stats.splits - before_splits,
+        "merges": dynamic.stats.merges - before_merges,
+        "rebuilds": dynamic.stats.rebuilds - before_rebuilds,
+        "repair_s": dynamic.stats.repair_seconds - before_repair_s,
+    }
+
+
+def _chunk(items, size):
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from repro.datasets.churn import churn_scenario
+    from repro.dynamic import DynamicColoring, read_updates
+
+    from repro.exceptions import GraphError
+
+    graph = _load_update_graph(args)
+    if args.trace is not None:
+        try:
+            updates = list(read_updates(args.trace))
+        except (GraphError, OSError) as exc:
+            raise SystemExit(f"bad trace {args.trace}: {exc}") from exc
+    else:
+        updates = churn_scenario(
+            args.scenario, graph, args.n_updates, seed=args.seed
+        )
+    dynamic = DynamicColoring(
+        graph,
+        q_tolerance=args.q,
+        drift_budget=args.drift_budget,
+        split_mean=args.split_mean,
+    )
+    rows = [
+        _apply_batch_row(dynamic, index, batch)
+        for index, batch in enumerate(_chunk(updates, args.batch))
+    ]
+    dynamic.detach()
+    source = args.trace or f"{args.scenario} churn"
+    print(render_rows(rows, title=f"Incremental maintenance under {source}"))
+    stats = dynamic.stats
+    print(
+        f"totals: {stats.updates} updates, {stats.splits} splits, "
+        f"{stats.merges} merges, {stats.rebuilds} rebuilds, "
+        f"{stats.repair_seconds:.3f}s repairing"
+    )
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.dynamic import DynamicColoring, parse_update
+    from repro.exceptions import GraphError
+
+    graph = _load_update_graph(args)
+    dynamic = DynamicColoring(
+        graph,
+        q_tolerance=args.q,
+        drift_budget=args.drift_budget,
+        split_mean=args.split_mean,
+    )
+
+    def flush_batch(batch_index: int, batch: list) -> None:
+        row = _apply_batch_row(dynamic, batch_index, batch)
+        print(
+            " ".join(f"{key}={value:.3f}" if isinstance(value, float)
+                     else f"{key}={value}" for key, value in row.items()),
+            flush=True,
+        )
+
+    handle = open(args.trace, "r", encoding="utf-8") if args.trace else sys.stdin
+    try:
+        batch = []
+        batch_index = 0
+        for line in handle:
+            try:
+                update = parse_update(line)
+            except GraphError as exc:
+                raise SystemExit(f"bad trace line: {exc}") from exc
+            if update is None:
+                continue
+            batch.append(update)
+            if len(batch) >= args.batch:
+                flush_batch(batch_index, batch)
+                batch = []
+                batch_index += 1
+        if batch:
+            flush_batch(batch_index, batch)
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+        dynamic.detach()
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.datasets.registry import table2_rows, table3_rows
 
@@ -70,6 +198,11 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
         rows = run_fig2()
         title = "Fig. 2: robustness to edge perturbation"
+    elif which == "fig2-dynamic":
+        from repro.experiments.fig2_robustness import run_fig2_incremental
+
+        rows = run_fig2_incremental()
+        title = "Fig. 2 (dynamic): incremental repair vs recoloring"
     elif which == "fig7-maxflow":
         from repro.experiments.fig7_tradeoff import maxflow_tradeoff
 
@@ -137,6 +270,39 @@ def build_parser() -> argparse.ArgumentParser:
     color.add_argument("--out", default=None,
                        help="write 'label color' lines to this file")
     color.set_defaults(func=_cmd_color)
+
+    for name, help_text in (
+        ("update", "maintain a coloring under churn; print repair stats"),
+        ("stream", "consume an update trace (stdin/file) batch by batch"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("path", nargs="?", default=None,
+                         help="edge-list file: 'u v [weight]' lines")
+        cmd.add_argument("--dataset", default=None,
+                         help="registry dataset name instead of a file")
+        cmd.add_argument("--scale", type=float, default=None,
+                         help="dataset scale (with --dataset)")
+        cmd.add_argument("--q", type=float, required=True,
+                         help="q-error tolerance to maintain")
+        cmd.add_argument("--directed", action="store_true",
+                         help="treat file edges as directed")
+        cmd.add_argument("--split-mean", choices=("arithmetic", "geometric"),
+                         default="arithmetic")
+        cmd.add_argument("--drift-budget", type=float, default=0.25,
+                         help="fallback-to-rebuild budget (fraction)")
+        cmd.add_argument("--batch", type=int, default=10,
+                         help="updates per repair batch")
+        cmd.add_argument("--trace", default=None,
+                         help="update trace file ('+/-/~ u v [w]' lines)")
+        if name == "update":
+            cmd.add_argument("--scenario", choices=("random", "hub", "jitter"),
+                             default="random",
+                             help="churn generator when no --trace is given")
+            cmd.add_argument("--n-updates", type=int, default=100)
+            cmd.add_argument("--seed", type=int, default=0)
+            cmd.set_defaults(func=_cmd_update)
+        else:
+            cmd.set_defaults(func=_cmd_stream)
 
     datasets = sub.add_parser("datasets", help="print the dataset registry")
     datasets.set_defaults(func=_cmd_datasets)

@@ -54,21 +54,16 @@ def grouped_minmax(
     """Per-color column-wise max and min of a row-per-node matrix.
 
     ``U[i, j] = max_{v in P_i} values[v, j]`` and symmetrically for ``L``.
-    Computed with ``np.{maximum,minimum}.reduceat`` over color-sorted rows.
+    Delegates to the shared argsort + ``reduceat`` kernel
+    (:func:`repro.core.rothko.grouped_minmax_by_labels`).
     """
-    k = coloring.n_colors
+    from repro.core.rothko import grouped_minmax_by_labels
+
     if values.shape[0] != coloring.n:
         raise ValueError(
             f"values has {values.shape[0]} rows but coloring has {coloring.n} nodes"
         )
-    order = np.argsort(coloring.labels, kind="stable")
-    sorted_values = values[order]
-    sizes = coloring.sizes
-    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
-    upper = np.maximum.reduceat(sorted_values, starts, axis=0)
-    lower = np.minimum.reduceat(sorted_values, starts, axis=0)
-    assert upper.shape == (k, values.shape[1])
-    return upper, lower
+    return grouped_minmax_by_labels(values, coloring.labels, coloring.n_colors)
 
 
 def error_matrices(

@@ -11,11 +11,15 @@ are bucketed by their canonical form (e.g. ``min(x, c)``), and the same
 iterated-refinement argument yields the unique maximum quasi-stable
 coloring in polynomial time.
 
-The implementation refines by signature hashing: each round builds, for
+The implementation refines by signature grouping: each round builds, for
 every node, the sparse vector of (color -> canonical block weight) pairs in
-both directions and splits classes whose members disagree.  Rounds are
-``O(m + n)`` each (sparse matvec plus row hashing) and at most ``n`` rounds
-are needed; real graphs converge in a handful.
+both directions and splits classes whose members disagree.  Signatures are
+grouped in bulk, not per row: the CSR index arrays are sorted once
+(``sort_indices``), rows are bucketed by nnz count, and each bucket's
+``(previous label, columns, values)`` views — packed rectangles delimited
+by ``indptr`` — go through one ``np.unique(axis=0)`` call.  Rounds are
+``O(m log m + n)`` with all per-row work vectorized; at most ``n`` rounds
+are needed and real graphs converge in a handful.
 """
 
 from __future__ import annotations
@@ -35,19 +39,54 @@ def _as_csr(adjacency: sp.spmatrix | np.ndarray) -> sp.csr_matrix:
     return matrix
 
 
-def _row_signature(matrix: sp.csr_matrix, row: int) -> tuple:
-    """Hashable (color, weight) signature of one CSR row, zeros dropped.
+def _group_rows(matrix: sp.csr_matrix) -> np.ndarray:
+    """Group ids per row: equal iff the rows' sparse signatures match.
 
-    Entries are sorted by column id: scipy does not guarantee sorted
-    indices after a sparse matmul, and an order-sensitive signature would
-    spuriously split identical rows.
+    The vectorized replacement for per-row signature tuples.  Column
+    indices are sorted once (scipy does not guarantee sorted indices
+    after a sparse matmul, and an order-sensitive comparison would
+    spuriously split identical rows) and explicit zeros dropped; rows
+    are then bucketed by nnz count, and each bucket's packed
+    ``(columns, values)`` rectangle — sliced out of the CSR arrays via
+    ``indptr``-based offsets — is deduplicated with a single
+    ``np.unique(axis=0)``.
     """
-    start, end = matrix.indptr[row], matrix.indptr[row + 1]
-    cols = matrix.indices[start:end]
-    data = matrix.data[start:end]
-    keep = data != 0.0
-    pairs = sorted(zip(cols[keep].tolist(), data[keep].tolist()))
-    return tuple(pairs)
+    matrix = matrix.tocsr()
+    matrix.sort_indices()
+    matrix.eliminate_zeros()
+    n = matrix.shape[0]
+    lengths = np.diff(matrix.indptr)
+    group_ids = np.empty(n, dtype=np.int64)
+    next_id = 0
+    for length in np.unique(lengths):
+        rows = np.flatnonzero(lengths == length)
+        if length == 0 or rows.size == 1:
+            # All-zero rows share one signature; a singleton bucket is
+            # trivially its own group.
+            group_ids[rows] = next_id
+            next_id += 1
+            continue
+        offsets = matrix.indptr[rows][:, None] + np.arange(length)[None, :]
+        packed = np.concatenate(
+            [matrix.indices[offsets].astype(np.float64), matrix.data[offsets]],
+            axis=1,
+        )
+        _, inverse = np.unique(packed, axis=0, return_inverse=True)
+        group_ids[rows] = next_id + inverse
+        next_id += int(inverse.max()) + 1
+    return group_ids
+
+
+def _pair_ids(*id_arrays: np.ndarray) -> np.ndarray:
+    """Combine per-component group ids into joint group ids."""
+    combined = id_arrays[0].astype(np.int64)
+    if combined.size == 0:
+        return combined
+    for ids in id_arrays[1:]:
+        combined = combined * (int(ids.max()) + 1) + ids
+        # Keep the running key dense so products never overflow int64.
+        _, combined = np.unique(combined, return_inverse=True)
+    return combined
 
 
 def _apply_canonical(
@@ -107,18 +146,9 @@ def congruence_coloring(
         indicator = coloring.indicator()
         d_out = _apply_canonical((matrix @ indicator).tocsr(), similarity)
         d_in = _apply_canonical((matrix_t @ indicator).tocsr(), similarity)
-        signature_ids: dict[tuple, int] = {}
-        new_labels = np.empty(n, dtype=np.int64)
-        for node in range(n):
-            signature = (
-                int(coloring.labels[node]),
-                _row_signature(d_out, node),
-                _row_signature(d_in, node),
-            )
-            if signature not in signature_ids:
-                signature_ids[signature] = len(signature_ids)
-            new_labels[node] = signature_ids[signature]
-        refined = Coloring(new_labels)
+        refined = Coloring(
+            _pair_ids(coloring.labels, _group_rows(d_out), _group_rows(d_in))
+        )
         if refined.n_colors == coloring.n_colors:
             return coloring
         coloring = refined

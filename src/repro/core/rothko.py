@@ -79,6 +79,63 @@ def _relative_spread(upper: np.ndarray, lower: np.ndarray) -> np.ndarray:
     return spread
 
 
+def split_eject_mask(
+    degrees: np.ndarray, split_mean: str, relative: bool = False
+) -> np.ndarray:
+    """Boolean mask of the members a split ejects into a fresh color.
+
+    This is the threshold rule of Algorithm 1 lines 11-13, shared by the
+    static :class:`Rothko` engine and the streaming
+    :class:`repro.dynamic.DynamicColoring` repair loop.  ``degrees`` holds
+    the witnessing block degrees of the color's members.  Raises
+    :class:`ColoringError` when the degrees are constant (no proper split
+    exists).
+    """
+    if relative and degrees.min() == 0.0 < degrees.max():
+        # Zero is similar only to itself under the relative relation: the
+        # only valid move is separating the zero-degree members.
+        return degrees > 0.0
+    if split_mean == "geometric" or relative:
+        threshold = log_mean_threshold(degrees)
+    else:
+        threshold = float(degrees.mean())
+    eject_mask = degrees > threshold
+    if not eject_mask.any() or eject_mask.all():
+        # Numerical edge case: fall back to a midpoint split, which is
+        # proper whenever the degrees are not all equal.
+        midpoint = (degrees.min() + degrees.max()) / 2.0
+        eject_mask = degrees > midpoint
+        if not eject_mask.any() or eject_mask.all():
+            raise ColoringError(
+                "witness has constant degrees; cannot split "
+                "(q-error should have been 0)"
+            )
+    return eject_mask
+
+
+def grouped_minmax_by_labels(
+    values: np.ndarray, labels: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-label max/min of a row-per-node array (1-D or 2-D).
+
+    The ``argsort`` + ``reduceat`` kernel shared by the static engine and
+    :class:`repro.dynamic.DynamicColoring`.  Labels must be contiguous
+    ``0..k-1`` with no empty classes (``reduceat`` over duplicated start
+    offsets would silently read the wrong element otherwise).
+    """
+    order = np.argsort(labels, kind="stable")
+    sizes = np.bincount(labels, minlength=k)
+    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+    sorted_values = values[order]
+    if values.ndim == 1:
+        upper = np.maximum.reduceat(sorted_values, starts)
+        lower = np.minimum.reduceat(sorted_values, starts)
+    else:
+        upper = np.maximum.reduceat(sorted_values, starts, axis=0)
+        lower = np.minimum.reduceat(sorted_values, starts, axis=0)
+    return upper, lower
+
+
 @dataclass(frozen=True)
 class RothkoStep:
     """Snapshot emitted after every split of the anytime loop."""
@@ -225,13 +282,7 @@ class Rothko:
     # error matrices and witness selection
     # ------------------------------------------------------------------
     def _grouped_minmax(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        order = np.argsort(self.labels, kind="stable")
-        sizes = np.bincount(self.labels, minlength=self.k)
-        starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
-        sorted_values = values[order]
-        upper = np.maximum.reduceat(sorted_values, starts, axis=0)
-        lower = np.minimum.reduceat(sorted_values, starts, axis=0)
-        return upper, lower
+        return grouped_minmax_by_labels(values, self.labels, self.k)
 
     def error_matrices(self) -> tuple[np.ndarray, np.ndarray]:
         """Current ``(out_err, in_err)`` in (source, target) orientation.
@@ -283,11 +334,6 @@ class Rothko:
     # ------------------------------------------------------------------
     # splitting
     # ------------------------------------------------------------------
-    def _threshold(self, values: np.ndarray) -> float:
-        if self.split_mean == "geometric":
-            return log_mean_threshold(values)
-        return float(values.mean())
-
     def _split(self, i: int, j: int, direction: str) -> None:
         if direction == "out":
             split_color = i
@@ -296,26 +342,9 @@ class Rothko:
             split_color = j
             degrees = self._d_in[self._members[j], i]
         members = self._members[split_color]
-        if self.error_mode == "relative" and degrees.min() == 0.0 < degrees.max():
-            # Zero is similar only to itself under the relative relation:
-            # the only valid move is separating the zero-degree members.
-            eject_mask = degrees > 0.0
-            retain = members[~eject_mask]
-            eject = members[eject_mask]
-            self._apply_split(split_color, retain, eject)
-            return
-        threshold = self._threshold(degrees)
-        eject_mask = degrees > threshold
-        if not eject_mask.any() or eject_mask.all():
-            # Numerical edge case: fall back to a midpoint split, which is
-            # proper whenever the degrees are not all equal.
-            midpoint = (degrees.min() + degrees.max()) / 2.0
-            eject_mask = degrees > midpoint
-            if not eject_mask.any() or eject_mask.all():
-                raise ColoringError(
-                    "witness has constant degrees; cannot split "
-                    f"(color {split_color}, q-error should have been 0)"
-                )
+        eject_mask = split_eject_mask(
+            degrees, self.split_mean, relative=self.error_mode == "relative"
+        )
         retain = members[~eject_mask]
         eject = members[eject_mask]
         self._apply_split(split_color, retain, eject)

@@ -1,5 +1,13 @@
-"""Dataset registry: seeded stand-ins for the paper's 20 datasets."""
+"""Dataset registry: seeded stand-ins for the paper's 20 datasets, plus
+churn-scenario generators for the streaming-update workloads."""
 
+from repro.datasets.churn import (
+    CHURN_SCENARIOS,
+    churn_scenario,
+    hub_churn,
+    random_churn,
+    weight_jitter,
+)
 from repro.datasets.registry import (
     DATASETS,
     Dataset,
@@ -12,6 +20,11 @@ from repro.datasets.registry import (
 )
 
 __all__ = [
+    "CHURN_SCENARIOS",
+    "churn_scenario",
+    "hub_churn",
+    "random_churn",
+    "weight_jitter",
     "DATASETS",
     "Dataset",
     "get_dataset",

@@ -1,0 +1,241 @@
+"""Edge-churn scenario generators: shared update traces for benchmarks,
+tests, and the ``repro update`` / ``repro stream`` CLI.
+
+Each generator simulates the stream against a *shadow* edge set, so a
+trace is always valid for sequential replay: deletions target edges
+that exist at that point in the stream, insertions target non-edges.
+Traces are lists of :class:`~repro.dynamic.updates.EdgeUpdate` in node
+labels, reproducible from a seed.
+
+Scenarios
+---------
+``random``  uniform endpoint churn — the Fig. 2 perturbation plus
+            deletions;
+``hub``     churn concentrated on the highest-degree nodes (at least one
+            endpoint is a hub), the hard case for scale-free graphs;
+``jitter``  weights of existing edges drift multiplicatively
+            (lognormal), no structural change.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+import numpy as np
+
+from repro.dynamic.updates import EdgeUpdate
+from repro.exceptions import DatasetError, GraphError
+from repro.graphs.digraph import WeightedDiGraph
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class _EdgePool:
+    """Shadow edge set with O(1) membership, add, remove, random pick."""
+
+    def __init__(self) -> None:
+        self._keys: list[tuple[int, int]] = []
+        self._pos: dict[tuple[int, int], int] = {}
+        self._weight: dict[tuple[int, int], float] = {}
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._pos
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def add(self, key: tuple[int, int], weight: float) -> None:
+        if key not in self._pos:
+            self._pos[key] = len(self._keys)
+            self._keys.append(key)
+        self._weight[key] = weight
+
+    def weight(self, key: tuple[int, int]) -> float:
+        return self._weight[key]
+
+    def remove(self, key: tuple[int, int]) -> None:
+        position = self._pos.pop(key)
+        last = self._keys.pop()
+        if last != key:
+            self._keys[position] = last
+            self._pos[last] = position
+        del self._weight[key]
+
+    def pick(self, rng: np.random.Generator) -> tuple[int, int]:
+        return self._keys[int(rng.integers(0, len(self._keys)))]
+
+    def scan(self) -> list[tuple[int, int]]:
+        return self._keys
+
+
+def _edge_state(
+    graph: WeightedDiGraph,
+) -> tuple[
+    list[Hashable],
+    _EdgePool,
+    Callable[[int, int], tuple[int, int]],
+]:
+    """Node labels, a shadow edge pool, and the edge-keying function.
+
+    Undirected graphs store edges under a canonical ``(min, max)`` key so
+    the shadow set matches both orientations — otherwise an "insertion"
+    of the reverse of an existing edge would silently be an overwrite.
+    """
+    labels = graph.labels()
+    if graph.directed:
+        def key(ui: int, vi: int) -> tuple[int, int]:
+            return (ui, vi)
+    else:
+        def key(ui: int, vi: int) -> tuple[int, int]:
+            return (ui, vi) if ui <= vi else (vi, ui)
+    edges = _EdgePool()
+    for u, v, w in graph.edges():
+        edges.add(key(graph.index_of(u), graph.index_of(v)), w)
+    return labels, edges, key
+
+
+def random_churn(
+    graph: WeightedDiGraph,
+    n_updates: int,
+    seed: SeedLike = None,
+    insert_fraction: float = 0.6,
+    weight: float = 1.0,
+    max_attempts_factor: int = 50,
+) -> list[EdgeUpdate]:
+    """Uniformly random insertions and deletions (Fig. 2 + removals)."""
+    rng = ensure_rng(seed)
+    labels, edges, key = _edge_state(graph)
+    n = len(labels)
+    if n < 2:
+        raise GraphError("need at least 2 nodes to generate churn")
+    updates: list[EdgeUpdate] = []
+    attempts = 0
+    budget = max(n_updates * max_attempts_factor, 100)
+    while len(updates) < n_updates:
+        attempts += 1
+        if attempts > budget:
+            raise GraphError(
+                f"could not generate {n_updates} updates after {attempts} attempts"
+            )
+        if len(edges) and rng.random() >= insert_fraction:
+            ui, vi = edges.pick(rng)
+            edges.remove((ui, vi))
+            updates.append(EdgeUpdate.delete(labels[ui], labels[vi]))
+            continue
+        ui, vi = (int(x) for x in rng.integers(0, n, size=2))
+        if ui == vi or key(ui, vi) in edges:
+            continue
+        edges.add(key(ui, vi), weight)
+        updates.append(EdgeUpdate.insert(labels[ui], labels[vi], weight))
+    return updates
+
+
+def hub_churn(
+    graph: WeightedDiGraph,
+    n_updates: int,
+    seed: SeedLike = None,
+    hub_fraction: float = 0.05,
+    insert_fraction: float = 0.6,
+    weight: float = 1.0,
+    max_attempts_factor: int = 50,
+) -> list[EdgeUpdate]:
+    """Churn where one endpoint is always a hub (top-degree node).
+
+    Hubs sit in small, high-error color classes, so this is the
+    adversarial case for local repair: every update lands on the colors
+    with the least slack.
+    """
+    rng = ensure_rng(seed)
+    labels, edges, key = _edge_state(graph)
+    n = len(labels)
+    if n < 2:
+        raise GraphError("need at least 2 nodes to generate churn")
+    degrees = np.zeros(n)
+    for ui, vi in edges.scan():
+        degrees[ui] += 1
+        degrees[vi] += 1
+    n_hubs = max(1, int(round(n * hub_fraction)))
+    hubs = np.argsort(degrees)[::-1][:n_hubs]
+    hub_set = set(hubs.tolist())
+    updates: list[EdgeUpdate] = []
+    attempts = 0
+    budget = max(n_updates * max_attempts_factor, 100)
+    while len(updates) < n_updates:
+        attempts += 1
+        if attempts > budget:
+            raise GraphError(
+                f"could not generate {n_updates} hub updates after {attempts} attempts"
+            )
+        if len(edges) and rng.random() >= insert_fraction:
+            # Rejection-sample a hub-incident edge in expected O(1); fall
+            # back to a full scan only when hub edges are scarce.
+            picked = None
+            for _ in range(50):
+                candidate = edges.pick(rng)
+                if candidate[0] in hub_set or candidate[1] in hub_set:
+                    picked = candidate
+                    break
+            if picked is None:
+                hub_edges = [
+                    pair for pair in edges.scan()
+                    if pair[0] in hub_set or pair[1] in hub_set
+                ]
+                if not hub_edges:
+                    continue
+                picked = hub_edges[int(rng.integers(0, len(hub_edges)))]
+            ui, vi = picked
+            edges.remove((ui, vi))
+            updates.append(EdgeUpdate.delete(labels[ui], labels[vi]))
+            continue
+        hub = int(hubs[int(rng.integers(0, n_hubs))])
+        other = int(rng.integers(0, n))
+        ui, vi = (hub, other) if rng.random() < 0.5 else (other, hub)
+        if ui == vi or key(ui, vi) in edges:
+            continue
+        edges.add(key(ui, vi), weight)
+        updates.append(EdgeUpdate.insert(labels[ui], labels[vi], weight))
+    return updates
+
+
+def weight_jitter(
+    graph: WeightedDiGraph,
+    n_updates: int,
+    seed: SeedLike = None,
+    sigma: float = 0.3,
+) -> list[EdgeUpdate]:
+    """Multiplicative lognormal drift on existing edge weights."""
+    rng = ensure_rng(seed)
+    labels, edges, _ = _edge_state(graph)
+    if not len(edges):
+        raise GraphError("graph has no edges to jitter")
+    updates: list[EdgeUpdate] = []
+    for _ in range(n_updates):
+        ui, vi = edges.pick(rng)
+        new_weight = float(edges.weight((ui, vi)) * np.exp(rng.normal(0.0, sigma)))
+        edges.add((ui, vi), new_weight)
+        updates.append(EdgeUpdate.reweight(labels[ui], labels[vi], new_weight))
+    return updates
+
+
+#: Registry of churn scenarios, keyed by CLI/benchmark name.
+CHURN_SCENARIOS: dict[str, Callable[..., list[EdgeUpdate]]] = {
+    "random": random_churn,
+    "hub": hub_churn,
+    "jitter": weight_jitter,
+}
+
+
+def churn_scenario(
+    name: str,
+    graph: WeightedDiGraph,
+    n_updates: int,
+    seed: SeedLike = None,
+    **kwargs,
+) -> list[EdgeUpdate]:
+    """Generate a named churn trace (see :data:`CHURN_SCENARIOS`)."""
+    try:
+        generator = CHURN_SCENARIOS[name]
+    except KeyError as exc:
+        raise DatasetError(
+            f"unknown churn scenario {name!r}; available: {sorted(CHURN_SCENARIOS)}"
+        ) from exc
+    return generator(graph, n_updates, seed=seed, **kwargs)

@@ -1,0 +1,25 @@
+"""Streaming-update engine: quasi-stable colorings under graph churn.
+
+:class:`DynamicColoring` maintains a coloring (and its degree/error
+matrices) across edge insertions, deletions, and weight changes via
+local repair, falling back to full Rothko recoloring past a drift
+budget.  :class:`EdgeUpdate` is the update vocabulary; traces serialize
+to plain text (see :mod:`repro.dynamic.updates`).
+"""
+
+from repro.dynamic.engine import DynamicColoring, DynamicStats
+from repro.dynamic.updates import (
+    EdgeUpdate,
+    parse_update,
+    read_updates,
+    write_updates,
+)
+
+__all__ = [
+    "DynamicColoring",
+    "DynamicStats",
+    "EdgeUpdate",
+    "parse_update",
+    "read_updates",
+    "write_updates",
+]

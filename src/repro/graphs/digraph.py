@@ -45,6 +45,43 @@ class WeightedDiGraph:
         self._pred: list[dict[int, float]] = []
         self._csr: sp.csr_matrix | None = None
         self._csc: sp.csc_matrix | None = None
+        self._listeners: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # mutation hooks
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: Any) -> None:
+        """Subscribe an observer to structural mutations.
+
+        A listener is duck-typed: if it defines ``on_node_added(index)``
+        it is told about every new node, and if it defines
+        ``on_arc_changed(ui, vi, old_weight, new_weight)`` it is told
+        about every stored-arc weight change (an undirected edge fires
+        once per stored direction, so a symmetric view needs no special
+        casing).  This is how :class:`repro.dynamic.DynamicColoring`
+        maintains its degree matrices incrementally.  Listeners are not
+        carried over by :meth:`copy`.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Any) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify_node(self, index: int) -> None:
+        for listener in self._listeners:
+            hook = getattr(listener, "on_node_added", None)
+            if hook is not None:
+                hook(index)
+
+    def _notify_arc(self, ui: int, vi: int, old: float, new: float) -> None:
+        if old == new:
+            return
+        for listener in self._listeners:
+            hook = getattr(listener, "on_arc_changed", None)
+            if hook is not None:
+                hook(ui, vi, old, new)
 
     # ------------------------------------------------------------------
     # construction
@@ -61,6 +98,8 @@ class WeightedDiGraph:
         self._succ.append({})
         self._pred.append({})
         self._invalidate()
+        if self._listeners:
+            self._notify_node(index)
         return index
 
     def add_nodes(self, labels: Iterable[Hashable]) -> list[int]:
@@ -79,12 +118,17 @@ class WeightedDiGraph:
             return
         ui = self.add_node(u)
         vi = self.add_node(v)
+        old = self._succ[ui].get(vi, 0.0)
         self._succ[ui][vi] = float(weight)
         self._pred[vi][ui] = float(weight)
         if not self.directed and ui != vi:
             self._succ[vi][ui] = float(weight)
             self._pred[ui][vi] = float(weight)
         self._invalidate()
+        if self._listeners:
+            self._notify_arc(ui, vi, old, float(weight))
+            if not self.directed and ui != vi:
+                self._notify_arc(vi, ui, old, float(weight))
 
     def add_weighted_edges(self, edges: Iterable[EdgeTriple]) -> None:
         for u, v, w in edges:
@@ -106,12 +150,17 @@ class WeightedDiGraph:
             if missing_ok:
                 return
             raise GraphError(f"no edge {u!r} -> {v!r}")
+        old = self._succ[ui][vi]
         del self._succ[ui][vi]
         del self._pred[vi][ui]
         if not self.directed and ui != vi:
             del self._succ[vi][ui]
             del self._pred[ui][vi]
         self._invalidate()
+        if self._listeners:
+            self._notify_arc(ui, vi, old, 0.0)
+            if not self.directed and ui != vi:
+                self._notify_arc(vi, ui, old, 0.0)
 
     # ------------------------------------------------------------------
     # inspection

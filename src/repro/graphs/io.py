@@ -12,6 +12,7 @@ from typing import TextIO, Tuple
 
 from repro.exceptions import GraphError
 from repro.graphs.digraph import WeightedDiGraph
+from repro.utils.labels import coerce_label
 
 
 def write_edgelist(graph: WeightedDiGraph, path: str | os.PathLike) -> None:
@@ -27,8 +28,9 @@ def read_edgelist(
 ) -> WeightedDiGraph:
     """Read ``u v [weight]`` lines; ``#`` comments are skipped.
 
-    Node labels are kept as strings; the ``# directed=...`` header written
-    by :func:`write_edgelist` overrides the ``directed`` argument.
+    Integer-looking node labels are parsed as ints, others kept as
+    strings; the ``# directed=...`` header written by
+    :func:`write_edgelist` overrides the ``directed`` argument.
     """
     graph: WeightedDiGraph | None = None
     with open(path, "r", encoding="utf-8") as handle:
@@ -48,7 +50,7 @@ def read_edgelist(
                     f"{path}:{line_number}: expected 'u v [w]', got {line!r}"
                 )
             weight = float(parts[2]) if len(parts) == 3 else 1.0
-            graph.add_edge(parts[0], parts[1], weight)
+            graph.add_edge(coerce_label(parts[0]), coerce_label(parts[1]), weight)
     if graph is None:
         graph = WeightedDiGraph(directed=directed)
     return graph

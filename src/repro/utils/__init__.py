@@ -1,5 +1,6 @@
 """Shared utilities: seeded RNG helpers, timing, stats, and table rendering."""
 
+from repro.utils.labels import coerce_label
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.stats import (
     geometric_mean,
@@ -12,6 +13,7 @@ from repro.utils.tables import format_table, render_rows
 from repro.utils.timing import Stopwatch, time_call
 
 __all__ = [
+    "coerce_label",
     "ensure_rng",
     "spawn_rngs",
     "geometric_mean",

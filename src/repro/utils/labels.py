@@ -1,0 +1,17 @@
+"""Node-label coercion shared by edge-list files and update traces.
+
+Both surfaces serialize labels with ``str`` and must resolve them back
+to the *same* objects, or replays create phantom string/int twin nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+def coerce_label(token: str) -> Hashable:
+    """Int when the token parses as one, else the string itself."""
+    try:
+        return int(token)
+    except ValueError:
+        return token

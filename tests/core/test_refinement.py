@@ -159,3 +159,17 @@ class TestCongruenceColoring:
         maximum = congruence_coloring(adjacency, relation)
         assert is_quasi_stable(adjacency, maximum, relation)
         assert Coloring.discrete(9).refines(maximum)
+
+
+class TestDegenerateInputs:
+    def test_empty_adjacency(self):
+        """The bulk row-grouping must handle the 0-node graph."""
+        import scipy.sparse as sp
+
+        coloring = stable_coloring(sp.csr_matrix((0, 0)))
+        assert coloring.n == 0
+        assert coloring.n_colors == 0
+
+    def test_single_node(self):
+        coloring = stable_coloring(np.zeros((1, 1)))
+        assert coloring.n_colors == 1

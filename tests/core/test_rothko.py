@@ -204,3 +204,71 @@ class TestAnytimeInterface:
     def test_empty_adjacency(self):
         result = q_color(np.zeros((4, 4)), n_colors=3)
         assert result.n_colors == 1  # nothing to split on
+
+
+class TestAnytimeGenerator:
+    """The Table-6 contract of ``Rothko.steps()``: intermediate colorings
+    monotonically refine, the loop is resumable after interruption, and
+    the final snapshot equals a one-shot run."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_monotone_refinement_chain(self, seed):
+        adjacency = random_adjacency(24, 0.3, seed)
+        engine = Rothko(adjacency)
+        snapshots = [engine.coloring()]
+        for step in engine.steps(max_colors=10):
+            snapshots.append(step.coloring)
+        # Every snapshot refines every earlier one (total refinement
+        # chain), not just its immediate predecessor.
+        for later_index in range(1, len(snapshots)):
+            for earlier_index in range(later_index):
+                assert snapshots[later_index].refines(snapshots[earlier_index])
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_snapshots_are_independent(self, seed):
+        """Yielded colorings are immutable value objects: driving the
+        loop further must not mutate snapshots already handed out."""
+        adjacency = random_adjacency(20, 0.35, seed)
+        engine = Rothko(adjacency)
+        steps = list(engine.steps(max_colors=8))
+        labels_seen = [step.coloring.labels.copy() for step in steps]
+        for step, expected in zip(steps, labels_seen):
+            assert np.array_equal(step.coloring.labels, expected)
+            assert not step.coloring.labels.flags.writeable
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_resume_equals_one_shot(self, seed):
+        """Interrupting the generator and re-entering continues exactly
+        where it stopped: the final coloring matches an uninterrupted
+        run on an identical engine."""
+        adjacency = random_adjacency(26, 0.3, seed)
+        resumed = Rothko(adjacency)
+        iterator = resumed.steps(max_colors=12)
+        for _ in range(3):  # consume a prefix, then abandon the iterator
+            next(iterator)
+        assert resumed.k == 4
+        for _ in resumed.steps(max_colors=12):  # fresh generator resumes
+            pass
+        one_shot = Rothko(adjacency).run(max_colors=12)
+        assert resumed.coloring() == one_shot.coloring
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_steps_final_equals_run(self, seed):
+        """Consuming steps() to exhaustion reproduces run() exactly,
+        including the reported q-error."""
+        adjacency = random_adjacency(22, 0.35, seed)
+        stepped = Rothko(adjacency)
+        last = None
+        for step in stepped.steps(max_colors=9, q_tolerance=1.0):
+            last = step
+        result = Rothko(adjacency).run(max_colors=9, q_tolerance=1.0)
+        assert last is not None
+        assert last.coloring == result.coloring
+        assert max_q_err(adjacency, last.coloring) == pytest.approx(
+            result.max_q_err
+        )
+
+    def test_iteration_counter_contiguous(self, karate):
+        engine = Rothko(karate)
+        iterations = [step.iteration for step in engine.steps(max_colors=7)]
+        assert iterations == list(range(1, len(iterations) + 1))

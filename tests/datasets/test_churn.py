@@ -1,0 +1,112 @@
+"""Tests for the churn-scenario generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.churn import (
+    CHURN_SCENARIOS,
+    churn_scenario,
+    hub_churn,
+    random_churn,
+    weight_jitter,
+)
+from repro.exceptions import DatasetError, GraphError
+from repro.graphs.generators import barabasi_albert, karate_club
+
+
+def _replay(graph, updates):
+    """Apply a trace; raises if any delete misses (invalid trace)."""
+    for update in updates:
+        if update.kind == "delete":
+            assert graph.has_edge(update.u, update.v), update
+            graph.remove_edge(update.u, update.v)
+        else:
+            graph.add_edge(update.u, update.v, update.weight)
+
+
+class TestRegistry:
+    def test_scenario_names(self):
+        assert set(CHURN_SCENARIOS) == {"random", "hub", "jitter"}
+
+    def test_unknown_scenario(self, karate):
+        with pytest.raises(DatasetError):
+            churn_scenario("tsunami", karate, 5)
+
+    @pytest.mark.parametrize("name", sorted(CHURN_SCENARIOS))
+    def test_deterministic(self, name, karate):
+        first = churn_scenario(name, karate, 20, seed=3)
+        second = churn_scenario(name, karate, 20, seed=3)
+        assert first == second
+        assert len(first) == 20
+
+    @pytest.mark.parametrize("name", sorted(CHURN_SCENARIOS))
+    def test_trace_replays_cleanly(self, name):
+        graph = karate_club()
+        updates = churn_scenario(name, graph, 30, seed=7)
+        _replay(graph, updates)
+
+    @pytest.mark.parametrize("name", sorted(CHURN_SCENARIOS))
+    def test_generator_does_not_mutate_graph(self, name, karate):
+        edges_before = sorted(karate.edges())
+        churn_scenario(name, karate, 15, seed=1)
+        assert sorted(karate.edges()) == edges_before
+
+
+class TestRandomChurn:
+    def test_mix_of_kinds(self, karate):
+        updates = random_churn(karate, 50, seed=0, insert_fraction=0.5)
+        kinds = {u.kind for u in updates}
+        assert kinds == {"insert", "delete"}
+
+    def test_insert_only(self, karate):
+        updates = random_churn(karate, 20, seed=0, insert_fraction=1.0)
+        assert all(u.kind == "insert" for u in updates)
+
+    def test_too_small_graph(self):
+        from repro.graphs.digraph import WeightedDiGraph
+
+        graph = WeightedDiGraph()
+        graph.add_node(0)
+        with pytest.raises(GraphError):
+            random_churn(graph, 5, seed=0)
+
+
+class TestHubChurn:
+    def test_touches_hubs(self):
+        graph = barabasi_albert(100, 3, seed=2)
+        updates = hub_churn(graph, 40, seed=2, hub_fraction=0.05)
+        degrees = np.zeros(graph.n_nodes)
+        for u, v, _ in graph.edges():
+            degrees[graph.index_of(u)] += 1
+            degrees[graph.index_of(v)] += 1
+        hubs = set(
+            np.argsort(degrees)[::-1][: max(1, graph.n_nodes // 20)].tolist()
+        )
+        touching = sum(
+            1
+            for u in updates
+            if graph.index_of(u.u) in hubs or graph.index_of(u.v) in hubs
+        )
+        # Every insert involves a hub; deletes pick hub-incident edges.
+        assert touching == len(updates)
+
+
+class TestWeightJitter:
+    def test_only_reweights(self, karate):
+        updates = weight_jitter(karate, 25, seed=4)
+        assert all(u.kind == "reweight" for u in updates)
+        assert all(u.weight > 0 for u in updates)
+
+    def test_targets_existing_edges(self, karate):
+        updates = weight_jitter(karate, 25, seed=4)
+        for update in updates:
+            assert karate.has_edge(update.u, update.v)
+
+    def test_empty_graph_rejected(self):
+        from repro.graphs.digraph import WeightedDiGraph
+
+        graph = WeightedDiGraph()
+        graph.add_node(0)
+        graph.add_node(1)
+        with pytest.raises(GraphError):
+            weight_jitter(graph, 5, seed=0)

@@ -55,6 +55,21 @@ class TestEdgelist:
         path.write_text("")
         assert read_edgelist(path).n_nodes == 0
 
+    def test_numeric_labels_parsed_as_ints(self, tmp_path):
+        """Int-looking labels become ints so update traces (which use
+        the same coercion) resolve against file graphs."""
+        path = tmp_path / "nums.edges"
+        path.write_text("0 1 2.0\n1 2\n")
+        graph = read_edgelist(path)
+        assert graph.has_node(0) and not graph.has_node("0")
+        assert graph.weight(0, 1) == 2.0
+
+    def test_mixed_labels(self, tmp_path):
+        path = tmp_path / "mixed.edges"
+        path.write_text("hub 1 3.0\n")
+        graph = read_edgelist(path)
+        assert graph.weight("hub", 1) == 3.0
+
 
 class TestDimacs:
     def test_roundtrip(self, tmp_path):
