@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Run the pytest-benchmark suites and persist machine-readable results.
+
+Each selected ``bench_*.py`` file is executed under pytest with
+``--benchmark-json``; the raw output is condensed to one JSON document per
+suite under ``benchmarks/results/<suite>.json``::
+
+    {
+      "suite": "bench_rothko_scaling",
+      "smoke": false,
+      "results": [
+        {"name": "test_rothko_scaling_colors[128]", "median": 0.053,
+         "mean": 0.054, "stddev": 0.001, "rounds": 9},
+        ...
+      ]
+    }
+
+Usage::
+
+    python benchmarks/run_benchmarks.py --json                      # all suites
+    python benchmarks/run_benchmarks.py --json --select rothko_scaling
+    python benchmarks/run_benchmarks.py --json --smoke --select rothko_scaling
+
+``--smoke`` runs a single round of the smallest parametrization (per the
+registry below) — fast enough for CI, still exercising the real perf
+path end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+#: ``-k`` filters selecting the smallest parametrization for smoke mode
+SMOKE_FILTERS = {
+    "bench_rothko_scaling": (
+        "test_rothko_scaling_nodes[500] or test_rothko_scaling_colors[8]"
+    ),
+    "bench_core_micro": "test_q_error_evaluation or edmonds_karp",
+    "bench_dynamic_updates": "random",
+}
+
+
+def discover(selects: list[str]) -> list[pathlib.Path]:
+    suites = sorted(BENCH_DIR.glob("bench_*.py"))
+    if not selects:
+        return suites
+    return [
+        path
+        for path in suites
+        if any(want in path.stem for want in selects)
+    ]
+
+
+def run_suite(
+    path: pathlib.Path, smoke: bool, extra_args: list[str]
+) -> dict | None:
+    """Run one bench file under pytest-benchmark; return condensed results."""
+    with tempfile.NamedTemporaryFile(
+        suffix=".json", delete=False, mode="w"
+    ) as handle:
+        raw_path = pathlib.Path(handle.name)
+    try:
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(path),
+            "-q",
+            f"--benchmark-json={raw_path}",
+        ]
+        if smoke:
+            cmd += [
+                "--benchmark-min-rounds=1",
+                "--benchmark-warmup=off",
+                "--benchmark-max-time=0",
+            ]
+            smoke_filter = SMOKE_FILTERS.get(path.stem)
+            if smoke_filter:
+                cmd += ["-k", smoke_filter]
+        cmd += extra_args
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        completed = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if completed.returncode != 0:
+            print(f"!! {path.stem}: pytest exited {completed.returncode}")
+            return None
+        raw = json.loads(raw_path.read_text())
+    finally:
+        raw_path.unlink(missing_ok=True)
+
+    results = [
+        {
+            "name": entry["name"],
+            "median": entry["stats"]["median"],
+            "mean": entry["stats"]["mean"],
+            "stddev": entry["stats"]["stddev"],
+            "rounds": entry["stats"]["rounds"],
+        }
+        for entry in raw.get("benchmarks", [])
+    ]
+    return {
+        "suite": path.stem,
+        "smoke": smoke,
+        "python": raw.get("machine_info", {}).get("python_version"),
+        "datetime": raw.get("datetime"),
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="persist condensed results to benchmarks/results/<suite>.json",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="SUBSTR",
+        help="only run suites whose file name contains SUBSTR (repeatable)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="1 round of the smallest parametrization (CI guard mode)",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest",
+    )
+    args = parser.parse_args(argv)
+
+    suites = discover(args.select)
+    if not suites:
+        print(f"no benchmark suites match {args.select}")
+        return 2
+
+    failures = 0
+    for path in suites:
+        print(f"== {path.stem} ==")
+        condensed = run_suite(path, args.smoke, args.pytest_args)
+        if condensed is None:
+            failures += 1
+            continue
+        for row in condensed["results"]:
+            print(
+                f"  {row['name']}: median {row['median'] * 1000:.2f} ms "
+                f"({row['rounds']} rounds)"
+            )
+        if args.json:
+            RESULTS_DIR.mkdir(exist_ok=True)
+            out_path = RESULTS_DIR / f"{path.stem}.json"
+            out_path.write_text(json.dumps(condensed, indent=2) + "\n")
+            print(f"  -> {out_path.relative_to(REPO_ROOT)}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,11 @@ outgoing *and* incoming weights):
   (a witness here splits the *target* color ``P_j``).
 
 On symmetric adjacency (undirected graphs) ``in_err = out_err.T``.
+
+The heavy lifting is shared with the Rothko engine via
+:mod:`repro.core.kernels`: the degree matrices are one ``O(m)`` bincount
+each, and the metric functions accept precomputed matrices so a full
+report builds them exactly once.
 """
 
 from __future__ import annotations
@@ -27,14 +32,11 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core import kernels
 from repro.core.partition import Coloring
 
-
 def _as_csr(adjacency: sp.spmatrix | np.ndarray) -> sp.csr_matrix:
-    matrix = sp.csr_matrix(adjacency, dtype=np.float64)
-    if matrix.shape[0] != matrix.shape[1]:
-        raise ValueError(f"adjacency must be square, got {matrix.shape}")
-    return matrix
+    return kernels.as_csr_square(adjacency)
 
 
 def color_degree_matrices(
@@ -42,10 +44,9 @@ def color_degree_matrices(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Return dense ``(D_out, D_in)``, each ``n x k``."""
     matrix = _as_csr(adjacency)
-    indicator = coloring.indicator()
-    d_out = np.asarray((matrix @ indicator).todense())
-    d_in = np.asarray((matrix.T @ indicator).todense())
-    return d_out, d_in
+    return kernels.color_degree_matrices(
+        matrix, coloring.labels, coloring.n_colors
+    )
 
 
 def grouped_minmax(
@@ -55,22 +56,31 @@ def grouped_minmax(
 
     ``U[i, j] = max_{v in P_i} values[v, j]`` and symmetrically for ``L``.
     Delegates to the shared argsort + ``reduceat`` kernel
-    (:func:`repro.core.rothko.grouped_minmax_by_labels`).
+    (:func:`repro.core.kernels.grouped_minmax_by_labels`).
     """
-    from repro.core.rothko import grouped_minmax_by_labels
-
     if values.shape[0] != coloring.n:
         raise ValueError(
             f"values has {values.shape[0]} rows but coloring has {coloring.n} nodes"
         )
-    return grouped_minmax_by_labels(values, coloring.labels, coloring.n_colors)
+    return kernels.grouped_minmax_by_labels(
+        values, coloring.labels, coloring.n_colors
+    )
 
 
 def error_matrices(
-    adjacency: sp.spmatrix | np.ndarray, coloring: Coloring
+    adjacency: sp.spmatrix | np.ndarray,
+    coloring: Coloring,
+    degree_matrices: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Return ``(out_err, in_err)``, both ``k x k`` (see module docstring)."""
-    d_out, d_in = color_degree_matrices(adjacency, coloring)
+    """Return ``(out_err, in_err)``, both ``k x k`` (see module docstring).
+
+    Pass ``degree_matrices=(D_out, D_in)`` to reuse matrices you already
+    have (e.g. from :func:`color_degree_matrices`) instead of rebuilding
+    them from the adjacency.
+    """
+    if degree_matrices is None:
+        degree_matrices = color_degree_matrices(adjacency, coloring)
+    d_out, d_in = degree_matrices
     upper_out, lower_out = grouped_minmax(d_out, coloring)
     upper_in, lower_in = grouped_minmax(d_in, coloring)
     out_err = upper_out - lower_out
@@ -82,32 +92,57 @@ def error_matrices(
 
 
 def max_q_err(
-    adjacency: sp.spmatrix | np.ndarray, coloring: Coloring
+    adjacency: sp.spmatrix | np.ndarray,
+    coloring: Coloring,
+    degree_matrices: tuple[np.ndarray, np.ndarray] | None = None,
+    errors: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> float:
     """The maximum q-error of the coloring over both directions.
 
     This is the smallest ``q`` for which the coloring is q-stable
-    (Definition 1 with the ``~q`` relation).
+    (Definition 1 with the ``~q`` relation).  ``errors`` accepts a
+    precomputed :func:`error_matrices` pair to skip the reduction.
     """
-    out_err, in_err = error_matrices(adjacency, coloring)
+    if errors is None:
+        errors = error_matrices(
+            adjacency, coloring, degree_matrices=degree_matrices
+        )
+    out_err, in_err = errors
     if out_err.size == 0:
         return 0.0
     return float(max(out_err.max(), in_err.max()))
 
 
 def mean_q_err(
-    adjacency: sp.spmatrix | np.ndarray, coloring: Coloring
+    adjacency: sp.spmatrix | np.ndarray,
+    coloring: Coloring,
+    degree_matrices: tuple[np.ndarray, np.ndarray] | None = None,
+    errors: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> float:
     """Average q-error over color pairs that have any adjacency.
 
     Table 4's "Mean q" statistic: the spread averaged over the ordered
     color pairs ``(i, j)`` with at least one edge from ``P_i`` to ``P_j``
     (pairs without edges are exactly regular and would dilute the metric).
+
+    ``errors`` accepts a precomputed :func:`error_matrices` pair so
+    callers that already reduced the degree matrices skip the second
+    grouped min/max sweep.
     """
-    matrix = _as_csr(adjacency)
+    if degree_matrices is None:
+        degree_matrices = kernels.color_degree_matrices(
+            _as_csr(adjacency), coloring.labels, coloring.n_colors
+        )
+    d_out, _ = degree_matrices
+    # Block weight = column sums of D_out grouped by the node's color;
+    # no extra sparse triple product needed.
     indicator = coloring.indicator()
-    block_weight = np.asarray((indicator.T @ matrix @ indicator).todense())
-    out_err, in_err = error_matrices(adjacency, coloring)
+    block_weight = np.asarray((indicator.T @ d_out))
+    if errors is None:
+        errors = error_matrices(
+            adjacency, coloring, degree_matrices=degree_matrices
+        )
+    out_err, in_err = errors
     mask = block_weight != 0.0
     if not mask.any():
         return 0.0
@@ -138,11 +173,25 @@ class QErrorReport:
 def q_error_report(
     adjacency: sp.spmatrix | np.ndarray, coloring: Coloring
 ) -> QErrorReport:
-    """Bundle the Table 4 statistics for one coloring."""
+    """Bundle the Table 4 statistics for one coloring.
+
+    The degree matrices *and* the error matrices are each built exactly
+    once and threaded through both metrics (they used to be rebuilt three
+    times over).
+    """
+    matrix = _as_csr(adjacency)
+    degree_matrices = kernels.color_degree_matrices(
+        matrix, coloring.labels, coloring.n_colors
+    )
+    errors = error_matrices(
+        matrix, coloring, degree_matrices=degree_matrices
+    )
     return QErrorReport(
         n_colors=coloring.n_colors,
-        max_q=max_q_err(adjacency, coloring),
-        mean_q=mean_q_err(adjacency, coloring),
+        max_q=max_q_err(matrix, coloring, errors=errors),
+        mean_q=mean_q_err(
+            matrix, coloring, degree_matrices=degree_matrices, errors=errors
+        ),
         compression_ratio=coloring.compression_ratio(),
     )
 

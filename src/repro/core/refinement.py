@@ -27,16 +27,17 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.kernels import as_csr_square
 from repro.core.partition import Coloring
 from repro.core.similarity import Equality, Similarity
 from repro.exceptions import ColoringError
 
 
 def _as_csr(adjacency: sp.spmatrix | np.ndarray) -> sp.csr_matrix:
-    matrix = sp.csr_matrix(adjacency, dtype=np.float64)
-    if matrix.shape[0] != matrix.shape[1]:
-        raise ColoringError(f"adjacency must be square, got {matrix.shape}")
-    return matrix
+    try:
+        return as_csr_square(adjacency)
+    except ValueError as exc:
+        raise ColoringError(str(exc)) from exc
 
 
 def _group_rows(matrix: sp.csr_matrix) -> np.ndarray:

@@ -18,11 +18,35 @@ the loop as a generator so callers can consume intermediate colorings
 
 Implementation notes
 --------------------
-The engine maintains dense ``n x k`` degree matrices ``D_out`` / ``D_in``
-incrementally: a split only invalidates the two affected columns, which are
-rebuilt from CSC/CSR slices in ``O(nnz(affected columns))``.  The grouped
-max/min per iteration uses ``np.{maximum,minimum}.reduceat`` over
-color-sorted rows — ``O(n k)`` per iteration, all in vectorized numpy.
+The engine maintains *all* of its per-iteration state incrementally:
+
+* the dense ``n x k`` degree matrices ``D_out`` / ``D_in`` — a split
+  only invalidates the two affected columns, rebuilt straight off the
+  CSC/CSR index arrays in ``O(nnz(affected columns))``
+  (:func:`repro.core.kernels.scatter_select_sums`, no sparse slicing);
+* the ``k x k`` boundary matrices ``U`` / ``L``, the error matrices
+  ``Err``, and the size-weighted witness scores ``Err ⊙ C`` — persistent
+  across iterations.  A split of color ``c`` into ``(c, t)`` dirties
+  exactly the *columns* ``{c, t}`` of ``U``/``L`` (every color's spread
+  toward the two new blocks: one ``O(n)`` gather over the maintained
+  member lists + ``reduceat``, no argsort) and the *row-groups*
+  ``{c, t}`` (the two new blocks' spread toward every color:
+  ``O((|c| + |t|) k)`` max/min over the member rows).  Frozen-color
+  masking and relative-mode spreads are baked into the maintained
+  weighted matrices, so witness selection is a pair of ``O(k^2)``
+  argmax scans.
+
+Per-split work is therefore ``O(n + m k + k^2)`` where ``m`` is the size
+of the split color — down from the ``O(n k + n log n)`` full recompute of
+the naive formulation, which is what lets the engine scale to large
+budgets (``bench_rothko_scaling``).  :meth:`Rothko.verify_state` checks
+the maintained state against a from-scratch recompute; the invariant test
+suite drives it after every split.
+
+``RothkoStep.coloring`` is materialized lazily: the engine records each
+split's parent color, so any intermediate snapshot can be reconstructed
+on demand by remapping descendants back onto their ancestors — callers
+that never inspect snapshots (``run()``, Table 6 timing) pay nothing.
 
 Weights may be negative (the LP reduction colors constraint matrices);
 the geometric-mean split requires non-negative degrees and raises
@@ -38,6 +62,13 @@ from typing import Iterable, Iterator
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.kernels import (
+    color_degree_matrix_t,
+    grouped_minmax_by_labels,
+    grouped_minmax_by_members,
+    relative_spread,
+    scatter_select_sums,
+)
 from repro.core.partition import Coloring
 from repro.exceptions import ColoringError
 from repro.utils.stats import log_mean_threshold
@@ -66,17 +97,6 @@ def coerce_adjacency(graph) -> sp.csr_matrix:
     if matrix.shape[0] != matrix.shape[1]:
         raise ColoringError(f"adjacency must be square, got {matrix.shape}")
     return matrix
-
-
-def _relative_spread(upper: np.ndarray, lower: np.ndarray) -> np.ndarray:
-    """Per-block relative error ``log(max / min)`` with the Sec. 3.1 zero
-    convention: blocks mixing zero and nonzero degrees get ``inf``."""
-    spread = np.zeros_like(upper)
-    mixed = (lower <= 0.0) & (upper > 0.0)
-    positive = lower > 0.0
-    spread[mixed] = np.inf
-    spread[positive] = np.log(upper[positive] / lower[positive])
-    return spread
 
 
 def split_eject_mask(
@@ -113,43 +133,94 @@ def split_eject_mask(
     return eject_mask
 
 
-def grouped_minmax_by_labels(
-    values: np.ndarray, labels: np.ndarray, k: int
-) -> tuple[np.ndarray, np.ndarray]:
-    """Per-label max/min of a row-per-node array (1-D or 2-D).
-
-    The ``argsort`` + ``reduceat`` kernel shared by the static engine and
-    :class:`repro.dynamic.DynamicColoring`.  Labels must be contiguous
-    ``0..k-1`` with no empty classes (``reduceat`` over duplicated start
-    offsets would silently read the wrong element otherwise).
-    """
-    order = np.argsort(labels, kind="stable")
-    sizes = np.bincount(labels, minlength=k)
-    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
-    sorted_values = values[order]
-    if values.ndim == 1:
-        upper = np.maximum.reduceat(sorted_values, starts)
-        lower = np.minimum.reduceat(sorted_values, starts)
-    else:
-        upper = np.maximum.reduceat(sorted_values, starts, axis=0)
-        lower = np.minimum.reduceat(sorted_values, starts, axis=0)
-    return upper, lower
-
-
-@dataclass(frozen=True)
 class RothkoStep:
-    """Snapshot emitted after every split of the anytime loop."""
+    """Snapshot emitted after every split of the anytime loop.
 
-    iteration: int
-    n_colors: int
-    #: max unweighted q-error of the coloring *before* this split
-    q_err_before: float
-    #: (source_color, target_color, direction) that witnessed the split
-    witness: tuple[int, int, str]
-    #: coloring after the split
-    coloring: Coloring
-    #: seconds since the run started
-    elapsed: float
+    The :attr:`coloring` is materialized lazily on first access (and
+    cached): the engine's split history is a forest of parent pointers,
+    so the labels at this step are recovered by mapping every color
+    created later back onto its ancestor.  Snapshots therefore stay
+    valid — and immutable — even after the loop has moved on, while
+    callers that never look at them skip the ``O(n)`` copy entirely.
+    The engine reference is dropped on first access; a snapshot that is
+    retained but never read keeps the engine (and its dense matrices)
+    alive — touch ``.coloring`` before shelving a step long-term.
+    """
+
+    __slots__ = (
+        "iteration",
+        "n_colors",
+        "q_err_before",
+        "witness",
+        "elapsed",
+        "_engine",
+        "_coloring",
+    )
+
+    def __init__(
+        self,
+        *,
+        iteration: int,
+        n_colors: int,
+        q_err_before: float,
+        witness: tuple[int, int, str],
+        elapsed: float,
+        engine: "Rothko",
+    ) -> None:
+        #: split counter (1-based)
+        self.iteration = iteration
+        #: number of colors after this split
+        self.n_colors = n_colors
+        #: max unweighted q-error of the coloring *before* this split
+        self.q_err_before = q_err_before
+        #: (source_color, target_color, direction) that witnessed the split
+        self.witness = witness
+        #: seconds since the run started
+        self.elapsed = elapsed
+        self._engine = engine
+        self._coloring: Coloring | None = None
+
+    @property
+    def coloring(self) -> Coloring:
+        """Coloring after this split (lazily materialized, cached)."""
+        if self._coloring is None:
+            self._coloring = self._engine._coloring_at(self.n_colors)
+            # Once materialized the engine reference is dead weight —
+            # drop it so a retained snapshot does not pin the engine's
+            # dense matrices and adjacency copies in memory.
+            self._engine = None
+        return self._coloring
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RothkoStep):
+            return NotImplemented
+        return (
+            self.iteration == other.iteration
+            and self.n_colors == other.n_colors
+            and self.q_err_before == other.q_err_before
+            and self.witness == other.witness
+            and self.elapsed == other.elapsed
+            and self.coloring == other.coloring
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.iteration,
+                self.n_colors,
+                self.q_err_before,
+                self.witness,
+                self.elapsed,
+                self.coloring,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RothkoStep(iteration={self.iteration}, "
+            f"n_colors={self.n_colors}, q_err_before={self.q_err_before!r}, "
+            f"witness={self.witness!r}, elapsed={self.elapsed!r})"
+        )
 
 
 @dataclass(frozen=True)
@@ -248,42 +319,247 @@ class Rothko:
         self._members: list[np.ndarray] = [
             members.copy() for members in initial.classes()
         ]
-        capacity = max(16, 2 * self.k)
-        self._d_out = np.zeros((self.n, capacity), dtype=np.float64)
-        self._d_in = np.zeros((self.n, capacity), dtype=np.float64)
-        for color in range(self.k):
-            self._refresh_color(color)
+        #: split history: parent color of each color (-1 for initial ones)
+        self._parent: list[int] = [-1] * self.k
+        self._frozen_ids = np.array(sorted(self.frozen), dtype=np.int64)
+        self._init_state()
 
     # ------------------------------------------------------------------
-    # incremental degree-matrix maintenance
+    # incremental state: D, U/L, Err, weighted witness scores
     # ------------------------------------------------------------------
+    def _init_state(self) -> None:
+        """Build degree matrices and boundary/error/witness state once.
+
+        The degree matrices are stored color-major (``capacity x n``) so
+        the per-split column work — scatter refresh, difference against
+        the parent column, boundary gather — runs over contiguous rows.
+        """
+        capacity = max(16, 2 * self.k)
+        n, k = self.n, self.k
+        self._d_out = np.zeros((capacity, n), dtype=np.float64)
+        self._d_in = np.zeros((capacity, n), dtype=np.float64)
+        self._sizes = np.zeros(capacity, dtype=np.int64)
+        self._alpha_pow = np.ones(capacity, dtype=np.float64)
+        self._beta_pow = np.ones(capacity, dtype=np.float64)
+        # Boundary matrices in "natural" orientation: row = the node's
+        # color group, column = the color the degree points at.
+        self._u_out = np.zeros((capacity, capacity), dtype=np.float64)
+        self._l_out = np.zeros((capacity, capacity), dtype=np.float64)
+        self._u_in = np.zeros((capacity, capacity), dtype=np.float64)
+        self._l_in = np.zeros((capacity, capacity), dtype=np.float64)
+        # Error + weighted-witness matrices in (source, target)
+        # orientation, the one `error_matrices()` exposes.
+        self._err_out = np.zeros((capacity, capacity), dtype=np.float64)
+        self._err_in = np.zeros((capacity, capacity), dtype=np.float64)
+        self._w_out = np.zeros((capacity, capacity), dtype=np.float64)
+        self._w_in = np.zeros((capacity, capacity), dtype=np.float64)
+        if k == 0:
+            return
+
+        self._d_out[:k] = color_degree_matrix_t(
+            self._csr.indptr, self._csr.indices, self._csr.data,
+            self.labels, k,
+        )
+        self._d_in[:k] = color_degree_matrix_t(
+            self._csc.indptr, self._csc.indices, self._csc.data,
+            self.labels, k,
+        )
+        self._sizes[:k] = [m.size for m in self._members]
+        sizes_f = self._sizes[:k].astype(np.float64)
+        self._alpha_pow[:k] = np.power(sizes_f, self.alpha)
+        self._beta_pow[:k] = np.power(sizes_f, self.beta)
+
+        upper, lower = grouped_minmax_by_labels(
+            self._d_out[:k].T, self.labels, k
+        )
+        self._u_out[:k, :k] = upper
+        self._l_out[:k, :k] = lower
+        upper, lower = grouped_minmax_by_labels(
+            self._d_in[:k].T, self.labels, k
+        )
+        self._u_in[:k, :k] = upper
+        self._l_in[:k, :k] = lower
+
+        self._err_out[:k, :k] = self._spread(
+            self._u_out[:k, :k], self._l_out[:k, :k]
+        )
+        self._err_in[:k, :k] = self._spread(
+            self._u_in[:k, :k], self._l_in[:k, :k]
+        ).T
+        weight = self._alpha_pow[:k, None] * self._beta_pow[None, :k]
+        self._w_out[:k, :k] = self._err_out[:k, :k] * weight
+        self._w_in[:k, :k] = self._err_in[:k, :k] * weight
+        self._mask_frozen_full()
+
+    def _spread(self, upper: np.ndarray, lower: np.ndarray) -> np.ndarray:
+        if self.error_mode == "absolute":
+            return upper - lower
+        return relative_spread(upper, lower)
+
+    def _mask_frozen_full(self) -> None:
+        """Bake the frozen-color mask into the witness score matrices.
+
+        An out-witness splits the source color; an in-witness splits the
+        target color.  Mask frozen colors accordingly.
+        """
+        if self._frozen_ids.size:
+            self._w_out[self._frozen_ids, : self.k] = -np.inf
+            self._w_in[: self.k, self._frozen_ids] = -np.inf
+
     def _grow(self) -> None:
-        capacity = self._d_out.shape[1]
+        capacity = self._d_out.shape[0]
         if self.k < capacity:
             return
         new_capacity = max(2 * capacity, self.k + 1)
         for name in ("_d_out", "_d_in"):
             old = getattr(self, name)
-            grown = np.zeros((self.n, new_capacity), dtype=np.float64)
-            grown[:, :capacity] = old
+            grown = np.zeros((new_capacity, self.n), dtype=np.float64)
+            grown[:capacity] = old
+            setattr(self, name, grown)
+        for name in (
+            "_u_out", "_l_out", "_u_in", "_l_in",
+            "_err_out", "_err_in", "_w_out", "_w_in",
+        ):
+            old = getattr(self, name)
+            grown = np.zeros((new_capacity, new_capacity), dtype=np.float64)
+            grown[:capacity, :capacity] = old
+            setattr(self, name, grown)
+        for name, fill in (
+            ("_sizes", 0), ("_alpha_pow", 1.0), ("_beta_pow", 1.0)
+        ):
+            old = getattr(self, name)
+            grown = np.full(new_capacity, fill, dtype=old.dtype)
+            grown[:capacity] = old
             setattr(self, name, grown)
 
-    def _refresh_color(self, color: int) -> None:
-        """Rebuild both degree columns for one color from the adjacency."""
-        members = self._members[color]
-        self._d_out[:, color] = np.asarray(
-            self._csc[:, members].sum(axis=1)
-        ).ravel()
-        self._d_in[:, color] = np.asarray(
-            self._csr[members, :].sum(axis=0)
-        ).ravel()
+    def _refresh_split_columns(
+        self,
+        split_color: int,
+        new_color: int,
+        retain: np.ndarray,
+        eject: np.ndarray,
+    ) -> None:
+        """Refresh both dirtied degree columns with a single scatter pass.
+
+        The pre-split column of ``split_color`` covered retain ∪ eject,
+        so only the smaller shard needs the ``O(nnz(shard))`` scatter
+        kernel; the sibling column is the difference against the old
+        column.  Geometric-threshold runs (which includes all of relative
+        mode) scatter both shards instead: the difference can leave
+        ``~1e-15`` residues — possibly *negative* — where an exact zero
+        is required, which would crash ``log_mean_threshold`` and flip
+        the relative spread's categorical zero/nonzero classification.
+        Direct sums of the non-negative weights are exactly zero iff
+        every term is.
+        """
+        if self.split_mean == "geometric":
+            for color, shard in ((split_color, retain), (new_color, eject)):
+                for d, compressed in (
+                    (self._d_out, self._csc), (self._d_in, self._csr)
+                ):
+                    d[color] = scatter_select_sums(
+                        compressed.indptr, compressed.indices,
+                        compressed.data, shard, self.n,
+                    )
+            return
+        if eject.size <= retain.size:
+            shard_color, shard, sibling = new_color, eject, split_color
+        else:
+            shard_color, shard, sibling = split_color, retain, new_color
+        for d, compressed in (
+            (self._d_out, self._csc), (self._d_in, self._csr)
+        ):
+            old = d[split_color].copy()
+            d[shard_color] = scatter_select_sums(
+                compressed.indptr, compressed.indices, compressed.data,
+                shard, self.n,
+            )
+            np.subtract(old, d[shard_color], out=d[sibling])
+
+    def _update_boundary_columns(self, touched: tuple[int, int]) -> None:
+        """Recompute U/L columns for the dirtied colors over all groups.
+
+        ``O(n)``: the member lists double as a color-sorted node order,
+        so no argsort is needed; both directions go through one fused
+        gather + ``reduceat`` pass.
+        """
+        k = self.k
+        c, t = touched
+        fused = np.empty((4, self.n), dtype=np.float64)
+        fused[0] = self._d_out[c]
+        fused[1] = self._d_out[t]
+        fused[2] = self._d_in[c]
+        fused[3] = self._d_in[t]
+        upper, lower = grouped_minmax_by_members(fused, self._members)
+        cols = [c, t]
+        self._u_out[:k, cols] = upper[:2].T
+        self._l_out[:k, cols] = lower[:2].T
+        self._u_in[:k, cols] = upper[2:].T
+        self._l_in[:k, cols] = lower[2:].T
+
+    def _update_boundary_rowgroups(self, touched: tuple[int, int]) -> None:
+        """Recompute U/L rows for the dirtied groups over all colors.
+
+        ``O(m k)`` where ``m`` is the split color's size.
+        """
+        k = self.k
+        for group in touched:
+            members = self._members[group]
+            block = self._d_out[:k, members]
+            self._u_out[group, :k] = block.max(axis=1)
+            self._l_out[group, :k] = block.min(axis=1)
+            block = self._d_in[:k, members]
+            self._u_in[group, :k] = block.max(axis=1)
+            self._l_in[group, :k] = block.min(axis=1)
+
+    def _update_errors(self, touched: tuple[int, int]) -> None:
+        """Refresh the dirtied rows/columns of Err and the witness scores.
+
+        ``_err_out``/``_err_in`` live in (source, target) orientation; the
+        boundary matrices group by the *node's* color, so for the
+        in-direction a dirty row-group lands in an Err column and vice
+        versa.
+        """
+        k = self.k
+        for g in touched:
+            self._err_out[g, :k] = self._spread(
+                self._u_out[g, :k], self._l_out[g, :k]
+            )
+            self._err_out[:k, g] = self._spread(
+                self._u_out[:k, g], self._l_out[:k, g]
+            )
+            self._err_in[g, :k] = self._spread(
+                self._u_in[:k, g], self._l_in[:k, g]
+            )
+            self._err_in[:k, g] = self._spread(
+                self._u_in[g, :k], self._l_in[g, :k]
+            )
+        alpha_pow = self._alpha_pow[:k]
+        beta_pow = self._beta_pow[:k]
+        frozen = self._frozen_ids
+        for g in touched:
+            self._w_out[g, :k] = self._err_out[g, :k] * (
+                alpha_pow[g] * beta_pow
+            )
+            self._w_out[:k, g] = self._err_out[:k, g] * (
+                alpha_pow * beta_pow[g]
+            )
+            self._w_in[g, :k] = self._err_in[g, :k] * (
+                alpha_pow[g] * beta_pow
+            )
+            self._w_in[:k, g] = self._err_in[:k, g] * (
+                alpha_pow * beta_pow[g]
+            )
+            if frozen.size:
+                # Writes above clobbered masked entries in the touched
+                # rows/columns; re-apply (split colors are never frozen,
+                # so whole-row/column masks cannot be hit here).
+                self._w_out[frozen, g] = -np.inf
+                self._w_in[g, frozen] = -np.inf
 
     # ------------------------------------------------------------------
     # error matrices and witness selection
     # ------------------------------------------------------------------
-    def _grouped_minmax(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        return grouped_minmax_by_labels(values, self.labels, self.k)
-
     def error_matrices(self) -> tuple[np.ndarray, np.ndarray]:
         """Current ``(out_err, in_err)`` in (source, target) orientation.
 
@@ -291,44 +567,36 @@ class Rothko:
         Relative mode: ``log(U / L)`` with ``inf`` where zero and nonzero
         degrees mix, so the smallest eps for which the block is
         ``~eps``-regular is exactly this matrix entry.
+
+        Served from the maintained state in ``O(k^2)`` (copies are
+        returned; mutating them does not disturb the engine).
         """
-        d_out = self._d_out[:, : self.k]
-        d_in = self._d_in[:, : self.k]
-        upper_out, lower_out = self._grouped_minmax(d_out)
-        upper_in, lower_in = self._grouped_minmax(d_in)
-        if self.error_mode == "absolute":
-            return upper_out - lower_out, (upper_in - lower_in).T
-        return (
-            _relative_spread(upper_out, lower_out),
-            _relative_spread(upper_in, lower_in).T,
-        )
+        k = self.k
+        return self._err_out[:k, :k].copy(), self._err_in[:k, :k].copy()
 
     def _find_witness(self) -> tuple[float, float, int, int, str]:
-        """Return (max_raw_err, max_weighted_err, i, j, direction)."""
-        out_err, in_err = self.error_matrices()
-        raw_max = float(max(out_err.max(initial=0.0), in_err.max(initial=0.0)))
+        """Return (max_raw_err, max_weighted_err, i, j, direction).
 
-        sizes = np.array([len(m) for m in self._members[: self.k]], dtype=float)
-        weight = np.power(sizes, self.alpha)[:, None] * np.power(sizes, self.beta)[
-            None, :
-        ]
-        weighted_out = out_err * weight
-        weighted_in = in_err * weight
-        if self.frozen:
-            frozen_ids = [c for c in self.frozen if c < self.k]
-            # An out-witness splits the source color; an in-witness splits
-            # the target color.  Mask frozen colors accordingly.
-            weighted_out[frozen_ids, :] = -np.inf
-            weighted_in[:, frozen_ids] = -np.inf
+        Pure ``O(k^2)`` argmax scans over the maintained matrices — no
+        degree-matrix sweep, no argsort.
+        """
+        k = self.k
+        if k == 0:
+            return 0.0, 0.0, 0, 0, "out"
+        err_out = self._err_out[:k, :k]
+        err_in = self._err_in[:k, :k]
+        raw_max = float(max(err_out.max(initial=0.0), err_in.max(initial=0.0)))
 
+        weighted_out = self._w_out[:k, :k]
+        weighted_in = self._w_in[:k, :k]
         flat_out = int(np.argmax(weighted_out))
         flat_in = int(np.argmax(weighted_in))
         best_out = weighted_out.flat[flat_out]
         best_in = weighted_in.flat[flat_in]
         if best_out >= best_in:
-            i, j = divmod(flat_out, self.k)
+            i, j = divmod(flat_out, k)
             return raw_max, float(best_out), i, j, "out"
-        i, j = divmod(flat_in, self.k)
+        i, j = divmod(flat_in, k)
         return raw_max, float(best_in), i, j, "in"
 
     # ------------------------------------------------------------------
@@ -337,10 +605,10 @@ class Rothko:
     def _split(self, i: int, j: int, direction: str) -> None:
         if direction == "out":
             split_color = i
-            degrees = self._d_out[self._members[i], j]
+            degrees = self._d_out[j, self._members[i]]
         else:
             split_color = j
-            degrees = self._d_in[self._members[j], i]
+            degrees = self._d_in[i, self._members[j]]
         members = self._members[split_color]
         eject_mask = split_eject_mask(
             degrees, self.split_mean, relative=self.error_mode == "relative"
@@ -358,8 +626,17 @@ class Rothko:
         self.labels[eject] = new_color
         self._members[split_color] = retain
         self._members.append(eject)
-        self._refresh_color(split_color)
-        self._refresh_color(new_color)
+        self._parent.append(split_color)
+        for color, members in ((split_color, retain), (new_color, eject)):
+            self._sizes[color] = members.size
+            size_f = np.float64(members.size)
+            self._alpha_pow[color] = np.power(size_f, self.alpha)
+            self._beta_pow[color] = np.power(size_f, self.beta)
+        self._refresh_split_columns(split_color, new_color, retain, eject)
+        touched = (split_color, new_color)
+        self._update_boundary_columns(touched)
+        self._update_boundary_rowgroups(touched)
+        self._update_errors(touched)
 
     # ------------------------------------------------------------------
     # the anytime loop
@@ -367,6 +644,18 @@ class Rothko:
     def coloring(self) -> Coloring:
         """Current partition as an immutable :class:`Coloring`."""
         return Coloring(self.labels)
+
+    def _coloring_at(self, n_colors: int) -> Coloring:
+        """Reconstruct the coloring as of the split that reached
+        ``n_colors`` colors, by replaying the parent pointers backwards."""
+        if n_colors >= self.k:
+            return self.coloring()
+        remap = np.arange(self.k, dtype=np.int64)
+        for color in range(n_colors, self.k):
+            # parent < color, so remap[parent] is already resolved to an
+            # ancestor that existed at the requested step.
+            remap[color] = remap[self._parent[color]]
+        return Coloring(remap[self.labels])
 
     def steps(
         self,
@@ -407,8 +696,8 @@ class Rothko:
                 n_colors=self.k,
                 q_err_before=raw_err,
                 witness=(i, j, direction),
-                coloring=self.coloring(),
                 elapsed=time.perf_counter() - start,
+                engine=self,
             )
 
     def run(
@@ -433,6 +722,74 @@ class Rothko:
             n_iterations=iterations,
             elapsed=time.perf_counter() - start,
         )
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def verify_state(self, atol: float = 1e-8, rtol: float = 1e-9) -> None:
+        """Check every piece of maintained state against a from-scratch
+        recompute; raises :class:`ColoringError` on divergence.
+
+        The invariant test suite calls this after every split — it is the
+        executable definition of what the incremental updates maintain.
+        """
+        n, k = self.n, self.k
+        if sorted(np.unique(self.labels).tolist()) != list(range(k)):
+            raise ColoringError("color ids are not contiguous")
+        for color, members in enumerate(self._members):
+            if not np.array_equal(
+                np.sort(members), np.flatnonzero(self.labels == color)
+            ):
+                raise ColoringError(f"member list of color {color} is stale")
+        if not np.array_equal(
+            self._sizes[:k], [m.size for m in self._members]
+        ):
+            raise ColoringError("maintained sizes are stale")
+        d_out = color_degree_matrix_t(
+            self._csr.indptr, self._csr.indices, self._csr.data,
+            self.labels, k,
+        )
+        d_in = color_degree_matrix_t(
+            self._csc.indptr, self._csc.indices, self._csc.data,
+            self.labels, k,
+        )
+        checks = [("D_out", self._d_out[:k], d_out),
+                  ("D_in", self._d_in[:k], d_in)]
+        u_out, l_out = grouped_minmax_by_labels(d_out.T, self.labels, k)
+        u_in, l_in = grouped_minmax_by_labels(d_in.T, self.labels, k)
+        checks += [
+            ("U_out", self._u_out[:k, :k], u_out),
+            ("L_out", self._l_out[:k, :k], l_out),
+            ("U_in", self._u_in[:k, :k], u_in),
+            ("L_in", self._l_in[:k, :k], l_in),
+            ("Err_out", self._err_out[:k, :k], self._spread(u_out, l_out)),
+            ("Err_in", self._err_in[:k, :k], self._spread(u_in, l_in).T),
+        ]
+        weight = self._alpha_pow[:k, None] * self._beta_pow[None, :k]
+        w_out = self._spread(u_out, l_out) * weight
+        w_in = self._spread(u_in, l_in).T * weight
+        if self._frozen_ids.size:
+            w_out[self._frozen_ids, :] = -np.inf
+            w_in[:, self._frozen_ids] = -np.inf
+        checks += [
+            ("weighted_out", self._w_out[:k, :k], w_out),
+            ("weighted_in", self._w_in[:k, :k], w_in),
+        ]
+        for name, maintained, scratch in checks:
+            # The sibling-column subtraction leaves residues proportional
+            # to the weight magnitude on exact-zero entries, where rtol
+            # contributes nothing — scale atol by the matrix magnitude.
+            finite = scratch[np.isfinite(scratch)]
+            scale = (
+                max(1.0, float(np.abs(finite).max())) if finite.size else 1.0
+            )
+            if not np.allclose(
+                maintained, scratch, atol=atol * scale, rtol=rtol,
+                equal_nan=True,
+            ):
+                raise ColoringError(
+                    f"maintained {name} diverged from scratch recompute"
+                )
 
 
 def q_color(

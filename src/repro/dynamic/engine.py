@@ -41,13 +41,14 @@ from typing import Iterable, Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.partition import Coloring
-from repro.core.rothko import (
-    Rothko,
-    _relative_spread,
+from repro.core.kernels import (
+    color_degree_matrices,
     grouped_minmax_by_labels,
-    split_eject_mask,
+    relative_spread,
+    scatter_add,
 )
+from repro.core.partition import Coloring
+from repro.core.rothko import Rothko, split_eject_mask
 from repro.dynamic.updates import EdgeUpdate
 from repro.exceptions import ColoringError
 from repro.graphs.digraph import WeightedDiGraph
@@ -237,13 +238,21 @@ class DynamicColoring:
         return engine
 
     def _adopt(self, engine: Rothko) -> None:
-        """Take over a static engine's labels, members, and degree matrices."""
+        """Take over a static engine's labels, members, and degree matrices.
+
+        The static engine stores its degree matrices color-major
+        (``k x n``); this engine patches per-node entries on every arc
+        event, so transpose back into node-major ``n x k`` storage.
+        """
         self.k = engine.k
         self._labels_buf = engine.labels.copy()
         self._members: list[np.ndarray] = [m.copy() for m in engine._members]
-        self._d_out = engine._d_out.copy()
-        self._d_in = engine._d_in.copy()
-        self._row_capacity = self._d_out.shape[0]
+        capacity = max(16, 2 * self.k)
+        self._d_out = np.zeros((engine.n, capacity), dtype=np.float64)
+        self._d_in = np.zeros((engine.n, capacity), dtype=np.float64)
+        self._d_out[:, : self.k] = engine._d_out[: self.k].T
+        self._d_in[:, : self.k] = engine._d_in[: self.k].T
+        self._row_capacity = engine.n
         self._color_pin = [
             int(self._pins.labels[int(members[0])]) if members.size else -1
             for members in self._members
@@ -387,7 +396,7 @@ class DynamicColoring:
     def _spread(self, upper: np.ndarray, lower: np.ndarray) -> np.ndarray:
         if self.error_mode == "absolute":
             return upper - lower
-        return _relative_spread(upper, lower)
+        return relative_spread(upper, lower)
 
     def _pair_spread(self, values: np.ndarray) -> float:
         if values.size == 0:
@@ -485,18 +494,46 @@ class DynamicColoring:
         return color
 
     def _refresh_color(self, color: int) -> None:
-        """Rebuild both degree columns for one color from the live graph."""
+        """Rebuild both degree columns for one color from the live graph.
+
+        The members' neighborhoods are gathered into flat index/weight
+        arrays and accumulated with the shared
+        :func:`repro.core.kernels.scatter_add` bincount kernel —
+        ``O(nnz(members))`` with no per-edge Python arithmetic.
+        """
         n = self.n
-        col_out = np.zeros(n, dtype=np.float64)
-        col_in = np.zeros(n, dtype=np.float64)
-        for v in self._members[color].tolist():
-            for u, w in self.graph.in_items(v).items():
-                col_out[u] += w
-            for t, w in self.graph.out_items(v).items():
-                col_in[t] += w
-        self._d_out[:n, color] = col_out
-        self._d_in[:n, color] = col_in
+        members = self._members[color]
+        self._d_out[:n, color] = self._gathered_column(
+            members, self.graph.in_items
+        )
+        self._d_in[:n, color] = self._gathered_column(
+            members, self.graph.out_items
+        )
         self.stats.columns_refreshed += 2
+
+    def _gathered_column(self, members: np.ndarray, neighbors_of) -> np.ndarray:
+        """One degree-matrix column: total weight between each node and
+        the member set, accumulated via the shared bincount kernel."""
+        index_chunks: list[np.ndarray] = []
+        weight_chunks: list[np.ndarray] = []
+        for v in members.tolist():
+            items = neighbors_of(v)
+            if items:
+                index_chunks.append(
+                    np.fromiter(items.keys(), dtype=np.int64, count=len(items))
+                )
+                weight_chunks.append(
+                    np.fromiter(
+                        items.values(), dtype=np.float64, count=len(items)
+                    )
+                )
+        if not index_chunks:
+            return np.zeros(self.n, dtype=np.float64)
+        return scatter_add(
+            np.concatenate(index_chunks),
+            np.concatenate(weight_chunks),
+            self.n,
+        )
 
     # ------------------------------------------------------------------
     # coarsening: bounded merge pass over the lattice
@@ -653,11 +690,7 @@ class DynamicColoring:
             if not np.array_equal(np.sort(members), np.flatnonzero(labels == color)):
                 raise ColoringError(f"member list of color {color} is stale")
         csr = self.graph.to_csr()
-        indicator = sp.csr_matrix(
-            (np.ones(n), (np.arange(n), labels)), shape=(n, k)
-        )
-        d_out = np.asarray((csr @ indicator).todense())
-        d_in = np.asarray((csr.T @ indicator).todense())
+        d_out, d_in = color_degree_matrices(csr, labels, k)
         if not np.allclose(self._d_out[:n, :k], d_out, atol=atol):
             raise ColoringError("maintained D_out diverged from the graph")
         if not np.allclose(self._d_in[:n, :k], d_in, atol=atol):

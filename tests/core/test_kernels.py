@@ -1,0 +1,150 @@
+"""Unit tests for the shared vectorized kernels."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import kernels
+from repro.core.partition import Coloring
+
+
+def _random_csr(n, density, seed):
+    generator = np.random.default_rng(seed)
+    dense = generator.random((n, n)) * (generator.random((n, n)) < density)
+    np.fill_diagonal(dense, 0.0)
+    return sp.csr_matrix(dense)
+
+
+class TestTakeRanges:
+    def test_basic(self):
+        starts = np.array([0, 10, 5])
+        counts = np.array([3, 2, 1])
+        np.testing.assert_array_equal(
+            kernels.take_ranges(starts, counts), [0, 1, 2, 10, 11, 5]
+        )
+
+    def test_empty_ranges_skipped(self):
+        starts = np.array([4, 7, 2])
+        counts = np.array([2, 0, 3])
+        np.testing.assert_array_equal(
+            kernels.take_ranges(starts, counts), [4, 5, 2, 3, 4]
+        )
+
+    def test_all_empty(self):
+        result = kernels.take_ranges(np.array([3, 9]), np.array([0, 0]))
+        assert result.size == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_naive(self, seed):
+        generator = np.random.default_rng(seed)
+        starts = generator.integers(0, 50, size=12)
+        counts = generator.integers(0, 6, size=12)
+        naive = np.concatenate(
+            [np.arange(s, s + c) for s, c in zip(starts, counts)]
+            + [np.empty(0, dtype=np.int64)]
+        )
+        np.testing.assert_array_equal(
+            kernels.take_ranges(starts, counts), naive
+        )
+
+
+class TestScatterSelectSums:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_csc_columns_equal_dense_sum(self, seed):
+        matrix = _random_csr(20, 0.3, seed)
+        csc = matrix.tocsc()
+        members = np.array([1, 4, 7, 15])
+        column = kernels.scatter_select_sums(
+            csc.indptr, csc.indices, csc.data, members, 20
+        )
+        np.testing.assert_allclose(
+            column, matrix.toarray()[:, members].sum(axis=1)
+        )
+
+    def test_empty_selection(self):
+        matrix = _random_csr(10, 0.3, 0)
+        column = kernels.scatter_select_sums(
+            matrix.indptr,
+            matrix.indices,
+            matrix.data,
+            np.empty(0, dtype=np.int64),
+            10,
+        )
+        np.testing.assert_array_equal(column, np.zeros(10))
+
+
+class TestColorDegreeMatrix:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_indicator_product(self, seed):
+        matrix = _random_csr(25, 0.25, seed)
+        generator = np.random.default_rng(seed)
+        coloring = Coloring(generator.integers(0, 5, size=25))
+        k = coloring.n_colors
+        expected = matrix.toarray() @ coloring.indicator().toarray()
+        d_out = kernels.color_degree_matrix(
+            matrix.indptr, matrix.indices, matrix.data, coloring.labels, k
+        )
+        np.testing.assert_allclose(d_out, expected)
+        transposed = kernels.color_degree_matrix_t(
+            matrix.indptr, matrix.indices, matrix.data, coloring.labels, k
+        )
+        np.testing.assert_allclose(transposed, expected.T)
+
+    def test_zero_colors(self):
+        matrix = _random_csr(5, 0.4, 1)
+        result = kernels.color_degree_matrix(
+            matrix.indptr, matrix.indices, matrix.data, np.zeros(5, int), 0
+        )
+        assert result.shape == (5, 0)
+
+
+class TestGroupedMinmax:
+    def test_zero_colors(self):
+        upper, lower = kernels.grouped_minmax_by_labels(
+            np.empty((0, 0)), np.empty(0, dtype=np.int64), 0
+        )
+        assert upper.shape == lower.shape == (0, 0)
+        upper, lower = kernels.grouped_minmax_by_members(np.empty((3, 0)), [])
+        assert upper.shape == lower.shape == (3, 0)
+
+    def test_empty_graph_max_q_err(self):
+        from repro.core.qerror import max_q_err
+
+        empty = sp.csr_matrix((0, 0))
+        assert max_q_err(empty, Coloring(np.empty(0, dtype=np.int64))) == 0.0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_members_variant_matches_labels_variant(self, seed):
+        generator = np.random.default_rng(seed)
+        n, k, r = 30, 4, 3
+        labels = generator.integers(0, k, size=n)
+        labels[:k] = np.arange(k)  # every class non-empty
+        values = generator.standard_normal((r, n))
+        members = [np.flatnonzero(labels == c) for c in range(k)]
+        upper_m, lower_m = kernels.grouped_minmax_by_members(values, members)
+        upper_l, lower_l = kernels.grouped_minmax_by_labels(values.T, labels, k)
+        np.testing.assert_allclose(upper_m, upper_l.T)
+        np.testing.assert_allclose(lower_m, lower_l.T)
+
+
+class TestScatterAdd:
+    def test_accumulates(self):
+        out = kernels.scatter_add(
+            np.array([0, 2, 2, 4]), np.array([1.0, 2.0, 3.0, 4.0]), 6
+        )
+        np.testing.assert_allclose(out, [1.0, 0.0, 5.0, 0.0, 4.0, 0.0])
+
+    def test_empty(self):
+        np.testing.assert_array_equal(
+            kernels.scatter_add(np.empty(0, int), np.empty(0), 3), np.zeros(3)
+        )
+
+
+class TestAsCsrSquare:
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            kernels.as_csr_square(np.zeros((2, 3)))
+
+    def test_dense_roundtrip(self):
+        dense = np.arange(9.0).reshape(3, 3)
+        assert kernels.as_csr_square(dense).toarray().tolist() == dense.tolist()
