@@ -47,6 +47,9 @@ SMOKE_FILTERS = {
     ),
     "bench_core_micro": "test_q_error_evaluation or edmonds_karp",
     "bench_dynamic_updates": "random",
+    # Time both sweep strategies once each; the strict >= 3x assertion
+    # test stays out of smoke mode (CI runners are too noisy for it).
+    "bench_pipeline_progressive": "test_sweep",
 }
 
 

@@ -14,7 +14,7 @@ Run:  python examples/lp_compression.py
 
 from repro.core.partition import Coloring
 from repro.lp.generators import fig3_example, qap_like
-from repro.lp.reduction import approx_lp_opt, reduce_lp_with_coloring
+from repro.lp.reduction import approx_lp_opt, reduce_lp
 from repro.lp.solve import solve_lp
 from repro.utils.stats import ratio_error
 from repro.utils.tables import format_table
@@ -29,7 +29,7 @@ def part1_worked_example() -> None:
     # with the objective row and RHS column pinned as singletons.
     row_coloring = Coloring([0, 0, 0, 1, 1, 2])
     col_coloring = Coloring([0, 0, 1, 2])
-    reduction = reduce_lp_with_coloring(lp, row_coloring, col_coloring)
+    reduction = reduce_lp(lp, coloring=(row_coloring, col_coloring))
     reduced_opt = solve_lp(reduction.reduced).objective
     print(
         f"Reduced {reduction.reduced.n_rows}x{reduction.reduced.n_cols} LP "

@@ -18,6 +18,15 @@ Applications:
     :func:`repro.centrality.approx_betweenness` — color-pivot betweenness
     (Sec. 4.3).
 
+Pipeline:
+    :mod:`repro.pipeline` — the unified compress–solve–lift layer the
+    three applications run on: :class:`~repro.pipeline.CompressionTask`
+    adapters, :func:`~repro.pipeline.run_task`, the progressive multi-k
+    runner :func:`~repro.pipeline.progressive_sweep` (one Rothko run,
+    block weights maintained incrementally per split), and the keyed
+    :class:`~repro.pipeline.ColoringCache` sharing colorings across
+    tasks, weight modes, and checkpoints.
+
 Streaming:
     :class:`repro.dynamic.DynamicColoring` — incremental maintenance of a
     quasi-stable coloring under edge insertions, deletions, and weight

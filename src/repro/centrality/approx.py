@@ -18,16 +18,15 @@ random, matching "randomly sampling some v in that color".
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.partition import Coloring
-from repro.core.rothko import Rothko
 from repro.centrality.brandes import betweenness_centrality
 from repro.graphs.digraph import WeightedDiGraph
 from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.timing import StageTimings
 
 
 @dataclass(frozen=True)
@@ -37,12 +36,19 @@ class ApproxCentralityResult:
     scores: np.ndarray
     coloring: Coloring
     representatives: np.ndarray
-    coloring_seconds: float
-    solve_seconds: float
+    timings: StageTimings
+
+    @property
+    def coloring_seconds(self) -> float:
+        return self.timings.coloring
+
+    @property
+    def solve_seconds(self) -> float:
+        return self.timings.solve
 
     @property
     def total_seconds(self) -> float:
-        return self.coloring_seconds + self.solve_seconds
+        return self.timings.total
 
     @property
     def n_colors(self) -> int:
@@ -86,7 +92,8 @@ def approx_betweenness(
     seed: SeedLike = 0,
     pivots_per_color: int = 1,
 ) -> ApproxCentralityResult:
-    """The paper's centrality pipeline: color, then pivot-Brandes.
+    """The paper's centrality pipeline: color, then pivot-Brandes,
+    driven through the shared :mod:`repro.pipeline` runner.
 
     ``alpha = beta = 1`` per Sec. 5.2; the geometric-mean split is the
     paper's recommendation for scale-free social graphs (all weights are
@@ -94,30 +101,19 @@ def approx_betweenness(
     """
     if n_colors is None and q is None:
         raise ValueError("approx_betweenness needs n_colors and/or q")
-    start = time.perf_counter()
-    engine = Rothko(
-        graph,
-        alpha=1.0,
-        beta=1.0,
-        split_mean=split_mean,
-    )
-    rothko = engine.run(
-        max_colors=n_colors, q_tolerance=q if q is not None else 0.0
-    )
-    coloring_seconds = time.perf_counter() - start
+    from repro.pipeline import CentralityTask, run_task
 
-    start = time.perf_counter()
-    scores, representatives = pivot_betweenness(
+    task = CentralityTask(
         graph,
-        rothko.coloring,
         seed=seed,
         pivots_per_color=pivots_per_color,
+        split_mean=split_mean,
     )
-    solve_seconds = time.perf_counter() - start
+    result = run_task(task, n_colors=n_colors, q=q)
+    scores, representatives = result.solution
     return ApproxCentralityResult(
         scores=scores,
-        coloring=rothko.coloring,
+        coloring=result.coloring,
         representatives=representatives,
-        coloring_seconds=coloring_seconds,
-        solve_seconds=solve_seconds,
+        timings=result.timings,
     )

@@ -8,6 +8,10 @@ Commands
              a recorded update trace, reporting repair statistics;
 ``stream``   consume an update trace from stdin (or a file) and emit one
              stats row per batch — the anytime view of maintenance;
+``solve``    run the unified compress–solve–lift pipeline for one task
+             (max-flow / LP / centrality) on a registry dataset, at one
+             color budget or progressively across a whole schedule of
+             budgets off a single coloring run;
 ``datasets`` print the Tables 2/3 dataset inventory;
 ``tables``   regenerate one of the paper's experiment tables at a chosen
              scale (the pytest benchmarks wrap the same drivers).
@@ -181,6 +185,72 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+#: default dataset scale per task kind (matching the ``tables`` presets)
+_SOLVE_SCALES = {"maxflow": 0.01, "lp": 0.04, "centrality": 0.015}
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.datasets.registry import load_flow, load_graph, load_lp
+    from repro.exceptions import DatasetError
+    from repro.pipeline import progressive_sweep, run_task, task_for
+
+    scale = args.scale if args.scale is not None else _SOLVE_SCALES[args.task]
+    try:
+        if args.task == "maxflow":
+            problem = load_flow(args.dataset, scale=scale)
+            options = {"bound": args.bound, "algorithm": args.algorithm}
+        elif args.task == "lp":
+            problem = load_lp(args.dataset, scale=scale)
+            options = {"mode": args.mode}
+        else:
+            problem = load_graph(args.dataset, scale=scale)
+            options = {"seed": args.seed}
+    except DatasetError as exc:
+        raise SystemExit(str(exc)) from exc
+    task = task_for(args.task, problem, **options)
+
+    if args.colors is not None:
+        try:
+            budgets = [int(part) for part in args.colors.split(",") if part]
+        except ValueError as exc:
+            raise SystemExit(
+                f"--colors must be a comma-separated list of ints, "
+                f"got {args.colors!r}"
+            ) from exc
+        if not budgets:
+            raise SystemExit("--colors must name at least one budget")
+        # --q composes with --colors exactly as in run_task: each
+        # checkpoint also stops early once the q target is met.
+        results = progressive_sweep(task, budgets, q=args.q)
+    elif args.q is not None:
+        results = [run_task(task, q=args.q)]
+    else:
+        raise SystemExit("solve needs --colors and/or --q")
+
+    rows = [
+        {
+            "colors": result.n_colors,
+            "max_q": result.max_q_err,
+            "value": result.value,
+            "coloring_s": result.timings.coloring,
+            "reduce_s": result.timings.reduce,
+            "solve_s": result.timings.solve,
+            "total_s": result.total_seconds,
+        }
+        for result in results
+    ]
+    print(
+        render_rows(
+            rows,
+            title=(
+                f"{args.task} pipeline on {args.dataset} (scale {scale}, "
+                f"one coloring, {len(results)} checkpoint(s))"
+            ),
+        )
+    )
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from repro.datasets.registry import table2_rows, table3_rows
 
@@ -303,6 +373,33 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.set_defaults(func=_cmd_update)
         else:
             cmd.set_defaults(func=_cmd_stream)
+
+    solve = sub.add_parser(
+        "solve",
+        help="run the compress-solve-lift pipeline on a registry dataset",
+    )
+    solve.add_argument("--task", required=True,
+                       choices=("maxflow", "lp", "centrality"))
+    solve.add_argument("--dataset", required=True,
+                       help="registry dataset name (see `repro datasets`)")
+    solve.add_argument("--scale", type=float, default=None,
+                       help="dataset scale (1.0 = paper size)")
+    solve.add_argument("--colors", default=None,
+                       help="color budget, or comma-separated schedule for "
+                            "a progressive multi-k sweep (one coloring run)")
+    solve.add_argument("--q", type=float, default=None,
+                       help="target maximum q-error (instead of --colors)")
+    solve.add_argument("--bound", choices=("upper", "lower"),
+                       default="upper", help="maxflow: reduced capacity bound")
+    solve.add_argument("--algorithm",
+                       choices=("push_relabel", "dinic", "edmonds_karp"),
+                       default="push_relabel",
+                       help="maxflow: reduced-network solver")
+    solve.add_argument("--mode", choices=("sqrt", "grohe"), default="sqrt",
+                       help="lp: reduction weight mode")
+    solve.add_argument("--seed", type=int, default=0,
+                       help="centrality: pivot sampling seed")
+    solve.set_defaults(func=_cmd_solve)
 
     datasets = sub.add_parser("datasets", help="print the dataset registry")
     datasets.set_defaults(func=_cmd_datasets)

@@ -11,6 +11,9 @@ to the same handful of primitives over CSR/CSC index arrays:
   columns directly out of ``indptr``/``indices``/``data``;
 * :func:`scatter_select_sums` — per-node total weight toward a *member
   subset* (one degree-matrix column) in ``O(nnz(members))``;
+* :func:`scatter_select_color_sums` — per-*color* total weight of a
+  member subset (one row or column of the block-weight matrix
+  ``W = S^T A S``) in ``O(nnz(members))``;
 * :func:`color_degree_matrix` — the full dense ``n x k`` degree matrix in
   one ``O(m)`` bincount over flattened ``(node, color)`` keys;
 * :func:`grouped_minmax_by_labels` — per-color max/min (the ``U``/``L``
@@ -32,6 +35,7 @@ __all__ = [
     "scatter_add",
     "take_ranges",
     "scatter_select_sums",
+    "scatter_select_color_sums",
     "color_degree_matrix",
     "color_degree_matrix_t",
     "color_degree_matrices",
@@ -104,6 +108,31 @@ def scatter_select_sums(
     counts = indptr[select + 1] - starts
     positions = take_ranges(starts, counts)
     return scatter_add(indices[positions], data[positions], size)
+
+
+def scatter_select_color_sums(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    select: np.ndarray,
+    labels: np.ndarray,
+    n_colors: int,
+) -> np.ndarray:
+    """Total weight of the selected CSR rows (CSC columns), per *color*.
+
+    On the CSR arrays with ``select = members(P_i)`` this is one row of
+    the block-weight matrix: ``W[i, j] = w(P_i, P_j)`` for every ``j``;
+    on the CSC arrays it yields the column ``W[:, i] = w(P_j, P_i)``.
+    The incremental block-weight tracker of the pipeline runner uses it
+    to patch the two rows/columns a Rothko split dirties in
+    ``O(nnz(select))`` instead of recomputing the ``S^T A S`` triple
+    product.
+    """
+    select = np.asarray(select, dtype=np.int64)
+    starts = indptr[select]
+    counts = indptr[select + 1] - starts
+    positions = take_ranges(starts, counts)
+    return scatter_add(labels[indices[positions]], data[positions], n_colors)
 
 
 def color_degree_matrix(

@@ -27,6 +27,21 @@ def canonicalize_labels(labels: np.ndarray) -> np.ndarray:
     return order[inverse].astype(np.int64)
 
 
+def first_occurrence_values(labels: np.ndarray) -> np.ndarray:
+    """Original label values in canonical (first occurrence) order.
+
+    The inverse view of :func:`canonicalize_labels`:
+    ``first_occurrence_values(labels)[c]`` is the value that canonical
+    color ``c`` had in ``labels``.  Consumers that maintain state keyed
+    by raw label values (the pipeline's block-weight tracker, the LP
+    reduction's bipartite slicing) use it to realign with the canonical
+    :class:`Coloring` ids.
+    """
+    labels = np.asarray(labels)
+    values, first_index = np.unique(labels, return_index=True)
+    return values[np.argsort(first_index)]
+
+
 class Coloring:
     """A partition of ``{0, ..., n-1}`` into ``k`` color classes.
 

@@ -152,6 +152,7 @@ class RothkoStep:
         "n_colors",
         "q_err_before",
         "witness",
+        "parent_color",
         "elapsed",
         "_engine",
         "_coloring",
@@ -164,6 +165,7 @@ class RothkoStep:
         n_colors: int,
         q_err_before: float,
         witness: tuple[int, int, str],
+        parent_color: int,
         elapsed: float,
         engine: "Rothko",
     ) -> None:
@@ -175,16 +177,23 @@ class RothkoStep:
         self.q_err_before = q_err_before
         #: (source_color, target_color, direction) that witnessed the split
         self.witness = witness
+        #: engine color id that was split (the new color's parent)
+        self.parent_color = parent_color
         #: seconds since the run started
         self.elapsed = elapsed
         self._engine = engine
         self._coloring: Coloring | None = None
 
     @property
+    def new_color(self) -> int:
+        """Engine color id created by this split (always the highest)."""
+        return self.n_colors - 1
+
+    @property
     def coloring(self) -> Coloring:
         """Coloring after this split (lazily materialized, cached)."""
         if self._coloring is None:
-            self._coloring = self._engine._coloring_at(self.n_colors)
+            self._coloring = self._engine.coloring_at(self.n_colors)
             # Once materialized the engine reference is dead weight —
             # drop it so a retained snapshot does not pin the engine's
             # dense matrices and adjacency copies in memory.
@@ -602,7 +611,7 @@ class Rothko:
     # ------------------------------------------------------------------
     # splitting
     # ------------------------------------------------------------------
-    def _split(self, i: int, j: int, direction: str) -> None:
+    def _split(self, i: int, j: int, direction: str) -> int:
         if direction == "out":
             split_color = i
             degrees = self._d_out[j, self._members[i]]
@@ -616,6 +625,7 @@ class Rothko:
         retain = members[~eject_mask]
         eject = members[eject_mask]
         self._apply_split(split_color, retain, eject)
+        return split_color
 
     def _apply_split(
         self, split_color: int, retain: np.ndarray, eject: np.ndarray
@@ -645,7 +655,29 @@ class Rothko:
         """Current partition as an immutable :class:`Coloring`."""
         return Coloring(self.labels)
 
-    def _coloring_at(self, n_colors: int) -> Coloring:
+    def members(self, color: int) -> np.ndarray:
+        """Current member indices of an engine color (do not mutate).
+
+        Engine color ids are *not* canonical :class:`Coloring` ids: new
+        colors are appended in split order, while ``coloring()``
+        renumbers by first occurrence.  Callers tracking engine state
+        (e.g. the pipeline's block-weight tracker) work in engine-id
+        space and translate at the boundary.
+        """
+        if not 0 <= color < self.k:
+            raise ColoringError(f"color {color} out of range [0, {self.k})")
+        return self._members[color]
+
+    def max_q_err(self) -> float:
+        """Max unweighted q-error of the current coloring.
+
+        Served from the maintained error matrices in ``O(k^2)`` — no
+        degree-matrix rebuild.  Equals ``RothkoResult.max_q_err`` of a
+        fresh run stopped at this state.
+        """
+        return self._find_witness()[0]
+
+    def coloring_at(self, n_colors: int) -> Coloring:
         """Reconstruct the coloring as of the split that reached
         ``n_colors`` colors, by replaying the parent pointers backwards."""
         if n_colors >= self.k:
@@ -689,13 +721,14 @@ class Rothko:
                 # infinite witness (relative mode, mixed zero/nonzero
                 # degrees) is valid and the split proceeds.
                 return
-            self._split(i, j, direction)
+            parent_color = self._split(i, j, direction)
             iteration += 1
             yield RothkoStep(
                 iteration=iteration,
                 n_colors=self.k,
                 q_err_before=raw_err,
                 witness=(i, j, direction),
+                parent_color=parent_color,
                 elapsed=time.perf_counter() - start,
                 engine=self,
             )

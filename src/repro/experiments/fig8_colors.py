@@ -4,6 +4,12 @@ The paper's observation: across all three tasks no more than ~150 colors
 are needed to converge, with diminishing returns — the first splits buy
 large accuracy gains.  These drivers sweep a finer color grid than
 Fig. 7's and report accuracy only.
+
+The fine grid rides the same progressive runner as Fig. 7: one Rothko
+run per dataset serves all eleven checkpoints, and a shared
+:class:`~repro.pipeline.ColoringCache` (created here, forwarded to the
+Fig. 7 drivers) would let a combined Fig. 7 + Fig. 8 session reuse the
+coloring across both sweeps.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from repro.experiments.fig7_tradeoff import (
     lp_tradeoff,
     maxflow_tradeoff,
 )
+from repro.pipeline import ColoringCache
 
 FINE_BUDGETS = (4, 6, 8, 12, 16, 24, 32, 48, 64, 100, 150)
 
@@ -25,24 +32,29 @@ def accuracy_vs_colors(
     scale: float | None = None,
     datasets: tuple[str, ...] | None = None,
     color_budgets: tuple[int, ...] = FINE_BUDGETS,
+    cache: ColoringCache | None = None,
 ) -> list[dict]:
     """Rows of Fig. 8 for one task ('maxflow' | 'lp' | 'centrality')."""
+    cache = cache if cache is not None else ColoringCache()
     if task == "maxflow":
         return maxflow_tradeoff(
             datasets=datasets or DEFAULT_FLOW_DATASETS,
             scale=scale if scale is not None else 0.01,
             color_budgets=color_budgets,
+            cache=cache,
         )
     if task == "lp":
         return lp_tradeoff(
             datasets=datasets or DEFAULT_LP_DATASETS,
             scale=scale if scale is not None else 0.05,
             color_budgets=tuple(max(6, b) for b in color_budgets),
+            cache=cache,
         )
     if task == "centrality":
         return centrality_tradeoff(
             datasets=datasets or DEFAULT_CENTRALITY_DATASETS,
             scale=scale if scale is not None else 0.02,
             color_budgets=color_budgets,
+            cache=cache,
         )
     raise ValueError(f"unknown task {task!r}")

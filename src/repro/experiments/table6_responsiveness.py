@@ -19,7 +19,7 @@ from repro.centrality.approx import pivot_betweenness
 from repro.datasets.registry import load_flow, load_graph, load_lp
 from repro.flow.approx import reduced_network
 from repro.flow.network import FlowNetwork, max_flow
-from repro.lp.reduction import reduce_lp_with_coloring, _split_bipartite_coloring
+from repro.lp.reduction import reduce_lp
 from repro.lp.solve import solve_lp
 from repro.utils.stats import spearman_rho
 
@@ -102,9 +102,9 @@ def responsiveness_rows(
 
     # --- linear program --------------------------------------------------
     lp = load_lp(lp_dataset, scale=lp_scale)
-    from repro.lp.reduction import _initial_bipartite_coloring
+    from repro.lp.reduction import initial_bipartite_coloring
 
-    lp_initial, lp_frozen = _initial_bipartite_coloring(lp.n_rows, lp.n_cols)
+    lp_initial, lp_frozen = initial_bipartite_coloring(lp.n_rows, lp.n_cols)
     engine = Rothko(
         lp.bipartite_adjacency(),
         initial=lp_initial,
@@ -113,8 +113,7 @@ def responsiveness_rows(
     )
 
     def eval_lp(coloring: Coloring) -> float:
-        row_coloring, col_coloring = _split_bipartite_coloring(lp, coloring)
-        reduction = reduce_lp_with_coloring(lp, row_coloring, col_coloring)
+        reduction = reduce_lp(lp, coloring=coloring)
         try:
             return solve_lp(reduction.reduced, method="scipy").objective
         except Exception:

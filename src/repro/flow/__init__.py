@@ -3,6 +3,7 @@
 from repro.flow.approx import (
     approx_max_flow,
     color_flow_network,
+    flow_initial_coloring,
     lift_flow,
     reduced_network,
 )
@@ -16,6 +17,7 @@ from repro.flow.uniform import max_uniform_flow, max_uniform_flow_assignment
 __all__ = [
     "approx_max_flow",
     "color_flow_network",
+    "flow_initial_coloring",
     "lift_flow",
     "reduced_network",
     "dinic_max_flow",

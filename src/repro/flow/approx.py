@@ -17,19 +17,41 @@ Two reduced capacity functions are supported:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.core.partition import Coloring
-from repro.core.reduced import block_weights
+from repro.core.reduced import block_weights as _scratch_block_weights
 from repro.core.rothko import Rothko, RothkoResult
 from repro.flow.network import FlowNetwork, FlowResult, max_flow
 from repro.flow.uniform import max_uniform_flow, max_uniform_flow_assignment
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.digraph import WeightedDiGraph
+from repro.utils.timing import StageTimings
+
+
+def flow_initial_coloring(
+    network: FlowNetwork,
+) -> tuple[Coloring, tuple[int, int]]:
+    """Initial partition ``{s}, {t}, V - {s, t}`` plus the frozen ids.
+
+    This is Theorem 6's precondition ``P_0 = {s}, P_k = {t}``; the two
+    pinned colors must stay singletons, so they are returned as the
+    frozen set.  Coloring canonicalizes labels by first occurrence, so
+    the pinned singleton ids are looked up rather than assumed.
+    """
+    graph = network.graph
+    labels = np.full(graph.n_nodes, 2, dtype=np.int64)
+    labels[network.source_index] = 0
+    labels[network.sink_index] = 1
+    initial = Coloring(labels)
+    frozen = (
+        initial.color_of(network.source_index),
+        initial.color_of(network.sink_index),
+    )
+    return initial, frozen
 
 
 def color_flow_network(
@@ -40,23 +62,12 @@ def color_flow_network(
 ) -> RothkoResult:
     """Run Rothko on the network with ``{s}`` and ``{t}`` pinned.
 
-    The initial partition is ``{s}, {t}, V - {s, t}`` with the first two
-    frozen, so the coloring always satisfies Theorem 6's precondition
-    ``P_0 = {s}, P_k = {t}``.
+    ``alpha = beta = 0`` per the paper's choice for flow — only the
+    total inter-color capacity matters, not class sizes.
     """
-    graph = network.graph
-    labels = np.full(graph.n_nodes, 2, dtype=np.int64)
-    labels[network.source_index] = 0
-    labels[network.sink_index] = 1
-    initial = Coloring(labels)
-    # Coloring canonicalizes labels by first occurrence: look the pinned
-    # singleton ids up rather than assuming they stayed 0 and 1.
-    frozen = (
-        initial.color_of(network.source_index),
-        initial.color_of(network.sink_index),
-    )
+    initial, frozen = flow_initial_coloring(network)
     engine = Rothko(
-        graph,
+        network.graph,
         initial=initial,
         alpha=0.0,
         beta=0.0,
@@ -72,11 +83,15 @@ def reduced_network(
     network: FlowNetwork,
     coloring: Coloring,
     bound: str = "upper",
+    block_weights: np.ndarray | sp.spmatrix | None = None,
 ) -> FlowNetwork:
     """Build the reduced network ``G_hat_2`` (upper) or ``G_hat_1`` (lower).
 
     Color ids become node labels; the colors of ``s`` and ``t`` become the
-    reduced source/sink (they must be singletons).
+    reduced source/sink (they must be singletons).  ``block_weights``
+    accepts a precomputed ``W = S^T A S`` (canonical color-id order) —
+    the progressive pipeline runner maintains it incrementally across
+    splits, skipping the sparse triple product per budget.
     """
     if bound not in ("upper", "lower"):
         raise ValueError(f"bound must be 'upper' or 'lower', got {bound!r}")
@@ -90,9 +105,13 @@ def reduced_network(
         )
 
     if bound == "upper":
-        capacities = block_weights(graph.to_csr(), coloring)
+        capacities = (
+            _scratch_block_weights(graph.to_csr(), coloring)
+            if block_weights is None
+            else block_weights
+        )
     else:
-        capacities = _uniform_capacities(graph, coloring)
+        capacities = _uniform_capacities(graph, coloring, block_weights)
 
     reduced = WeightedDiGraph(directed=True)
     k = coloring.n_colors
@@ -106,11 +125,19 @@ def reduced_network(
 
 
 def _uniform_capacities(
-    graph: WeightedDiGraph, coloring: Coloring
+    graph: WeightedDiGraph,
+    coloring: Coloring,
+    block_sums: np.ndarray | sp.spmatrix | None = None,
 ) -> sp.csr_matrix:
-    """``c_hat_1``: maxUFlow of every adjacent color block (Theorem 6)."""
+    """``c_hat_1``: maxUFlow of every adjacent color block (Theorem 6).
+
+    ``block_sums`` optionally supplies the precomputed block weights
+    used to find the adjacent color pairs (one LP is solved per pair).
+    """
     matrix = graph.to_csr()
-    adjacency = block_weights(matrix, coloring).tocoo()
+    if block_sums is None:
+        block_sums = _scratch_block_weights(matrix, coloring)
+    adjacency = sp.coo_matrix(block_sums)
     classes = coloring.classes()
     rows, cols, values = [], [], []
     for i, j, total in zip(adjacency.row, adjacency.col, adjacency.data):
@@ -134,13 +161,23 @@ class ApproxFlowResult:
     coloring: Coloring
     reduced: FlowNetwork
     reduced_result: FlowResult
-    coloring_seconds: float
-    reduce_seconds: float
-    solve_seconds: float
+    timings: StageTimings
+
+    @property
+    def coloring_seconds(self) -> float:
+        return self.timings.coloring
+
+    @property
+    def reduce_seconds(self) -> float:
+        return self.timings.reduce
+
+    @property
+    def solve_seconds(self) -> float:
+        return self.timings.solve
 
     @property
     def total_seconds(self) -> float:
-        return self.coloring_seconds + self.reduce_seconds + self.solve_seconds
+        return self.timings.total
 
     @property
     def n_colors(self) -> int:
@@ -157,34 +194,25 @@ def approx_max_flow(
 ) -> ApproxFlowResult:
     """Approximate ``maxFlow(G)`` on the reduced graph (the paper's method).
 
-    End-to-end: color (s/t pinned) -> reduce -> solve.  With
-    ``bound="upper"`` the result over-estimates the true flow; Theorem 6
-    guarantees ``maxFlow(G_hat_1) <= maxFlow(G) <= maxFlow(G_hat_2)``.
+    End-to-end: color (s/t pinned) -> reduce -> solve, driven through
+    the shared :mod:`repro.pipeline` runner.  With ``bound="upper"`` the
+    result over-estimates the true flow; Theorem 6 guarantees
+    ``maxFlow(G_hat_1) <= maxFlow(G) <= maxFlow(G_hat_2)``.
     """
     if n_colors is None and q is None:
         raise ValueError("approx_max_flow needs n_colors and/or q")
-    start = time.perf_counter()
-    rothko = color_flow_network(
-        network, n_colors=n_colors, q=q, split_mean=split_mean
+    from repro.pipeline import MaxFlowTask, run_task
+
+    task = MaxFlowTask(
+        network, bound=bound, algorithm=algorithm, split_mean=split_mean
     )
-    coloring_seconds = time.perf_counter() - start
-
-    start = time.perf_counter()
-    reduced = reduced_network(network, rothko.coloring, bound=bound)
-    reduce_seconds = time.perf_counter() - start
-
-    start = time.perf_counter()
-    reduced_result = max_flow(reduced, algorithm=algorithm)
-    solve_seconds = time.perf_counter() - start
-
+    result = run_task(task, n_colors=n_colors, q=q)
     return ApproxFlowResult(
-        value=reduced_result.value,
-        coloring=rothko.coloring,
-        reduced=reduced,
-        reduced_result=reduced_result,
-        coloring_seconds=coloring_seconds,
-        reduce_seconds=reduce_seconds,
-        solve_seconds=solve_seconds,
+        value=result.value,
+        coloring=result.coloring,
+        reduced=result.reduced,
+        reduced_result=result.solution,
+        timings=result.timings,
     )
 
 

@@ -5,8 +5,9 @@ from repro.lp.reduction import (
     ApproxLPResult,
     LPReduction,
     approx_lp_opt,
+    color_lp,
+    initial_bipartite_coloring,
     reduce_lp,
-    reduce_lp_with_coloring,
 )
 from repro.lp.solve import LPSolution, solve_lp
 
@@ -15,8 +16,9 @@ __all__ = [
     "ApproxLPResult",
     "LPReduction",
     "approx_lp_opt",
+    "color_lp",
+    "initial_bipartite_coloring",
     "reduce_lp",
-    "reduce_lp_with_coloring",
     "LPSolution",
     "solve_lp",
 ]

@@ -23,17 +23,17 @@ copied (grohe mode).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.partition import Coloring
+from repro.core.partition import Coloring, first_occurrence_values
 from repro.core.rothko import Rothko, RothkoResult
 from repro.exceptions import LPError
 from repro.lp.model import LinearProgram
 from repro.lp.solve import LPSolution, solve_lp
+from repro.utils.timing import StageTimings
 
 MODES = ("sqrt", "grohe")
 
@@ -95,7 +95,9 @@ class LPReduction:
         return x
 
 
-def _initial_bipartite_coloring(m: int, n: int) -> tuple[Coloring, tuple[int, int]]:
+def initial_bipartite_coloring(
+    m: int, n: int
+) -> tuple[Coloring, tuple[int, int]]:
     """Initial partition {rows} {obj row} {columns} {RHS column}.
 
     Returns the coloring plus the (canonical) color ids of the two pinned
@@ -126,7 +128,7 @@ def color_lp(
     LP matrices may carry negative weights.
     """
     adjacency = lp.bipartite_adjacency()
-    initial, frozen = _initial_bipartite_coloring(lp.n_rows, lp.n_cols)
+    initial, frozen = initial_bipartite_coloring(lp.n_rows, lp.n_cols)
     engine = Rothko(
         adjacency,
         initial=initial,
@@ -140,29 +142,87 @@ def color_lp(
     )
 
 
-def _split_bipartite_coloring(
-    lp: LinearProgram, coloring: Coloring
-) -> tuple[Coloring, Coloring]:
-    """Slice a bipartite-graph coloring into row and column colorings."""
-    m1 = lp.n_rows + 1
-    row_coloring = Coloring(coloring.labels[:m1])
-    col_coloring = Coloring(coloring.labels[m1:])
-    return row_coloring, col_coloring
+def _coerce_colorings(
+    lp: LinearProgram, coloring
+) -> tuple[Coloring, Coloring, np.ndarray | None, np.ndarray | None]:
+    """Normalize the ``coloring`` argument of :func:`reduce_lp`.
+
+    Accepts a bipartite :class:`Coloring` over the extended matrix's
+    ``m+n+2`` nodes or an explicit ``(row_coloring, col_coloring)``
+    pair.  Returns the split colorings plus — for the bipartite form —
+    the maps from canonical row/column color ids back to bipartite ids
+    (needed to index a precomputed block-weight matrix).
+    """
+    if isinstance(coloring, Coloring):
+        expected = lp.n_rows + lp.n_cols + 2
+        if coloring.n != expected:
+            raise LPError(
+                f"bipartite coloring covers {coloring.n} nodes, expected "
+                f"{expected} (extended matrix rows + columns)"
+            )
+        m1 = lp.n_rows + 1
+        row_labels = coloring.labels[:m1]
+        col_labels = coloring.labels[m1:]
+        return (
+            Coloring(row_labels),
+            Coloring(col_labels),
+            first_occurrence_values(row_labels),
+            first_occurrence_values(col_labels),
+        )
+    try:
+        row_coloring, col_coloring = coloring
+    except (TypeError, ValueError) as exc:
+        raise LPError(
+            "coloring must be a bipartite Coloring or a "
+            "(row_coloring, col_coloring) pair"
+        ) from exc
+    return row_coloring, col_coloring, None, None
 
 
-def reduce_lp_with_coloring(
+def reduce_lp(
     lp: LinearProgram,
-    row_coloring: Coloring,
-    col_coloring: Coloring,
+    n_colors: int | None = None,
+    q: float | None = None,
     mode: str = "sqrt",
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    coloring=None,
+    block_weights: np.ndarray | None = None,
+    max_q_err: float | None = None,
 ) -> LPReduction:
-    """Build the reduced LP (Eq. 6) from explicit row/column colorings.
+    """Build the reduced LP (Eq. 6), coloring with Rothko if needed.
 
-    The colorings are over the extended matrix: ``m+1`` rows and ``n+1``
-    columns, with the objective row and RHS column in singleton colors.
+    The single entry point for the LP reduction:
+
+    * with ``coloring=None`` Rothko colors the extended matrix's
+      bipartite graph first (``n_colors`` counts *total* colors over
+      rows and columns, including the two pinned singletons);
+    * ``coloring`` accepts a precomputed coloring — either a bipartite
+      :class:`Coloring` over the ``m+n+2`` extended nodes or an explicit
+      ``(row_coloring, col_coloring)`` pair — and skips Rothko
+      (``n_colors``/``q``/``alpha``/``beta`` are then ignored).
+
+    ``block_weights`` (bipartite form only) supplies the extended
+    matrix's block sums ``W = S^T A S`` in the bipartite coloring's
+    canonical id order; the progressive pipeline runner maintains it
+    incrementally so multi-budget sweeps skip the indicator triple
+    product.  ``max_q_err`` likewise short-circuits the from-scratch
+    q-error evaluation when the caller already knows it.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    if coloring is None:
+        rothko = color_lp(lp, n_colors=n_colors, q=q, alpha=alpha, beta=beta)
+        coloring = rothko.coloring
+    row_coloring, col_coloring, row_ids, col_ids = _coerce_colorings(
+        lp, coloring
+    )
+    if block_weights is not None and row_ids is None:
+        raise LPError(
+            "block_weights requires the bipartite coloring form (the "
+            "id maps of a (row, col) pair are unknown)"
+        )
+
     m, n = lp.n_rows, lp.n_cols
     if row_coloring.n != m + 1:
         raise LPError(
@@ -186,37 +246,40 @@ def reduce_lp_with_coloring(
     col_colors = [
         color for color in range(col_coloring.n_colors) if color != rhs_color
     ]
-    row_classes = row_coloring.classes()
-    col_classes = col_coloring.classes()
 
-    # Aggregate A over blocks: S_rows^T A S_cols restricted to real colors.
-    row_indicator = sp.csr_matrix(
-        (
-            np.ones(m),
-            (row_coloring.labels[:m], np.arange(m)),
-        ),
-        shape=(row_coloring.n_colors, m),
-    )
-    col_indicator = sp.csr_matrix(
-        (
-            np.ones(n),
-            (np.arange(n), col_coloring.labels[:n]),
-        ),
-        shape=(n, col_coloring.n_colors),
-    )
-    block = (row_indicator @ lp.a_matrix @ col_indicator).toarray()
-    b_block = row_indicator @ lp.b
-    c_block = lp.c @ col_indicator
+    if block_weights is not None:
+        # The maintained W already holds every extended-matrix block sum
+        # (rows x columns, including the b column and c row): slice it
+        # instead of re-aggregating.
+        block_full = np.asarray(block_weights)[np.ix_(row_ids, col_ids)]
+        sub = block_full[np.ix_(row_colors, col_colors)]
+        b_sub = block_full[row_colors, rhs_color]
+        c_sub = block_full[obj_color, col_colors]
+    else:
+        # Aggregate A over blocks: S_rows^T A S_cols, real colors only.
+        row_indicator = sp.csr_matrix(
+            (
+                np.ones(m),
+                (row_coloring.labels[:m], np.arange(m)),
+            ),
+            shape=(row_coloring.n_colors, m),
+        )
+        col_indicator = sp.csr_matrix(
+            (
+                np.ones(n),
+                (np.arange(n), col_coloring.labels[:n]),
+            ),
+            shape=(n, col_coloring.n_colors),
+        )
+        block = (row_indicator @ lp.a_matrix @ col_indicator).toarray()
+        b_block = row_indicator @ lp.b
+        c_block = lp.c @ col_indicator
+        sub = block[np.ix_(row_colors, col_colors)]
+        b_sub = b_block[row_colors]
+        c_sub = np.asarray(c_block).ravel()[col_colors]
 
-    row_sizes = np.array(
-        [len(row_classes[color]) for color in row_colors], dtype=np.float64
-    )
-    col_sizes = np.array(
-        [len(col_classes[color]) for color in col_colors], dtype=np.float64
-    )
-    sub = block[np.ix_(row_colors, col_colors)]
-    b_sub = b_block[row_colors]
-    c_sub = np.asarray(c_block).ravel()[col_colors]
+    row_sizes = row_coloring.sizes[row_colors].astype(np.float64)
+    col_sizes = col_coloring.sizes[col_colors].astype(np.float64)
 
     if mode == "sqrt":
         a_hat = sub / np.sqrt(np.outer(row_sizes, col_sizes))
@@ -233,45 +296,24 @@ def reduce_lp_with_coloring(
         c_hat,
         name=f"{lp.name or 'lp'}-reduced-{len(row_colors)}x{len(col_colors)}",
     )
-    from repro.core.qerror import max_q_err
+    if max_q_err is None:
+        from repro.core.qerror import max_q_err as _max_q_err
 
-    # q-error of the bipartite coloring on the extended matrix.
-    labels = np.concatenate(
-        [
-            row_coloring.labels,
-            col_coloring.labels + row_coloring.n_colors,
-        ]
-    )
-    q_err = max_q_err(lp.bipartite_adjacency(), Coloring(labels))
+        # q-error of the bipartite coloring on the extended matrix.
+        labels = np.concatenate(
+            [
+                row_coloring.labels,
+                col_coloring.labels + row_coloring.n_colors,
+            ]
+        )
+        max_q_err = _max_q_err(lp.bipartite_adjacency(), Coloring(labels))
     return LPReduction(
         original=lp,
         reduced=reduced,
         row_coloring=row_coloring,
         col_coloring=col_coloring,
         mode=mode,
-        max_q_err=q_err,
-    )
-
-
-def reduce_lp(
-    lp: LinearProgram,
-    n_colors: int | None = None,
-    q: float | None = None,
-    mode: str = "sqrt",
-    alpha: float = 1.0,
-    beta: float = 0.0,
-) -> LPReduction:
-    """Color the LP with Rothko and build the reduced LP (Eq. 6).
-
-    ``n_colors`` counts *total* colors over rows and columns of the
-    extended matrix, including the two pinned singletons.
-    """
-    rothko = color_lp(lp, n_colors=n_colors, q=q, alpha=alpha, beta=beta)
-    row_coloring, col_coloring = _split_bipartite_coloring(
-        lp, rothko.coloring
-    )
-    return reduce_lp_with_coloring(
-        lp, row_coloring, col_coloring, mode=mode
+        max_q_err=max_q_err,
     )
 
 
@@ -283,12 +325,19 @@ class ApproxLPResult:
     reduction: LPReduction
     solution: LPSolution
     x_lifted: np.ndarray
-    coloring_seconds: float
-    solve_seconds: float
+    timings: StageTimings
+
+    @property
+    def coloring_seconds(self) -> float:
+        return self.timings.coloring
+
+    @property
+    def solve_seconds(self) -> float:
+        return self.timings.solve
 
     @property
     def total_seconds(self) -> float:
-        return self.coloring_seconds + self.solve_seconds
+        return self.timings.total
 
 
 def approx_lp_opt(
@@ -300,28 +349,22 @@ def approx_lp_opt(
     alpha: float = 1.0,
     beta: float = 0.0,
 ) -> ApproxLPResult:
-    """The paper's LP pipeline: color -> reduce -> solve the reduced LP.
+    """The paper's LP pipeline: color -> reduce -> solve the reduced LP,
+    driven through the shared :mod:`repro.pipeline` runner.
 
     The returned ``value`` approximates ``OPT(A, b, c)``; Theorem 2 bounds
     the error by ``q * Delta``.
     """
     if n_colors is None and q is None:
         raise ValueError("approx_lp_opt needs n_colors and/or q")
-    start = time.perf_counter()
-    reduction = reduce_lp(
-        lp, n_colors=n_colors, q=q, mode=mode, alpha=alpha, beta=beta
-    )
-    coloring_seconds = time.perf_counter() - start
+    from repro.pipeline import LPTask, run_task
 
-    start = time.perf_counter()
-    solution = solve_lp(reduction.reduced, method=method)
-    solve_seconds = time.perf_counter() - start
-
+    task = LPTask(lp, mode=mode, method=method, alpha=alpha, beta=beta)
+    result = run_task(task, n_colors=n_colors, q=q)
     return ApproxLPResult(
-        value=solution.objective,
-        reduction=reduction,
-        solution=solution,
-        x_lifted=reduction.lift(solution.x),
-        coloring_seconds=coloring_seconds,
-        solve_seconds=solve_seconds,
+        value=result.value,
+        reduction=result.reduced,
+        solution=result.solution,
+        x_lifted=result.lifted,
+        timings=result.timings,
     )

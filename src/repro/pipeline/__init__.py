@@ -1,0 +1,45 @@
+"""Unified compress–solve–lift pipeline (Secs. 4.1–4.3 as one pattern).
+
+The paper's three applications all color a graph, reduce the problem
+onto the color classes, solve the reduced problem, and lift the
+solution.  This package factors that pattern out of the per-application
+modules:
+
+* :class:`CompressionTask` / :class:`ColoringSpec` / :class:`TaskResult`
+  — the protocol (:mod:`repro.pipeline.task`);
+* :class:`MaxFlowTask`, :class:`LPTask`, :class:`CentralityTask` — the
+  application adapters (:mod:`repro.pipeline.adapters`);
+* :func:`run_task` / :func:`progressive_sweep` — the drivers
+  (:mod:`repro.pipeline.runner`);
+* :class:`ColoringCache` / :class:`ProgressiveRun` — one Rothko run
+  shared across tasks, weight modes, and checkpoints
+  (:mod:`repro.pipeline.cache`);
+* :class:`BlockWeightTracker` — ``W = S^T A S`` maintained
+  incrementally per split (:mod:`repro.pipeline.weights`).
+"""
+
+from repro.pipeline.adapters import (
+    CentralityTask,
+    LPTask,
+    MaxFlowTask,
+    task_for,
+)
+from repro.pipeline.cache import ColoringCache, ProgressiveRun
+from repro.pipeline.runner import progressive_sweep, run_task
+from repro.pipeline.task import ColoringSpec, CompressionTask, TaskResult
+from repro.pipeline.weights import BlockWeightTracker
+
+__all__ = [
+    "CentralityTask",
+    "LPTask",
+    "MaxFlowTask",
+    "task_for",
+    "ColoringCache",
+    "ProgressiveRun",
+    "progressive_sweep",
+    "run_task",
+    "ColoringSpec",
+    "CompressionTask",
+    "TaskResult",
+    "BlockWeightTracker",
+]

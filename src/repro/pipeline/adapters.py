@@ -1,0 +1,245 @@
+"""The three paper applications as :class:`CompressionTask` adapters.
+
+Each adapter wires an existing application substrate — the reduced flow
+network (Sec. 4.2), the LP reduction (Sec. 4.1), color-pivot Brandes
+(Sec. 4.3) — into the shared compress–solve–lift protocol.  The
+``approx_*`` convenience functions in ``repro.flow.approx``,
+``repro.lp.reduction`` and ``repro.centrality.approx`` are thin wrappers
+over these adapters plus :func:`repro.pipeline.runner.run_task`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.centrality.approx import pivot_betweenness
+from repro.core.partition import Coloring
+from repro.flow.approx import (
+    flow_initial_coloring,
+    lift_flow,
+    reduced_network,
+)
+from repro.flow.network import FlowNetwork, FlowResult, max_flow
+from repro.lp.model import LinearProgram
+from repro.lp.reduction import initial_bipartite_coloring, reduce_lp
+from repro.lp.solve import solve_lp
+from repro.graphs.digraph import WeightedDiGraph
+from repro.pipeline.task import ColoringSpec, CompressionTask
+from repro.utils.rng import SeedLike
+
+__all__ = ["MaxFlowTask", "LPTask", "CentralityTask", "task_for"]
+
+
+class MaxFlowTask(CompressionTask):
+    """Reduced max-flow (Theorem 6): color with ``s``/``t`` pinned,
+    reduce to block capacities, solve on the reduced network.
+
+    ``bound="upper"`` uses the block capacity sums ``c_hat_2`` (the
+    deployed over-approximation — its reduce stage is exactly the block
+    weights the progressive runner maintains); ``bound="lower"``
+    uses the uniform-flow capacities ``c_hat_1``.  With
+    ``lift_solution=True`` (lower bound only) the reduced flow is
+    lifted to a valid flow on the original network.
+    """
+
+    name = "maxflow"
+
+    def __init__(
+        self,
+        network: FlowNetwork,
+        bound: str = "upper",
+        algorithm: str = "push_relabel",
+        split_mean: str = "arithmetic",
+        lift_solution: bool = False,
+    ) -> None:
+        self.problem = network
+        self.bound = bound
+        self.algorithm = algorithm
+        self.split_mean = split_mean
+        self.lift_solution = lift_solution
+        self._spec: ColoringSpec | None = None
+
+    def coloring_spec(self) -> ColoringSpec:
+        if self._spec is None:
+            initial, frozen = flow_initial_coloring(self.problem)
+            self._spec = ColoringSpec(
+                self.problem.graph.to_csr(),
+                alpha=0.0,
+                beta=0.0,
+                split_mean=self.split_mean,
+                initial=initial,
+                frozen=frozen,
+            )
+        return self._spec
+
+    def reduce(
+        self,
+        problem: FlowNetwork,
+        coloring: Coloring,
+        *,
+        block_weights: np.ndarray | None = None,
+        max_q_err: float | None = None,
+    ) -> FlowNetwork:
+        return reduced_network(
+            problem, coloring, bound=self.bound, block_weights=block_weights
+        )
+
+    def solve(self, reduced: FlowNetwork) -> FlowResult:
+        return max_flow(reduced, algorithm=self.algorithm)
+
+    def lift(
+        self, coloring: Coloring, reduced: FlowNetwork, solution: FlowResult
+    ) -> FlowResult:
+        if not self.lift_solution:
+            return solution
+        return lift_flow(self.problem, coloring, solution)
+
+    def value(
+        self, reduced: FlowNetwork, solution: FlowResult, lifted: FlowResult
+    ) -> float:
+        return solution.value
+
+
+class LPTask(CompressionTask):
+    """Reduced linear programs (Eq. 6): color the extended matrix's
+    bipartite graph, scale the block sums by class sizes, solve the
+    reduced LP, and lift ``x = V^T x_hat`` (Eq. 10)."""
+
+    name = "lp"
+
+    def __init__(
+        self,
+        lp: LinearProgram,
+        mode: str = "sqrt",
+        method: str = "scipy",
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> None:
+        self.problem = lp
+        self.mode = mode
+        self.method = method
+        self.alpha = alpha
+        self.beta = beta
+        self._spec: ColoringSpec | None = None
+
+    def coloring_spec(self) -> ColoringSpec:
+        if self._spec is None:
+            initial, frozen = initial_bipartite_coloring(
+                self.problem.n_rows, self.problem.n_cols
+            )
+            self._spec = ColoringSpec(
+                self.problem.bipartite_adjacency(),
+                alpha=self.alpha,
+                beta=self.beta,
+                split_mean="arithmetic",
+                initial=initial,
+                frozen=frozen,
+            )
+        return self._spec
+
+    def reduce(
+        self,
+        problem: LinearProgram,
+        coloring: Coloring,
+        *,
+        block_weights: np.ndarray | None = None,
+        max_q_err: float | None = None,
+    ):
+        return reduce_lp(
+            problem,
+            mode=self.mode,
+            coloring=coloring,
+            block_weights=block_weights,
+            max_q_err=max_q_err,
+        )
+
+    def solve(self, reduced):
+        return solve_lp(reduced.reduced, method=self.method)
+
+    def lift(self, coloring: Coloring, reduced, solution) -> np.ndarray:
+        return reduced.lift(solution.x)
+
+    def value(self, reduced, solution, lifted) -> float:
+        return solution.objective
+
+
+class CentralityTask(CompressionTask):
+    """Color-pivot betweenness (Sec. 4.3): ``alpha = beta = 1``
+    coloring, one weighted Brandes pass per color representative.
+
+    The reduce stage is the coloring itself (the pivot set *is* the
+    compression), solving runs the weighted dependency accumulation,
+    and the scores already live in node space, so lifting selects them.
+    Each solve draws representatives from a fresh ``seed``-keyed
+    generator, so results at a given checkpoint are reproducible and
+    independent of sweep order.
+    """
+
+    name = "centrality"
+    uses_block_weights = False
+
+    def __init__(
+        self,
+        graph: WeightedDiGraph,
+        seed: SeedLike = 0,
+        pivots_per_color: int = 1,
+        split_mean: str = "geometric",
+    ) -> None:
+        self.problem = graph
+        self.seed = seed
+        self.pivots_per_color = pivots_per_color
+        self.split_mean = split_mean
+        self._spec: ColoringSpec | None = None
+
+    def coloring_spec(self) -> ColoringSpec:
+        if self._spec is None:
+            self._spec = ColoringSpec(
+                self.problem.to_csr(),
+                alpha=1.0,
+                beta=1.0,
+                split_mean=self.split_mean,
+            )
+        return self._spec
+
+    def reduce(
+        self,
+        problem: WeightedDiGraph,
+        coloring: Coloring,
+        *,
+        block_weights: np.ndarray | None = None,
+        max_q_err: float | None = None,
+    ) -> Coloring:
+        return coloring
+
+    def solve(self, reduced: Coloring) -> tuple[np.ndarray, np.ndarray]:
+        return pivot_betweenness(
+            self.problem,
+            reduced,
+            seed=self.seed,
+            pivots_per_color=self.pivots_per_color,
+        )
+
+    def lift(self, coloring: Coloring, reduced: Coloring, solution) -> np.ndarray:
+        scores, _ = solution
+        return scores
+
+    def value(self, reduced, solution, lifted: np.ndarray) -> float:
+        # No single objective exists for centrality; the score total is
+        # a deterministic checksum used by equality tests and the CLI.
+        return float(lifted.sum())
+
+
+def task_for(kind: str, problem: Any, **options: Any) -> CompressionTask:
+    """Build the adapter for a task kind (the CLI entry point)."""
+    adapters = {
+        "maxflow": MaxFlowTask,
+        "lp": LPTask,
+        "centrality": CentralityTask,
+    }
+    if kind not in adapters:
+        raise ValueError(
+            f"task must be one of {sorted(adapters)}, got {kind!r}"
+        )
+    return adapters[kind](problem, **options)

@@ -1,0 +1,176 @@
+"""Keyed coloring cache: one Rothko run serving many consumers.
+
+Rothko's split sequence is fully determined by its
+:class:`~repro.pipeline.task.ColoringSpec` — the stopping knobs only
+pick a prefix.  :class:`ProgressiveRun` exploits that: it drives a
+single engine monotonically forward, records the q-error trajectory,
+and can answer "the coloring a fresh run with *these* stopping knobs
+would have produced" for any knobs whose stopping point it has already
+passed, without recoloring.  :class:`ColoringCache` keys such runs by
+spec fingerprint so one coloring is shared across tasks (max-flow upper
+and lower bounds, LP ``sqrt`` and ``grohe`` modes), weight modes, and
+every checkpoint of a multi-k sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.partition import Coloring
+from repro.core.reduced import block_weights
+from repro.pipeline.task import ColoringSpec
+from repro.pipeline.weights import BlockWeightTracker
+
+__all__ = ["ColoringCache", "ProgressiveRun"]
+
+
+class ProgressiveRun:
+    """One Rothko engine advanced monotonically across consumers.
+
+    The engine only moves forward; earlier checkpoints stay serveable
+    through the recorded ``(n_colors, q_err)`` history, parent-pointer
+    coloring replay, and (for block weights) a memoized scratch
+    product.  While the engine sits *at* a checkpoint, block weights
+    come from the incrementally maintained
+    :class:`~repro.pipeline.weights.BlockWeightTracker` — the ascending
+    sweep path never recomputes the triple product.
+    """
+
+    def __init__(self, spec: ColoringSpec) -> None:
+        self.spec = spec
+        self.engine = spec.build_engine()
+        self._tracker: BlockWeightTracker | None = None
+        #: engine colors whose W row/column is stale (tracker attached)
+        self._dirty: set[int] = set()
+        #: color counts reached, in refinement order
+        self._reached: list[int] = [self.engine.k]
+        #: q-error of each reached state
+        self._q_err: dict[int, float] = {
+            self.engine.k: self.engine.max_q_err()
+        }
+        self._colorings: dict[int, Coloring] = {}
+        self._scratch_weights: dict[int, np.ndarray] = {}
+
+    @property
+    def n_colors(self) -> int:
+        return self.engine.k
+
+    def advance(
+        self, max_colors: int | None = None, q_tolerance: float = 0.0
+    ) -> None:
+        """Refine until the given stopping rule holds (or no witness
+        remains), keeping the dirty set and q-error history in lockstep.
+
+        Each split's ``q_err_before`` is the error of the *previous*
+        state, so the history costs nothing extra per split; only the
+        final state needs one ``O(k^2)`` scan.
+        """
+        engine = self.engine
+        advanced = False
+        for step in engine.steps(
+            max_colors=max_colors, q_tolerance=q_tolerance
+        ):
+            advanced = True
+            if self._tracker is not None:
+                self._dirty.add(step.parent_color)
+                self._dirty.add(step.new_color)
+            self._q_err[step.n_colors - 1] = step.q_err_before
+            self._reached.append(step.n_colors)
+        if advanced:
+            self._q_err[engine.k] = engine.max_q_err()
+
+    def resolve(
+        self, max_colors: int | None = None, q_tolerance: float = 0.0
+    ) -> int:
+        """Color count where a fresh run with these knobs would stop.
+
+        Scans the recorded trajectory for the first state satisfying
+        the stopping rule; advances the engine if no recorded state
+        does.  This is what makes cache hits *exact*: the returned
+        checkpoint matches ``Rothko.run(max_colors, q_tolerance)`` on a
+        fresh engine, state for state.
+        """
+        for n_colors in self._reached:
+            if max_colors is not None and n_colors >= max_colors:
+                return n_colors
+            if self._q_err[n_colors] <= q_tolerance:
+                return n_colors
+        self.advance(max_colors=max_colors, q_tolerance=q_tolerance)
+        return self.engine.k
+
+    def coloring(self, n_colors: int) -> Coloring:
+        """Canonical coloring at a reached checkpoint (memoized)."""
+        if n_colors not in self._colorings:
+            self._colorings[n_colors] = self.engine.coloring_at(n_colors)
+        return self._colorings[n_colors]
+
+    def q_err(self, n_colors: int) -> float:
+        return self._q_err[n_colors]
+
+    def weights(self, n_colors: int) -> np.ndarray:
+        """Dense block weights ``W = S^T A S`` at a reached checkpoint,
+        in canonical color-id order (aligned with :meth:`coloring`).
+
+        At the engine's current state the matrix is served from the
+        incrementally maintained tracker, with every split since the
+        previous checkpoint folded in as one batched refresh of the
+        dirtied rows/columns.
+        """
+        engine = self.engine
+        if n_colors == engine.k:
+            if self._tracker is None:
+                self._tracker = BlockWeightTracker(
+                    self.spec.adjacency, engine.labels, engine.k
+                )
+                self._dirty.clear()
+            elif self._dirty:
+                dirty = sorted(self._dirty)
+                self._tracker.refresh(
+                    dirty,
+                    [engine.members(color) for color in dirty],
+                    engine.labels,
+                    engine.k,
+                )
+                self._dirty.clear()
+            return self._tracker.weights(engine.labels)
+        # The engine has refined past this checkpoint (descending or
+        # repeated sweeps): fall back to one memoized scratch product.
+        if n_colors not in self._scratch_weights:
+            self._scratch_weights[n_colors] = block_weights(
+                self.spec.adjacency, self.coloring(n_colors)
+            ).toarray()
+        return self._scratch_weights[n_colors].copy()
+
+
+class ColoringCache:
+    """Spec-keyed registry of :class:`ProgressiveRun` instances.
+
+    A cached run pins its Rothko engine — including the engine's dense
+    degree/error matrices — plus the block-weight tracker and memoized
+    checkpoint colorings for the cache's lifetime, so scope a cache to
+    one sweep or experiment call (every driver here creates its own by
+    default) and :meth:`clear` it when reuse is over.
+    """
+
+    def __init__(self) -> None:
+        self._runs: dict[tuple, ProgressiveRun] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def run_for(self, spec: ColoringSpec) -> ProgressiveRun:
+        key = spec.cache_key()
+        run = self._runs.get(key)
+        if run is None:
+            self.misses += 1
+            run = ProgressiveRun(spec)
+            self._runs[key] = run
+        else:
+            self.hits += 1
+        return run
+
+    def clear(self) -> None:
+        """Drop every cached run (and the engine memory each pins)."""
+        self._runs.clear()
+
+    def __len__(self) -> int:
+        return len(self._runs)

@@ -1,10 +1,12 @@
-"""Wall-clock timing helpers used by the experiment harness."""
+"""Wall-clock timing helpers used by the experiment harness and the
+compress–solve–lift pipeline."""
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Iterator, Tuple
 
 
 class Stopwatch:
@@ -45,6 +47,61 @@ def time_call(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, f
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+@dataclass(frozen=True)
+class StageTimings:
+    """Per-stage wall-clock seconds of one compress–solve–lift run.
+
+    The shared timing record of the pipeline: every task result — and,
+    via compatibility properties, the per-application
+    ``Approx*Result`` dataclasses — carries exactly one of these
+    instead of ad-hoc ``*_seconds`` fields.
+
+    ``coloring`` covers the (incremental) Rothko work attributable to
+    the run, ``reduce`` the reduced-problem construction, ``solve`` the
+    reduced solve, and ``lift`` mapping the solution back to the
+    original problem.  Stages that do not apply stay ``0.0``.
+    """
+
+    coloring: float = 0.0
+    reduce: float = 0.0
+    solve: float = 0.0
+    lift: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.coloring + self.reduce + self.solve + self.lift
+
+
+class StageTimer:
+    """Accumulates :class:`StageTimings` stages via a context manager.
+
+    >>> timer = StageTimer()
+    >>> with timer.stage("solve"):
+    ...     pass
+    >>> timer.freeze().solve >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        if name not in StageTimings.__dataclass_fields__:
+            raise ValueError(f"unknown pipeline stage {name!r}")
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    def freeze(self) -> StageTimings:
+        return StageTimings(**self._seconds)
 
 
 @dataclass

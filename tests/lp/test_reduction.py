@@ -12,7 +12,6 @@ from repro.lp.reduction import (
     approx_lp_opt,
     color_lp,
     reduce_lp,
-    reduce_lp_with_coloring,
 )
 from repro.lp.solve import solve_lp
 from repro.utils.stats import ratio_error
@@ -30,7 +29,7 @@ def fig3_colorings():
 class TestFig3WorkedExample:
     def test_reduced_matrix_matches_paper(self, fig3_colorings):
         lp = fig3_example()
-        reduction = reduce_lp_with_coloring(lp, *fig3_colorings)
+        reduction = reduce_lp(lp, coloring=fig3_colorings)
         a_hat = reduction.reduced.a_matrix.toarray()
         expected = np.array(
             [
@@ -48,13 +47,13 @@ class TestFig3WorkedExample:
         )
 
     def test_block_coloring_is_one_stable(self, fig3_colorings):
-        reduction = reduce_lp_with_coloring(fig3_example(), *fig3_colorings)
+        reduction = reduce_lp(fig3_example(), coloring=fig3_colorings)
         assert reduction.max_q_err == pytest.approx(1.0)
 
     def test_optimal_values(self, fig3_colorings):
         lp = fig3_example()
         exact = solve_lp(lp).objective
-        reduction = reduce_lp_with_coloring(lp, *fig3_colorings)
+        reduction = reduce_lp(lp, coloring=fig3_colorings)
         reduced_opt = solve_lp(reduction.reduced).objective
         assert exact == pytest.approx(128.157, abs=1e-3)
         assert reduced_opt == pytest.approx(130.199, abs=1e-3)
@@ -130,23 +129,23 @@ class TestValidation:
     def test_row_coloring_size_check(self):
         lp = fig3_example()
         with pytest.raises(LPError):
-            reduce_lp_with_coloring(lp, Coloring([0, 1]), Coloring([0] * 4))
+            reduce_lp(lp, coloring=(Coloring([0, 1]), Coloring([0] * 4)))
 
     def test_unpinned_objective_rejected(self):
         lp = fig3_example()
         row_coloring = Coloring([0, 0, 0, 0, 0, 0])  # objective row mixed in
         col_coloring = Coloring([0, 0, 1, 2])
         with pytest.raises(LPError, match="singleton"):
-            reduce_lp_with_coloring(lp, row_coloring, col_coloring)
+            reduce_lp(lp, coloring=(row_coloring, col_coloring))
 
     def test_bad_mode(self, fig3_colorings):
         with pytest.raises(ValueError):
-            reduce_lp_with_coloring(
-                fig3_example(), *fig3_colorings, mode="exotic"
+            reduce_lp(
+                fig3_example(), coloring=fig3_colorings, mode="exotic"
             )
 
     def test_lift_shape_check(self, fig3_colorings):
-        reduction = reduce_lp_with_coloring(fig3_example(), *fig3_colorings)
+        reduction = reduce_lp(fig3_example(), coloring=fig3_colorings)
         with pytest.raises(LPError):
             reduction.lift(np.zeros(7))
 
@@ -157,7 +156,7 @@ class TestValidation:
 
 class TestCompressionRatio:
     def test_reported_ratio(self, fig3_colorings):
-        reduction = reduce_lp_with_coloring(fig3_example(), *fig3_colorings)
+        reduction = reduce_lp(fig3_example(), coloring=fig3_colorings)
         assert reduction.compression_ratio == pytest.approx(
             (5 * 3) / (2 * 2)
         )

@@ -1,0 +1,82 @@
+"""Stable-coloring exactness through the unified pipeline.
+
+At q = 0 the coloring is stable, and each application's reduction is
+exact: the lifted LP optimum matches the full LP (Theorem 2 /
+Grohe et al.), the reduced max-flow value matches the true max-flow
+(Corollary 9(2)), and pivot betweenness matches full Brandes (a stable
+coloring of these instances is discrete, so every node is its own
+pivot).  All three run through :func:`repro.pipeline.run_task`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.centrality.brandes import betweenness_centrality
+from repro.flow.network import FlowNetwork, max_flow
+from repro.graphs.digraph import WeightedDiGraph
+from repro.lp.generators import planted_block_lp
+from repro.lp.solve import solve_lp
+from repro.pipeline import (
+    CentralityTask,
+    LPTask,
+    MaxFlowTask,
+    run_task,
+)
+from tests.conftest import random_adjacency
+
+
+def random_network(seed: int, n: int = 14) -> FlowNetwork:
+    adjacency = random_adjacency(n, 0.35, seed)
+    graph = WeightedDiGraph.from_scipy(adjacency, directed=True)
+    return FlowNetwork(graph, 0, n - 1)
+
+
+class TestMaxFlowExactness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stable_coloring_reduced_flow_is_exact(self, seed):
+        network = random_network(seed)
+        exact = max_flow(network).value
+        result = run_task(MaxFlowTask(network), q=0.0)
+        assert result.max_q_err == pytest.approx(0.0, abs=1e-9)
+        assert result.value == pytest.approx(exact, rel=1e-9)
+
+    def test_lower_bound_lift_is_valid_flow(self):
+        from repro.flow.network import validate_flow
+
+        network = random_network(2, n=10)
+        result = run_task(
+            MaxFlowTask(network, bound="lower", lift_solution=True), q=0.0
+        )
+        # The lift of the uniform-capacity reduced flow is a valid flow
+        # on the original network with the reduced value (Theorem 6).
+        validate_flow(network, result.lifted)
+        assert result.lifted.value == pytest.approx(result.value)
+
+
+class TestLPExactness:
+    @pytest.mark.parametrize("mode", ["sqrt", "grohe"])
+    def test_lifted_optimum_matches_full_lp(self, mode):
+        lp = planted_block_lp(
+            36, 27, row_groups=3, col_groups=3, noise=0.0, seed=5
+        )
+        exact = solve_lp(lp).objective
+        result = run_task(LPTask(lp, mode=mode), q=0.0)
+        assert result.max_q_err == pytest.approx(0.0, abs=1e-9)
+        assert result.value == pytest.approx(exact, rel=1e-6)
+        lifted = result.lifted
+        assert lp.is_feasible(lifted, tol=1e-6)
+        assert lp.objective(lifted) == pytest.approx(exact, rel=1e-6)
+
+
+class TestCentralityExactness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_stable_coloring_pivot_scores_are_exact(self, seed):
+        adjacency = random_adjacency(16, 0.3, seed)
+        graph = WeightedDiGraph.from_scipy(adjacency, directed=True)
+        result = run_task(CentralityTask(graph, seed=seed), q=0.0)
+        assert result.max_q_err == pytest.approx(0.0, abs=1e-9)
+        # Random weights make the stable coloring discrete, so every
+        # node is its own pivot and the estimate is exact Brandes.
+        assert result.n_colors == graph.n_nodes
+        exact = betweenness_centrality(graph)
+        np.testing.assert_allclose(result.lifted, exact, rtol=1e-9)

@@ -44,6 +44,61 @@ class TestColorCommand:
             main(["color", karate_file])
 
 
+class TestSolveCommand:
+    def test_maxflow_schedule(self, capsys):
+        assert main(
+            ["solve", "--task", "maxflow", "--dataset", "tsukuba0",
+             "--scale", "0.002", "--colors", "4,8,12"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "maxflow pipeline" in out
+        assert "3 checkpoint(s)" in out
+        assert "coloring_s" in out
+
+    def test_lp_single_budget(self, capsys):
+        assert main(
+            ["solve", "--task", "lp", "--dataset", "qap15",
+             "--scale", "0.03", "--colors", "10"]
+        ) == 0
+        assert "1 checkpoint(s)" in capsys.readouterr().out
+
+    def test_centrality_q_target(self, capsys):
+        assert main(
+            ["solve", "--task", "centrality", "--dataset", "deezer",
+             "--scale", "0.004", "--q", "4"]
+        ) == 0
+        assert "centrality pipeline" in capsys.readouterr().out
+
+    def test_colors_and_q_compose(self, capsys):
+        """--q caps every --colors checkpoint: once the q target is met
+        the remaining budgets all resolve to the same coloring."""
+        assert main(
+            ["solve", "--task", "maxflow", "--dataset", "tsukuba0",
+             "--scale", "0.002", "--colors", "4,40", "--q", "1000"]
+        ) == 0
+        out = capsys.readouterr().out
+        rows = [line.split() for line in out.splitlines()
+                if line and line[0].isdigit()]
+        assert len(rows) == 2
+        # A huge q target is met by the initial partition: both budgets
+        # stop there instead of refining to 40 colors.
+        assert rows[0][0] == rows[1][0]
+
+    def test_requires_stopping_rule(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--task", "lp", "--dataset", "qap15"])
+
+    def test_bad_colors_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--task", "lp", "--dataset", "qap15",
+                  "--colors", "ten"])
+
+    def test_wrong_dataset_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--task", "lp", "--dataset", "karate",
+                  "--colors", "8"])
+
+
 class TestDatasetsCommand:
     def test_prints_both_tables(self, capsys):
         assert main(["datasets"]) == 0
