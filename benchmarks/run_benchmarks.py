@@ -50,6 +50,9 @@ SMOKE_FILTERS = {
     # Time both sweep strategies once each; the strict >= 3x assertion
     # test stays out of smoke mode (CI runners are too noisy for it).
     "bench_pipeline_progressive": "test_sweep",
+    # Time the arcstore engine only; the >= 5x speedup assertion test
+    # (which also runs the slow python engine) stays out of smoke mode.
+    "bench_solver_core": "arcstore",
 }
 
 

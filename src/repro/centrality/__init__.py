@@ -1,4 +1,10 @@
-"""Betweenness centrality: exact, color-pivot approximate, and sampling."""
+"""Betweenness centrality: exact, color-pivot approximate, and sampling.
+
+Exact Brandes (and the per-sample BFS of the Riondato–Kornaropoulos
+sampler) run on the CSR-native arc-store core (:mod:`repro.solvers`)
+by default; ``engine="python"`` selects the legacy per-source passes
+for cross-checking.
+"""
 
 from repro.centrality.approx import ApproxCentralityResult, approx_betweenness
 from repro.centrality.brandes import betweenness_centrality

@@ -60,12 +60,15 @@ def pivot_betweenness(
     coloring: Coloring,
     seed: SeedLike = None,
     pivots_per_color: int = 1,
+    engine: str = "arcstore",
 ) -> tuple[np.ndarray, np.ndarray]:
     """Betweenness estimated from per-color representative sources.
 
     Returns ``(scores, representatives)``.  Each color contributes
     ``|P_i| / pivots`` times the dependency vector of each of its
-    ``pivots`` sampled sources.
+    ``pivots`` sampled sources.  ``engine`` picks the Brandes
+    implementation the restricted passes run on (the arcstore core by
+    default).
     """
     rng = ensure_rng(seed)
     sources: list[int] = []
@@ -79,7 +82,7 @@ def pivot_betweenness(
             weights.append(len(members) / count)
             representatives.append(int(source))
     scores = betweenness_centrality(
-        graph, sources=sources, source_weights=weights
+        graph, sources=sources, source_weights=weights, engine=engine
     )
     return scores, np.asarray(representatives)
 
@@ -91,6 +94,7 @@ def approx_betweenness(
     split_mean: str = "geometric",
     seed: SeedLike = 0,
     pivots_per_color: int = 1,
+    engine: str = "arcstore",
 ) -> ApproxCentralityResult:
     """The paper's centrality pipeline: color, then pivot-Brandes,
     driven through the shared :mod:`repro.pipeline` runner.
@@ -108,6 +112,7 @@ def approx_betweenness(
         seed=seed,
         pivots_per_color=pivots_per_color,
         split_mean=split_mean,
+        engine=engine,
     )
     result = run_task(task, n_colors=n_colors, q=q)
     scores, representatives = result.solution

@@ -6,13 +6,22 @@ computes all values with one shortest-path pass + dependency accumulation
 per source: BFS for unweighted graphs (``O(nm)`` total) and Dijkstra for
 positively-weighted graphs (``weighted=True``).
 
-Conventions match networkx (our cross-check oracle): with
-``normalized=False``, undirected graphs report half the ordered-pair sum
-(each unordered pair counted once).
+:func:`betweenness_centrality` is a thin view over two engines:
 
-``single_source_dependencies`` exposes the per-source pass so the
+* ``"arcstore"`` (default) — the CSR-native core
+  (:mod:`repro.solvers.betweenness`): frontier-batched BFS lanes with
+  per-level ``sigma``/dependency scatters, and an array-heap Dijkstra
+  for weighted graphs;
+* ``"python"`` — the original per-source list-based passes below, kept
+  as the cross-checking reference.
+
+Conventions match networkx (our cross-check oracle) in both engines:
+with ``normalized=False``, undirected graphs report half the
+ordered-pair sum (each unordered pair counted once).
+
+``single_source_dependencies`` exposes the legacy per-source pass; the
 color-pivot approximation (:mod:`repro.centrality.approx`) and the
-Riondato–Kornaropoulos sampler can reuse it.
+Riondato–Kornaropoulos sampler route through the arcstore core.
 """
 
 from __future__ import annotations
@@ -134,6 +143,7 @@ def betweenness_centrality(
     sources: Iterable[int] | None = None,
     source_weights: Iterable[float] | None = None,
     weighted: bool = False,
+    engine: str = "arcstore",
 ) -> np.ndarray:
     """Betweenness centrality of every node (by internal index).
 
@@ -141,7 +151,20 @@ def betweenness_centrality(
     passes — the hook used by the pivot approximations.  With the default
     (all sources, unit weights) the result is exact.  ``weighted=True``
     treats edge weights as positive lengths (Dijkstra variant).
+    ``engine`` selects the vectorized arc-store implementation (default)
+    or the legacy pure-Python one; both agree to 1e-9.
     """
+    from repro.solvers import betweenness_centrality_csr, check_engine
+
+    if check_engine(engine) == "arcstore":
+        return betweenness_centrality_csr(
+            graph.to_csr(),
+            directed=graph.directed,
+            normalized=normalized,
+            sources=sources,
+            source_weights=source_weights,
+            weighted=weighted,
+        )
     n = graph.n_nodes
     if weighted:
         weighted_adjacency = [

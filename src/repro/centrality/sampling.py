@@ -11,6 +11,11 @@ is within ``eps * n(n-1)`` of the truth with probability ``1 - delta``.
 The implementation follows the paper's Algorithm 1: sample a pair
 ``(s, t)``, run a BFS, then walk one shortest path backwards choosing
 each predecessor with probability proportional to its path count.
+
+The per-sample BFS routes through the arc-store solver core
+(:func:`repro.solvers.betweenness.bfs_dag` over the graph's CSR
+arrays); only the O(path-length) backward walk stays scalar, reading
+each node's shortest-path predecessors off the CSC column slices.
 """
 
 from __future__ import annotations
@@ -19,9 +24,14 @@ import math
 
 import numpy as np
 
-from repro.centrality.brandes import _adjacency_lists, _bfs_shortest_paths
 from repro.graphs.digraph import WeightedDiGraph
+from repro.solvers.betweenness import bfs_dag
 from repro.utils.rng import SeedLike, ensure_rng
+
+
+def _csr_arrays(graph: WeightedDiGraph):
+    matrix = graph.to_csr()
+    return matrix.indptr.astype(np.int64), matrix.indices.astype(np.int64)
 
 
 def vertex_diameter_estimate(
@@ -34,14 +44,14 @@ def vertex_diameter_estimate(
     """
     rng = ensure_rng(seed)
     n = graph.n_nodes
-    adjacency = _adjacency_lists(graph)
+    indptr, indices = _csr_arrays(graph)
     best = 1
     for _ in range(min(samples, n)):
         source = int(rng.integers(0, n))
-        _, _, _, distance = _bfs_shortest_paths(adjacency, source, n)
-        reachable = [d for d in distance if d >= 0]
-        if reachable:
-            best = max(best, max(reachable) + 1)
+        dist, _, _ = bfs_dag(indptr, indices, source, n)
+        reached = dist[dist >= 0]
+        if reached.size:
+            best = max(best, int(reached.max()) + 1)
     return best
 
 
@@ -73,7 +83,10 @@ def riondato_kornaropoulos_betweenness(
     """
     rng = ensure_rng(seed)
     n = graph.n_nodes
-    adjacency = _adjacency_lists(graph)
+    indptr, indices = _csr_arrays(graph)
+    csc = graph.to_csc()
+    in_indptr = csc.indptr.astype(np.int64)
+    in_indices = csc.indices.astype(np.int64)
     if n_samples is None:
         diameter = vertex_diameter_estimate(graph, seed=rng)
         n_samples = rk_sample_size(diameter, eps, delta)
@@ -86,23 +99,21 @@ def riondato_kornaropoulos_betweenness(
         if s == t:
             continue
         performed += 1
-        _, sigma, predecessors, distance = _bfs_shortest_paths(
-            adjacency, s, n
-        )
-        if distance[t] < 0:
+        dist, sigma, _ = bfs_dag(indptr, indices, s, n)
+        if dist[t] < 0:
             continue  # unreachable pair contributes no path
-        # Walk one uniform shortest path backwards from t.
+        # Walk one uniform shortest path backwards from t; a node's
+        # predecessors are its in-neighbors one BFS level closer to s.
         node = t
         while node != s:
-            preds = predecessors[node]
-            if len(preds) == 1:
-                parent = preds[0]
+            candidates = in_indices[in_indptr[node] : in_indptr[node + 1]]
+            predecessors = candidates[dist[candidates] == dist[node] - 1]
+            if predecessors.size == 1:
+                parent = int(predecessors[0])
             else:
-                probabilities = np.array(
-                    [sigma[p] for p in preds], dtype=float
-                )
-                probabilities /= probabilities.sum()
-                parent = int(rng.choice(preds, p=probabilities))
+                probabilities = sigma[predecessors]
+                probabilities = probabilities / probabilities.sum()
+                parent = int(rng.choice(predecessors, p=probabilities))
             if parent != s:
                 counts[parent] += 1.0
             node = parent

@@ -198,13 +198,19 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     try:
         if args.task == "maxflow":
             problem = load_flow(args.dataset, scale=scale)
-            options = {"bound": args.bound, "algorithm": args.algorithm}
+            options = {
+                "bound": args.bound,
+                "algorithm": args.algorithm,
+                "engine": args.engine,
+            }
         elif args.task == "lp":
+            # The LP path solves via scipy/IPM, not the exact graph
+            # solvers, so --engine does not apply to it.
             problem = load_lp(args.dataset, scale=scale)
             options = {"mode": args.mode}
         else:
             problem = load_graph(args.dataset, scale=scale)
-            options = {"seed": args.seed}
+            options = {"seed": args.seed, "engine": args.engine}
     except DatasetError as exc:
         raise SystemExit(str(exc)) from exc
     task = task_for(args.task, problem, **options)
@@ -395,6 +401,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("push_relabel", "dinic", "edmonds_karp"),
                        default="push_relabel",
                        help="maxflow: reduced-network solver")
+    solve.add_argument("--engine", choices=("arcstore", "python"),
+                       default="arcstore",
+                       help="maxflow/centrality: exact-solver core "
+                            "(flat arc-store arrays vs legacy Python; "
+                            "both produce identical results)")
     solve.add_argument("--mode", choices=("sqrt", "grohe"), default="sqrt",
                        help="lp: reduction weight mode")
     solve.add_argument("--seed", type=int, default=0,

@@ -52,16 +52,21 @@ def centrality_runtime_rows(
     sample_ladder: tuple[int, ...] = (100, 400, 1600, 6400),
     targets: tuple[float, ...] = CENTRALITY_TARGETS,
     seed: int = 0,
+    engine: str = "arcstore",
 ) -> list[dict]:
     """Table 1 (top): ours vs Riondato–Kornaropoulos vs exact Brandes."""
     rows = []
     for name in datasets:
         graph = load_graph(name, scale=scale)
-        exact, exact_seconds = time_call(betweenness_centrality, graph)
+        exact, exact_seconds = time_call(
+            betweenness_centrality, graph, engine=engine
+        )
 
         ours_runs = []
         for budget in color_ladder:
-            result = approx_betweenness(graph, n_colors=budget, seed=seed)
+            result = approx_betweenness(
+                graph, n_colors=budget, seed=seed, engine=engine
+            )
             rho = spearman_rho(exact, result.scores)
             ours_runs.append((result.total_seconds, rho))
         prior_runs = []

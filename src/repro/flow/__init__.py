@@ -1,4 +1,10 @@
-"""Max-flow substrate and the quasi-stable flow approximation (Sec. 4.2)."""
+"""Max-flow substrate and the quasi-stable flow approximation (Sec. 4.2).
+
+Exact solving is a thin view over the CSR-native arc-store core
+(:mod:`repro.solvers`); every solver entry point takes
+``engine="arcstore" | "python"``, with the legacy pure-Python tier kept
+for cross-checking.
+"""
 
 from repro.flow.approx import (
     approx_max_flow,

@@ -1,8 +1,10 @@
 """Dinic's max-flow: level graphs + blocking flows, O(V^2 E).
 
-The workhorse solver for the reduced graphs and for the parametric
-searches in :mod:`repro.flow.uniform` — fast in practice on the small,
-dense graphs the coloring produces.
+This is the legacy ``python`` engine implementation, kept as the
+cross-checking reference; production solving goes through the flat
+arc-store variant (:func:`repro.solvers.maxflow.dinic` — vectorized
+level BFS, compacted level-graph DFS), reached via
+``max_flow(..., algorithm="dinic")``.
 """
 
 from __future__ import annotations

@@ -1,7 +1,10 @@
 """Edmonds–Karp max-flow: BFS augmenting paths, O(V E^2).
 
 The simplest correct solver; used as the ground truth the faster solvers
-are cross-checked against in the test suite.
+are cross-checked against in the test suite.  This module is the legacy
+``python`` engine; the arc-store variant
+(:func:`repro.solvers.maxflow.edmonds_karp`) finds each augmenting path
+with one vectorized BFS instead of a Python queue walk.
 """
 
 from __future__ import annotations

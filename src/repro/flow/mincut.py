@@ -1,4 +1,11 @@
-"""Min-cut extraction (max-flow min-cut theorem, used for validation)."""
+"""Min-cut extraction (max-flow min-cut theorem, used for validation).
+
+The arcstore engine (default) runs :func:`repro.solvers.maxflow.dinic`
+and reads reachability straight off the final residual arrays — one
+vectorized BFS, then a mask over the forward arcs picks the crossing
+set.  The ``python`` engine re-runs the legacy list-based Dinic and
+walks the residual adjacency, kept for cross-checking.
+"""
 
 from __future__ import annotations
 
@@ -10,7 +17,9 @@ from repro.flow.network import FlowNetwork, ResidualGraph
 _EPS = 1e-12
 
 
-def min_cut(network: FlowNetwork) -> Tuple[float, set[int], list[tuple[int, int]]]:
+def min_cut(
+    network: FlowNetwork, engine: str = "arcstore"
+) -> Tuple[float, set[int], list[tuple[int, int]]]:
     """Return ``(capacity, source_side, cut_arcs)`` of a minimum s-t cut.
 
     Runs Dinic to max-flow, then collects the nodes still reachable in the
@@ -18,6 +27,24 @@ def min_cut(network: FlowNetwork) -> Tuple[float, set[int], list[tuple[int, int]
     By max-flow/min-cut the returned capacity equals the max-flow value —
     the property tests assert exactly this.
     """
+    from repro.solvers import check_engine
+
+    if check_engine(engine) == "arcstore":
+        from repro.solvers import arc_store_for
+        from repro.solvers.maxflow import min_cut as _arcstore_min_cut
+
+        store = arc_store_for(network.graph)
+        capacity, source_side, cut_arcs, _ = _arcstore_min_cut(
+            store, network.source_index, network.sink_index
+        )
+        return capacity, source_side, cut_arcs
+    return _python_min_cut(network)
+
+
+def _python_min_cut(
+    network: FlowNetwork,
+) -> Tuple[float, set[int], list[tuple[int, int]]]:
+    """Legacy engine: list-based Dinic plus a Python reachability walk."""
     from repro.flow.dinic import _bfs_levels, _blocking_flow
 
     residual = ResidualGraph.from_network(network)

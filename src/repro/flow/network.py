@@ -6,20 +6,36 @@ sink (as in Theorem 6); capacities are the positive arc weights of a
 unchanged: their adjacency already stores both arc directions, each with
 the full capacity, the standard reduction.
 
+Solving is delegated to one of two engines (``max_flow(...,
+engine=...)``):
+
+* ``"arcstore"`` (default) — the CSR-native solver core of
+  :mod:`repro.solvers`: one flat :class:`~repro.solvers.arcstore.
+  ArcStore` per graph, vectorized BFS, and flat-array residual updates;
+* ``"python"`` — the original pure-Python solvers over the paired-edge
+  :class:`ResidualGraph`, kept as the cross-checking reference.
+
 ``FlowResult`` carries the flow value and the per-arc assignment so
 callers can validate capacity and conservation (done in
-:func:`validate_flow`, used heavily by the test suite).
+:func:`validate_flow` — O(m) numpy reductions — used heavily by the
+test suite).  The arcstore engine produces flows as flat arrays; the
+``arc_flow`` dict view is materialized lazily for compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Tuple
+
+import numpy as np
 
 from repro.exceptions import FlowError
 from repro.graphs.digraph import WeightedDiGraph
 
 ArcFlow = Dict[Tuple[int, int], float]
+
+#: (tails, heads, flows) — the flat-array form of a flow assignment
+ArcFlowArrays = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -54,18 +70,77 @@ class FlowNetwork:
         return self.graph.n_nodes
 
 
-@dataclass(frozen=True)
 class FlowResult:
-    """A max-flow answer: the value plus per-arc flows (by node index)."""
+    """A max-flow answer: the value plus per-arc flows (by node index).
 
-    value: float
-    arc_flow: ArcFlow = field(default_factory=dict)
+    The per-arc assignment is stored either as a dict (the legacy
+    engine, hand-built fixtures) or as flat ``(tails, heads, flows)``
+    arrays (the arcstore engine); each view is materialized lazily from
+    the other on first access, so both engines expose the same surface.
+    """
+
+    __slots__ = ("value", "_arc_flow", "_arc_arrays")
+
+    def __init__(
+        self,
+        value: float,
+        arc_flow: ArcFlow | None = None,
+        arc_arrays: ArcFlowArrays | None = None,
+    ) -> None:
+        self.value = value
+        self._arc_flow = arc_flow
+        self._arc_arrays = arc_arrays
+        if arc_flow is None and arc_arrays is None:
+            self._arc_flow = {}
+
+    @property
+    def arc_flow(self) -> ArcFlow:
+        """Dict view ``(u, v) -> flow`` (materialized lazily)."""
+        if self._arc_flow is None:
+            tails, heads, flows = self._arc_arrays
+            self._arc_flow = {
+                (int(u), int(v)): float(f)
+                for u, v, f in zip(tails, heads, flows)
+            }
+        return self._arc_flow
+
+    def arc_arrays(self) -> ArcFlowArrays:
+        """Flat ``(tails, heads, flows)`` view (materialized lazily)."""
+        if self._arc_arrays is None:
+            items = self._arc_flow.items()
+            tails = np.fromiter(
+                (u for (u, _), _ in items), dtype=np.int64, count=len(items)
+            )
+            heads = np.fromiter(
+                (v for (_, v), _ in items), dtype=np.int64, count=len(items)
+            )
+            flows = np.fromiter(
+                (f for _, f in items), dtype=np.float64, count=len(items)
+            )
+            self._arc_arrays = (tails, heads, flows)
+        return self._arc_arrays
 
     def out_flow(self, node: int) -> float:
-        return sum(f for (u, _), f in self.arc_flow.items() if u == node)
+        tails, _, flows = self.arc_arrays()
+        return float(flows[tails == node].sum())
 
     def in_flow(self, node: int) -> float:
-        return sum(f for (_, v), f in self.arc_flow.items() if v == node)
+        _, heads, flows = self.arc_arrays()
+        return float(flows[heads == node].sum())
+
+    def __eq__(self, other: object) -> bool:
+        # Value equality over (value, per-arc flows), matching the
+        # frozen-dataclass semantics this class replaced.
+        if not isinstance(other, FlowResult):
+            return NotImplemented
+        return self.value == other.value and self.arc_flow == other.arc_flow
+
+    # Explicitly unhashable: hashing the frozen dataclass this class
+    # replaced also always raised (its dict field is unhashable).
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return f"FlowResult(value={self.value!r})"
 
 
 def validate_flow(
@@ -74,32 +149,77 @@ def validate_flow(
     """Raise :class:`FlowError` unless ``result`` is a valid s-t flow.
 
     Checks the capacity condition, conservation at internal nodes, and
-    that the claimed value matches the net out-flow at the source.
+    that the claimed value matches the net out-flow at the source — all
+    as O(m) numpy reductions over the flat arc arrays (the per-arc dict
+    is never touched, so validating an arcstore result stays cheap).
     """
     graph = network.graph
-    capacities: dict[tuple[int, int], float] = {}
-    for ui in range(graph.n_nodes):
-        for vi, cap in graph.out_items(ui).items():
-            capacities[(ui, vi)] = cap
+    n = graph.n_nodes
+    tails, heads, flows = result.arc_arrays()
 
-    net = [0.0] * graph.n_nodes
-    for (u, v), f in result.arc_flow.items():
-        if f < -tol:
-            raise FlowError(f"negative flow {f} on arc {(u, v)}")
-        cap = capacities.get((u, v))
-        if cap is None:
-            raise FlowError(f"flow on non-existent arc {(u, v)}")
-        if f > cap + tol:
-            raise FlowError(f"flow {f} exceeds capacity {cap} on {(u, v)}")
-        net[u] += f
-        net[v] -= f
+    if flows.size:
+        worst = int(np.argmin(flows))
+        if flows[worst] < -tol:
+            raise FlowError(
+                f"negative flow {flows[worst]} on arc "
+                f"{(int(tails[worst]), int(heads[worst]))}"
+            )
+        # Out-of-range endpoints first: the flat key encoding below is
+        # only injective over valid node indices.
+        out_of_range = (tails < 0) | (tails >= n) | (heads < 0) | (heads >= n)
+        if out_of_range.any():
+            first = int(np.argmax(out_of_range))
+            raise FlowError(
+                f"flow on non-existent arc "
+                f"{(int(tails[first]), int(heads[first]))}"
+            )
+        # Capacity lookup: CSR arc keys are sorted (row-major, sorted
+        # columns), so one searchsorted resolves every flow arc.
+        matrix = graph.to_csr()
+        matrix.sort_indices()
+        graph_keys = (
+            np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(matrix.indptr)
+            )
+            * n
+            + matrix.indices
+        )
+        flow_keys = tails.astype(np.int64) * n + heads
+        positions = np.searchsorted(graph_keys, flow_keys)
+        positions_clipped = np.minimum(positions, max(graph_keys.size - 1, 0))
+        missing = (
+            (positions >= graph_keys.size)
+            | (graph_keys[positions_clipped] != flow_keys)
+            if graph_keys.size
+            else np.ones(flow_keys.size, dtype=bool)
+        )
+        if missing.any():
+            first = int(np.argmax(missing))
+            raise FlowError(
+                f"flow on non-existent arc "
+                f"{(int(tails[first]), int(heads[first]))}"
+            )
+        capacities = matrix.data[positions_clipped]
+        over = flows > capacities + tol
+        if over.any():
+            first = int(np.argmax(over))
+            raise FlowError(
+                f"flow {flows[first]} exceeds capacity {capacities[first]} "
+                f"on {(int(tails[first]), int(heads[first]))}"
+            )
 
+    net = np.zeros(n)
+    if flows.size:
+        net += np.bincount(tails, weights=flows, minlength=n)
+        net -= np.bincount(heads, weights=flows, minlength=n)
     s, t = network.source_index, network.sink_index
-    for node in range(graph.n_nodes):
-        if node in (s, t):
-            continue
-        if abs(net[node]) > tol:
-            raise FlowError(f"conservation violated at node {node}: {net[node]}")
+    interior = np.abs(net) > tol
+    interior[s] = interior[t] = False
+    if interior.any():
+        node = int(np.argmax(interior))
+        raise FlowError(
+            f"conservation violated at node {node}: {net[node]}"
+        )
     if abs(net[s] - result.value) > tol:
         raise FlowError(
             f"claimed value {result.value} but source pushes {net[s]}"
@@ -110,14 +230,50 @@ def validate_flow(
         )
 
 
+def _arcstore_max_flow(network: FlowNetwork, algorithm: str) -> FlowResult:
+    from repro.solvers import (
+        arc_store_for,
+        dinic,
+        edmonds_karp,
+        push_relabel,
+    )
+
+    solvers = {
+        "push_relabel": push_relabel,
+        "dinic": dinic,
+        "edmonds_karp": edmonds_karp,
+    }
+    store = arc_store_for(network.graph)
+    value, cap = solvers[algorithm](
+        store, network.source_index, network.sink_index
+    )
+    return FlowResult(
+        value=value, arc_arrays=store.extract_flow_arrays(cap)
+    )
+
+
 def max_flow(
-    network: FlowNetwork, algorithm: str = "push_relabel"
+    network: FlowNetwork,
+    algorithm: str = "push_relabel",
+    engine: str = "arcstore",
 ) -> FlowResult:
     """Dispatch to one of the max-flow solvers.
 
-    ``push_relabel`` (the paper's exact baseline), ``dinic`` or
-    ``edmonds_karp``.
+    ``algorithm`` is one of ``push_relabel`` (the paper's exact
+    baseline), ``dinic`` or ``edmonds_karp``; ``engine`` selects the
+    arc-store implementation (default) or the legacy pure-Python one.
     """
+    from repro.solvers import check_engine
+
+    algorithms = ("push_relabel", "dinic", "edmonds_karp")
+    if algorithm not in algorithms:
+        raise ValueError(
+            f"algorithm must be one of {sorted(algorithms)}, "
+            f"got {algorithm!r}"
+        )
+    if check_engine(engine) == "arcstore":
+        return _arcstore_max_flow(network, algorithm)
+
     from repro.flow.dinic import dinic_max_flow
     from repro.flow.edmonds_karp import edmonds_karp_max_flow
     from repro.flow.push_relabel import push_relabel_max_flow
@@ -127,15 +283,13 @@ def max_flow(
         "dinic": dinic_max_flow,
         "edmonds_karp": edmonds_karp_max_flow,
     }
-    if algorithm not in solvers:
-        raise ValueError(
-            f"algorithm must be one of {sorted(solvers)}, got {algorithm!r}"
-        )
     return solvers[algorithm](network)
 
 
 class ResidualGraph:
-    """Paired-edge residual representation shared by all three solvers.
+    """Paired-edge residual representation of the legacy ``python``
+    engine (the arcstore engine keeps the same pairing in flat arrays —
+    see :class:`repro.solvers.arcstore.ArcStore`).
 
     Arc ``e`` and its reverse ``e ^ 1`` are adjacent in the edge arrays,
     so the reverse of any arc is a single XOR away — the classic trick.

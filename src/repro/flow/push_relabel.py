@@ -5,6 +5,10 @@ The paper benchmarks against GraphsFlows' push-relabel implementation
 same algorithm family: highest-level selection is replaced by FIFO active
 vertex processing, plus the gap heuristic that relabels whole empty
 levels at once.  Complexity O(V^3); in practice much faster.
+
+This module is the legacy ``python`` engine; the arc-store variant
+(:func:`repro.solvers.maxflow.push_relabel`) runs highest-label
+selection with per-height bucket arrays over the flat arc ids.
 """
 
 from __future__ import annotations

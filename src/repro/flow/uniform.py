@@ -22,8 +22,7 @@ import scipy.optimize
 import scipy.sparse as sp
 
 from repro.exceptions import FlowError
-from repro.flow.dinic import dinic_max_flow
-from repro.flow.network import FlowNetwork
+from repro.flow.network import FlowNetwork, max_flow
 from repro.graphs.bipartite import BipartiteGraph
 from repro.graphs.digraph import WeightedDiGraph
 
@@ -137,7 +136,9 @@ def _uniform_flow_feasible(graph: BipartiteGraph, target: float) -> bool:
     coo = graph.matrix.tocoo()
     for x, y, c in zip(coo.row, coo.col, coo.data):
         network_graph.add_edge(("x", int(x)), ("y", int(y)), float(c))
-    result = dinic_max_flow(FlowNetwork(network_graph, "s", "t"))
+    result = max_flow(
+        FlowNetwork(network_graph, "s", "t"), algorithm="dinic"
+    )
     return result.value >= target * (1 - 1e-9)
 
 

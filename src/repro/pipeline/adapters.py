@@ -41,7 +41,10 @@ class MaxFlowTask(CompressionTask):
     weights the progressive runner maintains); ``bound="lower"``
     uses the uniform-flow capacities ``c_hat_1``.  With
     ``lift_solution=True`` (lower bound only) the reduced flow is
-    lifted to a valid flow on the original network.
+    lifted to a valid flow on the original network.  ``engine`` picks
+    the exact solver core the reduced network is solved with (the flat
+    arc-store engine by default, the legacy Python solvers with
+    ``"python"`` — the CLI's ``repro solve --engine`` cross-check).
     """
 
     name = "maxflow"
@@ -53,12 +56,14 @@ class MaxFlowTask(CompressionTask):
         algorithm: str = "push_relabel",
         split_mean: str = "arithmetic",
         lift_solution: bool = False,
+        engine: str = "arcstore",
     ) -> None:
         self.problem = network
         self.bound = bound
         self.algorithm = algorithm
         self.split_mean = split_mean
         self.lift_solution = lift_solution
+        self.engine = engine
         self._spec: ColoringSpec | None = None
 
     def coloring_spec(self) -> ColoringSpec:
@@ -87,7 +92,7 @@ class MaxFlowTask(CompressionTask):
         )
 
     def solve(self, reduced: FlowNetwork) -> FlowResult:
-        return max_flow(reduced, algorithm=self.algorithm)
+        return max_flow(reduced, algorithm=self.algorithm, engine=self.engine)
 
     def lift(
         self, coloring: Coloring, reduced: FlowNetwork, solution: FlowResult
@@ -174,7 +179,8 @@ class CentralityTask(CompressionTask):
     and the scores already live in node space, so lifting selects them.
     Each solve draws representatives from a fresh ``seed``-keyed
     generator, so results at a given checkpoint are reproducible and
-    independent of sweep order.
+    independent of sweep order.  ``engine`` picks the Brandes core the
+    restricted passes run on (arcstore by default).
     """
 
     name = "centrality"
@@ -186,11 +192,13 @@ class CentralityTask(CompressionTask):
         seed: SeedLike = 0,
         pivots_per_color: int = 1,
         split_mean: str = "geometric",
+        engine: str = "arcstore",
     ) -> None:
         self.problem = graph
         self.seed = seed
         self.pivots_per_color = pivots_per_color
         self.split_mean = split_mean
+        self.engine = engine
         self._spec: ColoringSpec | None = None
 
     def coloring_spec(self) -> ColoringSpec:
@@ -219,6 +227,7 @@ class CentralityTask(CompressionTask):
             reduced,
             seed=self.seed,
             pivots_per_color=self.pivots_per_color,
+            engine=self.engine,
         )
 
     def lift(self, coloring: Coloring, reduced: Coloring, solution) -> np.ndarray:

@@ -1,0 +1,278 @@
+"""The flat arc store: one contiguous residual representation for all
+exact solvers.
+
+``ArcStore`` encodes a flow network (or any weighted digraph) as paired
+residual arcs in flat numpy arrays: original arc ``e`` gets id ``2e`` and
+its zero-capacity residual twin id ``2e + 1``, so the reverse of any arc
+is a single XOR away.  Per-arc attributes live in contiguous arrays
+(``head``, ``tail``, ``cap0``), and a CSR-style index (``indptr`` +
+``arcs``, arc ids grouped by tail node) provides O(1) slicing of a
+node's incident arcs.  The store is built once from
+``WeightedDiGraph.to_csr()`` — :func:`arc_store_for` memoizes it on the
+graph's cached CSR snapshot, so repeated solves (max-flow, then min-cut,
+then a parametric search) pay construction exactly once; graph mutations
+invalidate the CSR cache and therefore the store.
+
+On top of the arrays, this module provides the vectorized primitives the
+solvers share:
+
+* :func:`bfs_levels` — frontier-batched level BFS over residual arcs
+  (the level graph of Dinic, reachability for min-cut);
+* :func:`bfs_parents` — the same BFS recording discovery arcs (the
+  augmenting-path search of Edmonds–Karp);
+* :meth:`ArcStore.residual` — a fresh residual capacity vector, the one
+  place residual state is created (retiring the per-solver
+  ``ResidualGraph`` construction);
+* :meth:`ArcStore.extract_flow_arrays` — per-arc flows of the forward
+  arcs as ``(tails, heads, flows)`` arrays, ``flow = cap0 - cap``.
+
+The gather/scatter steps reuse :mod:`repro.core.kernels`
+(:func:`~repro.core.kernels.take_ranges`): the same cumsum trick that
+powers the coloring engine powers the solver BFS.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Dict, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.kernels import take_ranges
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graphs.digraph import WeightedDiGraph
+
+_EPS = 1e-12
+
+#: the two exact-solver implementations every dispatching entry point accepts
+ENGINES = ("arcstore", "python")
+
+
+def check_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine
+
+
+def unique_int(values: np.ndarray) -> np.ndarray:
+    """Sorted unique of an int array (sort + diff mask).
+
+    Several times faster than ``np.unique``'s hash path on the mid-size
+    index arrays the BFS frontiers produce, and the solvers dedupe a
+    frontier on every level — this is their hottest scalar kernel.
+    """
+    if values.size <= 1:
+        return values
+    values = np.sort(values)
+    keep = np.empty(values.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+
+class ArcStore:
+    """Flat paired-arc residual representation of a weighted digraph.
+
+    Forward arc ``2e`` carries the original capacity; its residual twin
+    ``2e + 1`` starts at zero.  ``arcs[indptr[u]:indptr[u + 1]]`` lists
+    every arc id (forward and reverse) whose tail is ``u`` — the
+    residual adjacency all solvers traverse.
+    """
+
+    __slots__ = ("n", "n_forward", "head", "tail", "cap0", "indptr", "arcs",
+                 "tail_by_arc", "head_by_arc", "__weakref__")
+
+    def __init__(
+        self,
+        n: int,
+        tails: np.ndarray,
+        heads: np.ndarray,
+        capacities: np.ndarray,
+    ) -> None:
+        m = len(capacities)
+        self.n = int(n)
+        self.n_forward = m
+        head = np.empty(2 * m, dtype=np.int64)
+        tail = np.empty(2 * m, dtype=np.int64)
+        cap0 = np.zeros(2 * m, dtype=np.float64)
+        head[0::2] = heads
+        head[1::2] = tails
+        tail[0::2] = tails
+        tail[1::2] = heads
+        cap0[0::2] = capacities
+        self.head = head
+        self.tail = tail
+        self.cap0 = cap0
+        # Arc ids grouped by tail: stable argsort keeps, within each
+        # node, the original arc order (forward arcs before the reverse
+        # twins of later arcs), matching iteration order of the legacy
+        # adjacency lists.
+        self.arcs = np.argsort(tail, kind="stable")
+        counts = np.bincount(tail, minlength=n)
+        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.indptr[1:])
+        # Endpoints in tail-grouped (``arcs``) order: per-phase masks
+        # over the adjacency then gather sequentially instead of
+        # permuting a mask computed in arc-id order.
+        self.tail_by_arc = tail[self.arcs]
+        self.head_by_arc = head[self.arcs]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, matrix: sp.csr_matrix) -> "ArcStore":
+        """Build from a square CSR adjacency of positive capacities."""
+        matrix = sp.csr_matrix(matrix)
+        n = matrix.shape[0]
+        tails = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(matrix.indptr)
+        )
+        heads = matrix.indices.astype(np.int64)
+        capacities = matrix.data.astype(np.float64)
+        positive = capacities > 0
+        if not positive.all():
+            tails = tails[positive]
+            heads = heads[positive]
+            capacities = capacities[positive]
+        return cls(n, tails, heads, capacities)
+
+    # ------------------------------------------------------------------
+    # residual state
+    # ------------------------------------------------------------------
+    def residual(self) -> np.ndarray:
+        """A fresh residual capacity vector (one per solver run).
+
+        This is the single construction point for residual state: every
+        arcstore solver starts from ``store.residual()`` and mutates its
+        own copy, so the store itself stays immutable and shareable.
+        """
+        return self.cap0.copy()
+
+    # ------------------------------------------------------------------
+    # flow extraction
+    # ------------------------------------------------------------------
+    def extract_flow_arrays(
+        self, cap: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Forward-arc flows of a final residual state, as flat arrays.
+
+        ``flow(e) = cap0(e) - cap(e)`` on forward arcs; the paired-arc
+        invariant ``cap(2e) + cap(2e + 1) = cap0(2e)`` keeps it
+        non-negative.  Only strictly positive flows are returned.
+        """
+        pushed = self.cap0[0::2] - cap[0::2]
+        mask = pushed > 0
+        return (
+            self.tail[0::2][mask],
+            self.head[0::2][mask],
+            pushed[mask],
+        )
+
+    def extract_flow(self, cap: np.ndarray) -> Dict[Tuple[int, int], float]:
+        """Dict view of :meth:`extract_flow_arrays` (compat surface)."""
+        tails, heads, flows = self.extract_flow_arrays(cap)
+        return {
+            (int(u), int(v)): float(f)
+            for u, v, f in zip(tails, heads, flows)
+        }
+
+
+#: one ArcStore per graph, validated against the graph's cached CSR
+#: snapshot by identity: a mutation invalidates the CSR (a new object is
+#: built on the next to_csr()), which lazily invalidates the store too —
+#: no explicit invalidation hook needed
+_STORE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def arc_store_for(graph: "WeightedDiGraph") -> ArcStore:
+    """The (memoized) arc store of a graph's current CSR snapshot."""
+    matrix = graph.to_csr()
+    cached = _STORE_CACHE.get(graph)
+    if cached is not None and cached[0] is matrix:
+        return cached[1]
+    store = ArcStore.from_csr(matrix)
+    try:
+        _STORE_CACHE[graph] = (matrix, store)
+    except TypeError:  # pragma: no cover - unweakrefable graph type
+        pass
+    return store
+
+
+# ----------------------------------------------------------------------
+# vectorized traversals
+# ----------------------------------------------------------------------
+def _frontier_arcs(
+    store: ArcStore, cap: np.ndarray, frontier: np.ndarray
+) -> np.ndarray:
+    """All residual arcs (cap > eps) leaving the frontier nodes."""
+    starts = store.indptr[frontier]
+    counts = store.indptr[frontier + 1] - starts
+    arcs = store.arcs[take_ranges(starts, counts)]
+    return arcs[cap[arcs] > _EPS]
+
+
+def bfs_levels(
+    store: ArcStore,
+    cap: np.ndarray,
+    source: int,
+    sink: int | None = None,
+) -> np.ndarray:
+    """Frontier-batched BFS levels of the residual graph.
+
+    Unreached nodes get ``-1``.  With a ``sink``, expansion stops as
+    soon as the sink's level is assigned (the whole level is finished
+    first, so every shortest admissible arc survives — exactly what
+    Dinic's level graph needs).
+    """
+    level = np.full(store.n, -1, dtype=np.int64)
+    level[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        heads = store.head[_frontier_arcs(store, cap, frontier)]
+        heads = heads[level[heads] < 0]
+        if heads.size == 0:
+            break
+        frontier = unique_int(heads)
+        depth += 1
+        level[frontier] = depth
+        if sink is not None and level[sink] == depth:
+            break
+    return level
+
+
+def bfs_parents(
+    store: ArcStore, cap: np.ndarray, source: int, sink: int
+) -> np.ndarray | None:
+    """Shortest-path discovery arcs (Edmonds–Karp's BFS), or None.
+
+    Returns ``parent_arc[v]`` = the arc that first reached ``v`` on some
+    shortest residual path from the source; ``None`` when the sink is
+    unreachable.
+    """
+    parent_arc = np.full(store.n, -1, dtype=np.int64)
+    visited = np.zeros(store.n, dtype=bool)
+    visited[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    while frontier.size:
+        arcs = _frontier_arcs(store, cap, frontier)
+        heads = store.head[arcs]
+        fresh = ~visited[heads]
+        arcs, heads = arcs[fresh], heads[fresh]
+        if heads.size == 0:
+            return None
+        # First-occurrence dedupe (stable sort keeps discovery order).
+        order = np.argsort(heads, kind="stable")
+        sorted_heads = heads[order]
+        keep = np.empty(sorted_heads.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(sorted_heads[1:], sorted_heads[:-1], out=keep[1:])
+        frontier = sorted_heads[keep]
+        visited[frontier] = True
+        parent_arc[frontier] = arcs[order[keep]]
+        if visited[sink]:
+            return parent_arc
+    return None

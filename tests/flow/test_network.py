@@ -72,6 +72,13 @@ class TestValidateFlow:
         with pytest.raises(FlowError, match="non-existent"):
             validate_flow(diamond, FlowResult(value=0.0, arc_flow=flow))
 
+    def test_out_of_range_arc(self, diamond):
+        # Endpoints beyond n must not collide with real arcs through
+        # the vectorized validator's flat key encoding.
+        flow = {(1, 7): 1.0}
+        with pytest.raises(FlowError, match="non-existent"):
+            validate_flow(diamond, FlowResult(value=0.0, arc_flow=flow))
+
     def test_wrong_value(self, diamond):
         flow = {(0, 1): 1.0, (1, 3): 1.0}
         with pytest.raises(FlowError, match="claimed value"):

@@ -1,0 +1,191 @@
+"""Property sweep: arcstore vs legacy-python engines vs networkx.
+
+The acceptance contract of the CSR-native solver core: on random
+directed/undirected weighted graphs the two engines must produce
+identical flow values (and networkx agrees), max-flow must equal
+min-cut, lifted lower-bound flows must validate on the original
+network, and betweenness must match the networkx-convention Brandes to
+1e-9 for every engine.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.centrality.brandes import betweenness_centrality
+from repro.flow.approx import lift_flow, reduced_network, color_flow_network
+from repro.flow.mincut import min_cut
+from repro.flow.network import FlowNetwork, max_flow, validate_flow
+from repro.graphs.digraph import WeightedDiGraph
+
+ALGORITHMS = ("edmonds_karp", "dinic", "push_relabel")
+
+
+def random_flow_network(seed: int, n: int = 14, density: float = 0.3):
+    generator = np.random.default_rng(seed)
+    nx_graph = nx.gnp_random_graph(
+        n, density, seed=int(generator.integers(10**6)), directed=True
+    )
+    graph = WeightedDiGraph(directed=True)
+    for i in range(n):
+        graph.add_node(i)
+    for u, v in nx_graph.edges():
+        capacity = float(generator.integers(1, 10))
+        graph.add_edge(u, v, capacity)
+        nx_graph[u][v]["capacity"] = capacity
+    return FlowNetwork(graph, 0, n - 1), nx_graph
+
+
+def random_weighted_graph(seed: int, n: int = 18, directed: bool = False):
+    generator = np.random.default_rng(seed)
+    nx_graph = nx.gnp_random_graph(n, 0.25, seed=seed, directed=directed)
+    graph = WeightedDiGraph(directed=directed)
+    for i in range(n):
+        graph.add_node(i)
+    for u, v in nx_graph.edges():
+        weight = float(generator.integers(1, 7))
+        graph.add_edge(u, v, weight)
+        nx_graph[u][v]["weight"] = weight
+    return graph, nx_graph
+
+
+class TestMaxFlowCrossCheck:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("seed", range(10))
+    def test_engines_agree_with_networkx(self, algorithm, seed):
+        network, nx_graph = random_flow_network(seed)
+        expected = nx.maximum_flow_value(nx_graph, 0, network.n_nodes - 1)
+        arcstore = max_flow(network, algorithm=algorithm, engine="arcstore")
+        python = max_flow(network, algorithm=algorithm, engine="python")
+        assert arcstore.value == pytest.approx(expected, abs=1e-9)
+        assert python.value == pytest.approx(arcstore.value, abs=1e-9)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("seed", range(10))
+    def test_arcstore_flow_is_valid(self, algorithm, seed):
+        network, _ = random_flow_network(seed)
+        result = max_flow(network, algorithm=algorithm, engine="arcstore")
+        validate_flow(network, result)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_undirected_engines_agree(self, seed):
+        generator = np.random.default_rng(seed)
+        nx_graph = nx.gnp_random_graph(12, 0.35, seed=seed)
+        graph = WeightedDiGraph(directed=False)
+        for i in range(12):
+            graph.add_node(i)
+        for u, v in nx_graph.edges():
+            graph.add_edge(u, v, float(generator.integers(1, 8)))
+        network = FlowNetwork(graph, 0, 11)
+        values = {
+            (algorithm, engine): max_flow(
+                network, algorithm=algorithm, engine=engine
+            ).value
+            for algorithm in ALGORITHMS
+            for engine in ("arcstore", "python")
+        }
+        reference = values[("edmonds_karp", "python")]
+        for value in values.values():
+            assert value == pytest.approx(reference, abs=1e-9)
+
+
+class TestMinCutDuality:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_maxflow_equals_mincut_both_engines(self, seed):
+        network, _ = random_flow_network(seed)
+        flow_value = max_flow(network, engine="arcstore").value
+        for engine in ("arcstore", "python"):
+            cut_value, source_side, cut_arcs = min_cut(network, engine=engine)
+            assert cut_value == pytest.approx(flow_value, abs=1e-9)
+            assert network.source_index in source_side
+            assert network.sink_index not in source_side
+            # Cut arcs all leave the source side.
+            for u, v in cut_arcs:
+                assert u in source_side and v not in source_side
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_engines_find_same_reachable_set(self, seed):
+        """Dinic is deterministic, so both residuals give one cut."""
+        network, _ = random_flow_network(seed)
+        _, arcstore_side, _ = min_cut(network, engine="arcstore")
+        _, python_side, _ = min_cut(network, engine="python")
+        assert arcstore_side == python_side
+
+
+class TestLiftedFlowValidity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lower_bound_lift_validates(self, seed):
+        network, _ = random_flow_network(seed, n=12, density=0.4)
+        coloring = color_flow_network(network, n_colors=6).coloring
+        reduced = reduced_network(network, coloring, bound="lower")
+        for engine in ("arcstore", "python"):
+            reduced_result = max_flow(reduced, engine=engine)
+            lifted = lift_flow(network, coloring, reduced_result)
+            validate_flow(network, lifted)
+            assert lifted.value == pytest.approx(
+                reduced_result.value, abs=1e-9
+            )
+            # Theorem 6: the lifted lower bound cannot exceed maxFlow(G).
+            exact = max_flow(network, engine=engine).value
+            assert lifted.value <= exact + 1e-9
+
+
+class TestBetweennessCrossCheck:
+    @pytest.mark.parametrize("directed", (False, True))
+    @pytest.mark.parametrize("seed", range(5))
+    def test_engines_match_networkx(self, directed, seed):
+        graph, nx_graph = random_weighted_graph(seed, directed=directed)
+        reference = nx.betweenness_centrality(nx_graph, normalized=False)
+        reference_vec = np.array([reference[i] for i in range(graph.n_nodes)])
+        for engine in ("arcstore", "python"):
+            scores = betweenness_centrality(graph, engine=engine)
+            assert np.allclose(scores, reference_vec, atol=1e-9), engine
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_weighted_engines_match_networkx(self, seed):
+        graph, nx_graph = random_weighted_graph(seed)
+        reference = nx.betweenness_centrality(
+            nx_graph, weight="weight", normalized=False
+        )
+        reference_vec = np.array([reference[i] for i in range(graph.n_nodes)])
+        for engine in ("arcstore", "python"):
+            scores = betweenness_centrality(
+                graph, weighted=True, engine=engine
+            )
+            assert np.allclose(scores, reference_vec, atol=1e-9), engine
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_restricted_sources_agree(self, seed):
+        """The pivot hook (sources + weights) agrees across engines."""
+        graph, _ = random_weighted_graph(seed)
+        sources = list(range(0, graph.n_nodes, 3))
+        weights = [1.0 + 0.5 * i for i in range(len(sources))]
+        arcstore = betweenness_centrality(
+            graph, sources=sources, source_weights=weights,
+            engine="arcstore",
+        )
+        python = betweenness_centrality(
+            graph, sources=sources, source_weights=weights,
+            engine="python",
+        )
+        assert np.allclose(arcstore, python, atol=1e-9)
+
+    def test_normalized_agrees(self):
+        graph, _ = random_weighted_graph(1)
+        arcstore = betweenness_centrality(
+            graph, normalized=True, engine="arcstore"
+        )
+        python = betweenness_centrality(
+            graph, normalized=True, engine="python"
+        )
+        assert np.allclose(arcstore, python, atol=1e-9)
+
+    def test_unknown_engine_rejected(self):
+        graph, _ = random_weighted_graph(0)
+        with pytest.raises(ValueError, match="engine"):
+            betweenness_centrality(graph, engine="magic")
+
+    def test_unknown_flow_engine_rejected(self):
+        network, _ = random_flow_network(0)
+        with pytest.raises(ValueError, match="engine"):
+            max_flow(network, engine="magic")
