@@ -8,12 +8,18 @@ suite under ``benchmarks/results/<suite>.json``::
     {
       "suite": "bench_rothko_scaling",
       "smoke": false,
+      "max_rss_mb": 189.3,
       "results": [
         {"name": "test_rothko_scaling_colors[128]", "median": 0.053,
          "mean": 0.054, "stddev": 0.001, "rounds": 9},
         ...
       ]
     }
+
+Each suite runs pytest in a child interpreter that reports its own peak
+RSS (``resource.getrusage``), persisted as ``max_rss_mb``; benchmarks
+that attach ``extra_info`` (e.g. the large-scale Rothko suite's traced
+peak memory) carry it through to the condensed results.
 
 Usage::
 
@@ -45,8 +51,16 @@ SMOKE_FILTERS = {
     "bench_rothko_scaling": (
         "test_rothko_scaling_nodes[500] or test_rothko_scaling_colors[8]"
     ),
+    # Quarter-million-node coloring with the memory-ceiling assertion,
+    # plus the colors[128] 5x peak-memory-reduction guard; the full
+    # million-node case and the batched comparison stay out of smoke.
+    "bench_rothko_largescale": (
+        "test_largescale_coloring[250000] or colors128"
+    ),
     "bench_core_micro": "test_q_error_evaluation or edmonds_karp",
-    "bench_dynamic_updates": "random",
+    # bench_dynamic_updates needs no filter: its single test covers all
+    # scenarios in one ~1 s pass (a stale "random" filter used to
+    # deselect it entirely).
     # Time both sweep strategies once each; the strict >= 3x assertion
     # test stays out of smoke mode (CI runners are too noisy for it).
     "bench_pipeline_progressive": "test_sweep",
@@ -67,6 +81,23 @@ def discover(selects: list[str]) -> list[pathlib.Path]:
     ]
 
 
+#: in-process pytest driver: the child interpreter's own peak RSS covers
+#: the whole suite (getrusage on the parent would only see itself, and
+#: RUSAGE_CHILDREN is a running maximum across unrelated suites)
+_PYTEST_WRAPPER = """\
+import json, resource, sys
+import pytest
+
+code = pytest.main(sys.argv[2:])
+kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+if sys.platform == "darwin":  # bytes there, KiB on Linux
+    kb //= 1024
+with open(sys.argv[1], "w") as handle:
+    json.dump({"max_rss_kb": int(kb)}, handle)
+sys.exit(code)
+"""
+
+
 def run_suite(
     path: pathlib.Path, smoke: bool, extra_args: list[str]
 ) -> dict | None:
@@ -75,11 +106,16 @@ def run_suite(
         suffix=".json", delete=False, mode="w"
     ) as handle:
         raw_path = pathlib.Path(handle.name)
+    with tempfile.NamedTemporaryFile(
+        suffix=".json", delete=False, mode="w"
+    ) as handle:
+        rss_path = pathlib.Path(handle.name)
     try:
         cmd = [
             sys.executable,
-            "-m",
-            "pytest",
+            "-c",
+            _PYTEST_WRAPPER,
+            str(rss_path),
             str(path),
             "-q",
             f"--benchmark-json={raw_path}",
@@ -106,24 +142,34 @@ def run_suite(
             print(f"!! {path.stem}: pytest exited {completed.returncode}")
             return None
         raw = json.loads(raw_path.read_text())
+        try:
+            max_rss_kb = json.loads(rss_path.read_text()).get("max_rss_kb")
+        except (OSError, ValueError):
+            max_rss_kb = None
     finally:
         raw_path.unlink(missing_ok=True)
+        rss_path.unlink(missing_ok=True)
 
-    results = [
-        {
+    results = []
+    for entry in raw.get("benchmarks", []):
+        row = {
             "name": entry["name"],
             "median": entry["stats"]["median"],
             "mean": entry["stats"]["mean"],
             "stddev": entry["stats"]["stddev"],
             "rounds": entry["stats"]["rounds"],
         }
-        for entry in raw.get("benchmarks", [])
-    ]
+        if entry.get("extra_info"):
+            row["extra_info"] = entry["extra_info"]
+        results.append(row)
     return {
         "suite": path.stem,
         "smoke": smoke,
         "python": raw.get("machine_info", {}).get("python_version"),
         "datetime": raw.get("datetime"),
+        "max_rss_mb": (
+            round(max_rss_kb / 1024.0, 1) if max_rss_kb else None
+        ),
         "results": results,
     }
 
@@ -171,6 +217,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"  {row['name']}: median {row['median'] * 1000:.2f} ms "
                 f"({row['rounds']} rounds)"
             )
+        if condensed.get("max_rss_mb"):
+            print(f"  peak RSS: {condensed['max_rss_mb']} MB")
         if args.json:
             RESULTS_DIR.mkdir(exist_ok=True)
             out_path = RESULTS_DIR / f"{path.stem}.json"

@@ -14,12 +14,24 @@ to the same handful of primitives over CSR/CSC index arrays:
 * :func:`scatter_select_color_sums` — per-*color* total weight of a
   member subset (one row or column of the block-weight matrix
   ``W = S^T A S``) in ``O(nnz(members))``;
+* :func:`color_degree_slice` — the ``k x |rows|`` degree-matrix *slice*
+  of a row subset, in ``O(nnz(rows) + k |rows|)``: the memory-flat
+  Rothko engine rebuilds exactly the slices a split touches instead of
+  maintaining the full ``k x n`` matrices;
+* :func:`select_degrees_toward` — per-selected-row total weight toward
+  one target color (the split-threshold degree vector
+  ``D[j, members(i)]``) in ``O(nnz(rows))``; batched split rounds pass
+  a per-row target array to fuse many witnesses into one pass;
 * :func:`color_degree_matrix` — the full dense ``n x k`` degree matrix in
   one ``O(m)`` bincount over flattened ``(node, color)`` keys;
 * :func:`grouped_minmax_by_labels` — per-color max/min (the ``U``/``L``
   boundary matrices of Algorithm 1) via argsort + ``reduceat``;
 * :func:`grouped_minmax_by_members` — the same reduction when the caller
-  already maintains per-color member lists, skipping the argsort.
+  already maintains per-color member lists, skipping the argsort;
+* :func:`members_order` / :func:`grouped_minmax_ordered` — the split of
+  that kernel into its gather-order construction and its reduction, so
+  batched refreshes build the color-sorted order once per round and
+  reduce many value chunks against it.
 
 Everything operates on plain numpy arrays so the kernels compose with
 both scipy sparse matrices and the dict-of-dicts mutable graph.
@@ -36,11 +48,16 @@ __all__ = [
     "take_ranges",
     "scatter_select_sums",
     "scatter_select_color_sums",
+    "color_degree_slice",
+    "color_degree_slice_pair",
+    "select_degrees_toward",
     "color_degree_matrix",
     "color_degree_matrix_t",
     "color_degree_matrices",
     "grouped_minmax_by_labels",
     "grouped_minmax_by_members",
+    "members_order",
+    "grouped_minmax_ordered",
     "relative_spread",
 ]
 
@@ -135,6 +152,111 @@ def scatter_select_color_sums(
     return scatter_add(labels[indices[positions]], data[positions], n_colors)
 
 
+def color_degree_slice(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    rows: np.ndarray,
+    labels: np.ndarray,
+    n_colors: int,
+) -> np.ndarray:
+    """Dense ``k x |rows|`` degree slice of the selected CSR rows.
+
+    Column ``r`` holds the total weight from ``rows[r]`` toward every
+    color: on CSR arrays this is ``D_out[:, rows].T`` restricted to the
+    selection, on CSC arrays ``D_in[:, rows].T``.  One
+    ``O(nnz(rows) + k |rows|)`` bincount over flattened
+    ``(color, local row)`` keys — the memory-flat engine's substitute for
+    slicing a maintained dense degree matrix.  Rows absent from the
+    selection's neighborhoods come out exactly zero (no subtraction
+    residues), which the geometric/relative split thresholds rely on.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    r = rows.size
+    if r == 0 or n_colors == 0:
+        return np.zeros((n_colors, r), dtype=np.float64)
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    positions = take_ranges(starts, counts)
+    local = np.repeat(np.arange(r, dtype=np.int64), counts)
+    flat = labels[indices[positions]] * r + local
+    return np.bincount(
+        flat, weights=data[positions], minlength=n_colors * r
+    ).reshape(n_colors, r)
+
+
+def color_degree_slice_pair(
+    csr_arrays: tuple[np.ndarray, np.ndarray, np.ndarray],
+    csc_arrays: tuple[np.ndarray, np.ndarray, np.ndarray],
+    rows: np.ndarray,
+    labels: np.ndarray,
+    n_colors: int,
+) -> np.ndarray:
+    """Both directions' degree slices of a row subset in one bincount.
+
+    Returns ``(2, k, |rows|)``: layer 0 is the out slice (from the CSR
+    arrays), layer 1 the in slice (from the CSC arrays).  The fused
+    variant of two :func:`color_degree_slice` calls, used by the flat
+    engine's row-group refresh.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    r = rows.size
+    if r == 0 or n_colors == 0:
+        return np.zeros((2, n_colors, r), dtype=np.float64)
+    keys: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+    for layer, (indptr, indices, data) in enumerate((csr_arrays, csc_arrays)):
+        starts = indptr[rows]
+        counts = indptr[rows + 1] - starts
+        positions = take_ranges(starts, counts)
+        local = np.repeat(np.arange(r, dtype=np.int64), counts)
+        keys.append(
+            (labels[indices[positions]] + layer * n_colors) * r + local
+        )
+        weights.append(data[positions])
+    flat = np.concatenate(keys)
+    if flat.size == 0:
+        return np.zeros((2, n_colors, r), dtype=np.float64)
+    return np.bincount(
+        flat, weights=np.concatenate(weights), minlength=2 * n_colors * r
+    ).reshape(2, n_colors, r)
+
+
+def select_degrees_toward(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    rows: np.ndarray,
+    labels: np.ndarray,
+    targets: int | np.ndarray,
+) -> np.ndarray:
+    """Per selected row, the total weight toward a target color.
+
+    ``targets`` is either one color id (every row measured toward the
+    same color — the split's threshold degree vector
+    ``D[j, members(i)]``, which the engine computes in edge-budget
+    chunks of this kernel) or an array of one target per row (fusing
+    several selections into a single ``O(nnz(rows))`` pass).  Sums are
+    taken directly over the matching entries, so a row with no edges
+    toward its target is exactly ``0.0``.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    r = rows.size
+    if r == 0:
+        return np.zeros(0, dtype=np.float64)
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    positions = take_ranges(starts, counts)
+    edge_colors = labels[indices[positions]]
+    if np.ndim(targets) == 0:
+        mask = edge_colors == int(targets)
+    else:
+        per_edge = np.repeat(np.asarray(targets, dtype=np.int64), counts)
+        mask = edge_colors == per_edge
+    local = np.repeat(np.arange(r, dtype=np.int64), counts)
+    return np.bincount(local[mask], weights=data[positions][mask], minlength=r)
+
+
 def color_degree_matrix(
     indptr: np.ndarray,
     indices: np.ndarray,
@@ -226,6 +348,45 @@ def grouped_minmax_by_labels(
     return upper, lower
 
 
+def members_order(
+    members: list[np.ndarray], sizes: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Color-sorted node order and ``reduceat`` starts of member lists.
+
+    The concatenated member lists *are* a color-sorted node order, so
+    per-color reductions need no argsort.  Build this once per refresh
+    and feed it to :func:`grouped_minmax_ordered` for every value chunk.
+    Member lists must be non-empty.  Callers that already maintain the
+    per-color sizes (the Rothko engine) pass them via ``sizes`` to skip
+    the per-list size scan.
+    """
+    if not members:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    if sizes is None:
+        sizes = np.array([m.size for m in members], dtype=np.int64)
+    order = np.concatenate(members)
+    starts = np.empty(len(members), dtype=np.int64)
+    starts[0] = 0
+    np.cumsum(sizes[:-1], out=starts[1:])
+    return order, starts
+
+
+def grouped_minmax_ordered(
+    values: np.ndarray, order: np.ndarray, starts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-color max/min over the columns of a feature-major array, given
+    a precomputed :func:`members_order` pair.  ``values`` is ``(r, n)``;
+    the result pair is ``(r, k)`` — one ``O(r n)`` gather + ``reduceat``.
+    """
+    if starts.size == 0:
+        empty = np.empty((values.shape[0], 0), dtype=values.dtype)
+        return empty, empty.copy()
+    sorted_values = values[:, order]
+    upper = np.maximum.reduceat(sorted_values, starts, axis=1)
+    lower = np.minimum.reduceat(sorted_values, starts, axis=1)
+    return upper, lower
+
+
 def grouped_minmax_by_members(
     values: np.ndarray, members: list[np.ndarray]
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -234,20 +395,11 @@ def grouped_minmax_by_members(
     ``values`` is ``(r, n)`` — one row per tracked feature, one column
     per node (matching the color-major degree-matrix storage); the result
     pair is ``(r, k)``.  Skips the ``O(n log n)`` argsort of
-    :func:`grouped_minmax_by_labels`: the concatenated member lists *are*
-    a color-sorted node order, so one ``O(r n)`` gather plus ``reduceat``
-    suffices.  Member lists must be non-empty.
+    :func:`grouped_minmax_by_labels` via :func:`members_order`.  Member
+    lists must be non-empty.
     """
-    if not members:
-        empty = np.empty((values.shape[0], 0), dtype=values.dtype)
-        return empty, empty.copy()
-    sizes = np.array([m.size for m in members], dtype=np.int64)
-    order = np.concatenate(members)
-    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
-    sorted_values = values[:, order]
-    upper = np.maximum.reduceat(sorted_values, starts, axis=1)
-    lower = np.minimum.reduceat(sorted_values, starts, axis=1)
-    return upper, lower
+    order, starts = members_order(members)
+    return grouped_minmax_ordered(values, order, starts)
 
 
 def relative_spread(upper: np.ndarray, lower: np.ndarray) -> np.ndarray:

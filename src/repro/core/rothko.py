@@ -18,30 +18,55 @@ the loop as a generator so callers can consume intermediate colorings
 
 Implementation notes
 --------------------
-The engine maintains *all* of its per-iteration state incrementally:
+The engine is **memory-flat**: its persistent state is ``O(m + k^2)``,
+never ``O(n k)``.  It keeps only
 
-* the dense ``n x k`` degree matrices ``D_out`` / ``D_in`` — a split
-  only invalidates the two affected columns, rebuilt straight off the
-  CSC/CSR index arrays in ``O(nnz(affected columns))``
-  (:func:`repro.core.kernels.scatter_select_sums`, no sparse slicing);
-* the ``k x k`` boundary matrices ``U`` / ``L``, the error matrices
-  ``Err``, and the size-weighted witness scores ``Err ⊙ C`` — persistent
-  across iterations.  A split of color ``c`` into ``(c, t)`` dirties
-  exactly the *columns* ``{c, t}`` of ``U``/``L`` (every color's spread
-  toward the two new blocks: one ``O(n)`` gather over the maintained
-  member lists + ``reduceat``, no argsort) and the *row-groups*
-  ``{c, t}`` (the two new blocks' spread toward every color:
-  ``O((|c| + |t|) k)`` max/min over the member rows).  Frozen-color
-  masking and relative-mode spreads are baked into the maintained
-  weighted matrices, so witness selection is a pair of ``O(k^2)``
-  argmax scans.
+* the CSR/CSC adjacency snapshots (``O(m)``),
+* the per-color member lists and the label array (``O(n)`` total),
+* the ``k x k`` boundary matrices ``U`` / ``L`` — persistent across
+  iterations, patched per split.  The error matrices ``Err`` and the
+  size-weighted witness scores ``Err ⊙ C`` are derived from U/L on
+  demand during each witness scan (frozen-color masking applied
+  there), not maintained — every scan is ``O(k^2)`` regardless, so
+  maintaining them would only pin more ``k x k`` state.
 
-Per-split work is therefore ``O(n + m k + k^2)`` where ``m`` is the size
-of the split color — down from the ``O(n k + n log n)`` full recompute of
-the naive formulation, which is what lets the engine scale to large
-budgets (``bench_rothko_scaling``).  :meth:`Rothko.verify_state` checks
-the maintained state against a from-scratch recompute; the invariant test
-suite drives it after every split.
+The dense ``k x n`` degree matrices of the naive formulation are *never*
+materialized.  Instead, each split computes on demand exactly the two
+degree **slices** it needs, straight off the CSR/CSC index arrays:
+
+* the split-threshold degree vector ``D[j, members(i)]``
+  (an edge-chunked masked bincount, ``O(nnz(members))``);
+* after the split of ``c`` into ``(c, t)``, the dirty *columns*
+  ``{c, t}`` of ``U``/``L`` from the two fresh degree columns
+  (:func:`repro.core.kernels.scatter_select_sums` + one member-order
+  gather and ``reduceat`` — no argsort) and the dirty *row-groups*
+  ``{c, t}`` from ``k x |members|`` degree slices
+  (:func:`repro.core.kernels.color_degree_slice`, reduced in bounded
+  member chunks so transient memory stays ``O(k)`` per chunk row).
+
+Witness selection stays a pair of ``O(k^2)`` argmax scans.  Per-split
+work is
+``O(n + nnz(touched rows/cols) + |c| k + k^2)`` — the same asymptotics
+as the previous dense-state engine — while peak memory drops from the
+two pinned ``k x n`` float64 matrices (16 GB at ``n`` = 1M, ``k`` =
+1024) to the adjacency snapshots plus ``O(n)`` transients, which is
+what lets ``bench_rothko_largescale`` color million-node graphs.
+Degree slices are direct sums of the (in relative mode, non-negative)
+weights, so entries are exactly zero iff every term is — the
+geometric/relative thresholds need no residue special-casing.
+
+``strategy="batched"`` (default ``"greedy"``) turns the loop into
+rounds: the top-``B`` *non-conflicting* witnesses (pairwise-disjoint
+color pairs) are selected with one ``O(k^2)`` scan, all ``B`` splits
+are decided against the same pre-round state, and the ``2B`` dirtied
+columns/row-groups are refreshed in fused kernel passes sharing one
+member-order gather.  This amortizes the per-split ``O(n + k^2)``
+overhead for large color budgets; the fidelity contract (tested) is
+that batched reaches a max q-error within a constant factor of greedy
+at equal ``k``, not the identical split sequence.  The default stays
+the paper-exact greedy rule.  :meth:`Rothko.verify_state` checks the
+maintained state against a from-scratch recompute; the invariant test
+suite drives it after every split in both strategies.
 
 ``RothkoStep.coloring`` is materialized lazily: the engine records each
 split's parent color, so any intermediate snapshot can be reconstructed
@@ -64,10 +89,14 @@ import scipy.sparse as sp
 
 from repro.core.kernels import (
     color_degree_matrix_t,
+    color_degree_slice_pair,
     grouped_minmax_by_labels,
-    grouped_minmax_by_members,
+    grouped_minmax_ordered,
+    members_order,
     relative_spread,
     scatter_select_sums,
+    select_degrees_toward,
+    take_ranges,
 )
 from repro.core.partition import Coloring
 from repro.exceptions import ColoringError
@@ -75,6 +104,25 @@ from repro.utils.stats import log_mean_threshold
 
 SPLIT_MEANS = ("arithmetic", "geometric")
 ERROR_MODES = ("absolute", "relative")
+STRATEGIES = ("greedy", "batched")
+
+#: colors per fused boundary-column pass (2 directions x chunk rows kept
+#: live at once, so transient memory stays a few n-vectors)
+_COLUMN_CHUNK = 2
+#: cell budget (colors x member rows, both directions) per degree-slice
+#: pass in the row-group refresh — bounds the transient block to ~0.5 MB
+#: regardless of the split color's size
+_SLICE_CELLS = 24576
+#: edge budget per refresh chunk: caps the gathered position/weight
+#: arrays so a split of a huge color never holds O(nnz(color)) edge
+#: temporaries at once (the budget scales with n because O(n) column
+#: transients exist regardless)
+_EDGE_CHUNK = 4096
+#: below this many column cells (4n) a multi-chunk split accumulates the
+#: column scatter densely per chunk; above it, keys are collected for
+#: one final bincount (dense per-chunk adds would thrash at large n,
+#: holding the keys would spike transients at small n)
+_COLUMN_ACCUM_CELLS = 1 << 20
 
 
 def coerce_adjacency(graph) -> sp.csr_matrix:
@@ -84,7 +132,13 @@ def coerce_adjacency(graph) -> sp.csr_matrix:
     if isinstance(graph, WeightedDiGraph):
         return graph.to_csr()
     if sp.issparse(graph):
-        matrix = graph.tocsr().astype(np.float64)
+        matrix = graph.tocsr().astype(np.float64, copy=False)
+        if matrix is graph:
+            # Already-float64 CSR inputs come back as the same object;
+            # snapshot them so caller-side mutation cannot corrupt the
+            # engine's maintained state mid-run.  (Format or dtype
+            # conversions above already allocated fresh arrays.)
+            matrix = matrix.copy()
     elif isinstance(graph, np.ndarray):
         matrix = sp.csr_matrix(graph, dtype=np.float64)
     else:
@@ -143,8 +197,9 @@ class RothkoStep:
     valid — and immutable — even after the loop has moved on, while
     callers that never look at them skip the ``O(n)`` copy entirely.
     The engine reference is dropped on first access; a snapshot that is
-    retained but never read keeps the engine (and its dense matrices)
-    alive — touch ``.coloring`` before shelving a step long-term.
+    retained but never read keeps the engine (and its adjacency
+    snapshots) alive — touch ``.coloring`` before shelving a step
+    long-term.
     """
 
     __slots__ = (
@@ -196,7 +251,7 @@ class RothkoStep:
             self._coloring = self._engine.coloring_at(self.n_colors)
             # Once materialized the engine reference is dead weight —
             # drop it so a retained snapshot does not pin the engine's
-            # dense matrices and adjacency copies in memory.
+            # adjacency snapshots and k x k state in memory.
             self._engine = None
         return self._coloring
 
@@ -275,6 +330,19 @@ class Rothko:
         (``inf`` when zero and nonzero degrees mix — zero is similar
         only to itself), weights must be non-negative, and the split
         threshold is always geometric.
+    strategy:
+        ``"greedy"`` (default) performs one split per iteration at the
+        single best witness — the paper-exact Algorithm 1.
+        ``"batched"`` splits at the top-``batch_size`` non-conflicting
+        witnesses per round and fuses their state refreshes, amortizing
+        per-split overhead at large color budgets.  Batched rounds obey
+        the same stopping rules; the resulting coloring is not
+        split-for-split identical to greedy but reaches a comparable
+        q-error at equal ``k`` (the fidelity contract the test suite
+        enforces).
+    batch_size:
+        Witnesses per batched round (default 8).  Ignored under the
+        greedy strategy.
     """
 
     def __init__(
@@ -286,6 +354,8 @@ class Rothko:
         split_mean: str = "arithmetic",
         frozen: Iterable[int] = (),
         error_mode: str = "absolute",
+        strategy: str = "greedy",
+        batch_size: int | None = None,
     ) -> None:
         if split_mean not in SPLIT_MEANS:
             raise ValueError(
@@ -295,6 +365,14 @@ class Rothko:
             raise ValueError(
                 f"error_mode must be one of {ERROR_MODES}, got {error_mode!r}"
             )
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+            )
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.strategy = strategy
+        self.batch_size = int(batch_size) if batch_size is not None else 8
         self._csr = coerce_adjacency(graph)
         self._csc = self._csr.tocsc()
         self.n = self._csr.shape[0]
@@ -331,22 +409,23 @@ class Rothko:
         #: split history: parent color of each color (-1 for initial ones)
         self._parent: list[int] = [-1] * self.k
         self._frozen_ids = np.array(sorted(self.frozen), dtype=np.int64)
+        #: capacity cap from the tightest color budget seen (see _grow)
+        self._capacity_hint: int | None = None
         self._init_state()
 
     # ------------------------------------------------------------------
-    # incremental state: D, U/L, Err, weighted witness scores
+    # incremental state: U/L, Err, weighted witness scores (all k x k)
     # ------------------------------------------------------------------
     def _init_state(self) -> None:
-        """Build degree matrices and boundary/error/witness state once.
+        """Build the boundary/error/witness state once, memory-flat.
 
-        The degree matrices are stored color-major (``capacity x n``) so
-        the per-split column work — scatter refresh, difference against
-        the parent column, boundary gather — runs over contiguous rows.
+        The ``U``/``L`` matrices are filled by the same chunked
+        column-refresh pass the splits use — every color's degree column
+        is computed on demand and reduced per group, so no ``k x n``
+        matrix ever exists.  ``O(m + n k)`` time, ``O(n)`` transients.
         """
         capacity = max(16, 2 * self.k)
-        n, k = self.n, self.k
-        self._d_out = np.zeros((capacity, n), dtype=np.float64)
-        self._d_in = np.zeros((capacity, n), dtype=np.float64)
+        k = self.k
         self._sizes = np.zeros(capacity, dtype=np.int64)
         self._alpha_pow = np.ones(capacity, dtype=np.float64)
         self._beta_pow = np.ones(capacity, dtype=np.float64)
@@ -356,79 +435,85 @@ class Rothko:
         self._l_out = np.zeros((capacity, capacity), dtype=np.float64)
         self._u_in = np.zeros((capacity, capacity), dtype=np.float64)
         self._l_in = np.zeros((capacity, capacity), dtype=np.float64)
-        # Error + weighted-witness matrices in (source, target)
-        # orientation, the one `error_matrices()` exposes.
-        self._err_out = np.zeros((capacity, capacity), dtype=np.float64)
-        self._err_in = np.zeros((capacity, capacity), dtype=np.float64)
-        self._w_out = np.zeros((capacity, capacity), dtype=np.float64)
-        self._w_in = np.zeros((capacity, capacity), dtype=np.float64)
+        # The error matrices and the size-weighted witness scores are
+        # *derived* from U/L on demand (`_error_matrices`,
+        # `_weighted_scores`) — each witness scan is O(k^2) regardless,
+        # so maintaining them would only pin more k x k state.
         if k == 0:
             return
 
-        self._d_out[:k] = color_degree_matrix_t(
-            self._csr.indptr, self._csr.indices, self._csr.data,
-            self.labels, k,
-        )
-        self._d_in[:k] = color_degree_matrix_t(
-            self._csc.indptr, self._csc.indices, self._csc.data,
-            self.labels, k,
-        )
         self._sizes[:k] = [m.size for m in self._members]
         sizes_f = self._sizes[:k].astype(np.float64)
         self._alpha_pow[:k] = np.power(sizes_f, self.alpha)
         self._beta_pow[:k] = np.power(sizes_f, self.beta)
 
-        upper, lower = grouped_minmax_by_labels(
-            self._d_out[:k].T, self.labels, k
-        )
-        self._u_out[:k, :k] = upper
-        self._l_out[:k, :k] = lower
-        upper, lower = grouped_minmax_by_labels(
-            self._d_in[:k].T, self.labels, k
-        )
-        self._u_in[:k, :k] = upper
-        self._l_in[:k, :k] = lower
-
-        self._err_out[:k, :k] = self._spread(
-            self._u_out[:k, :k], self._l_out[:k, :k]
-        )
-        self._err_in[:k, :k] = self._spread(
-            self._u_in[:k, :k], self._l_in[:k, :k]
-        ).T
-        weight = self._alpha_pow[:k, None] * self._beta_pow[None, :k]
-        self._w_out[:k, :k] = self._err_out[:k, :k] * weight
-        self._w_in[:k, :k] = self._err_in[:k, :k] * weight
-        self._mask_frozen_full()
+        self._update_boundary_columns(range(k))
 
     def _spread(self, upper: np.ndarray, lower: np.ndarray) -> np.ndarray:
         if self.error_mode == "absolute":
             return upper - lower
         return relative_spread(upper, lower)
 
-    def _mask_frozen_full(self) -> None:
-        """Bake the frozen-color mask into the witness score matrices.
+    def _error_matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Fresh ``(out_err, in_err)`` in (source, target) orientation,
+        derived from the maintained U/L in one ``O(k^2)`` pass."""
+        k = self.k
+        out_err = self._spread(self._u_out[:k, :k], self._l_out[:k, :k])
+        in_err = self._spread(self._u_in[:k, :k], self._l_in[:k, :k]).T
+        return out_err, in_err
 
-        An out-witness splits the source color; an in-witness splits the
-        target color.  Mask frozen colors accordingly.
+    def _weighted_scores(
+        self, err_out: np.ndarray, err_in: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Size-weighted witness scores ``Err ⊙ C``, frozen rows/columns
+        masked to ``-inf`` (an out-witness splits the source color, an
+        in-witness the target color).
+
+        Derived from the given error matrices — one ``O(k^2)`` product
+        per witness scan, the same order as the argmax itself, in
+        exchange for no pinned score matrices and no per-split score
+        patching.  May return the error matrices themselves (unweighted,
+        unfrozen case); callers must not mutate the result.
         """
+        k = self.k
+        if self.alpha == 0.0 and self.beta == 0.0:
+            # Unweighted witnesses (the paper's max-flow setting): the
+            # scores ARE the error matrices; only freeze-masking forces
+            # a copy.
+            if not self._frozen_ids.size:
+                return err_out, err_in
+            weighted_out = err_out.copy()
+            weighted_in = err_in.copy()
+        else:
+            weight = self._alpha_pow[:k, None] * self._beta_pow[None, :k]
+            weighted_out = err_out * weight
+            weighted_in = err_in * weight
         if self._frozen_ids.size:
-            self._w_out[self._frozen_ids, : self.k] = -np.inf
-            self._w_in[: self.k, self._frozen_ids] = -np.inf
+            weighted_out[self._frozen_ids, :] = -np.inf
+            weighted_in[:, self._frozen_ids] = -np.inf
+        return weighted_out, weighted_in
 
     def _grow(self) -> None:
-        capacity = self._d_out.shape[0]
+        capacity = self._u_out.shape[0]
         if self.k < capacity:
             return
         new_capacity = max(2 * capacity, self.k + 1)
-        for name in ("_d_out", "_d_in"):
-            old = getattr(self, name)
-            grown = np.zeros((new_capacity, self.n), dtype=np.float64)
-            grown[:capacity] = old
-            setattr(self, name, grown)
-        for name in (
-            "_u_out", "_l_out", "_u_in", "_l_in",
-            "_err_out", "_err_in", "_w_out", "_w_in",
-        ):
+        if self._capacity_hint is not None and self.k < self._capacity_hint:
+            # A known color budget caps the doubling rule so a budgeted
+            # run never overshoots its final capacity — but growth still
+            # tracks *realized* k, so a generous budget with an early
+            # stop (q_tolerance, witness exhaustion) never over-allocates
+            # (the k x k matrices are the engine's largest persistent
+            # state besides the adjacency snapshots).  Once k passes a
+            # stale hint (a follow-up run with a larger or absent
+            # budget), plain doubling resumes — clamping there would
+            # degrade growth to one reallocation per split.
+            new_capacity = min(new_capacity, self._capacity_hint)
+        self._grow_to(new_capacity)
+
+    def _grow_to(self, new_capacity: int) -> None:
+        capacity = self._u_out.shape[0]
+        for name in ("_u_out", "_l_out", "_u_in", "_l_in"):
             old = getattr(self, name)
             grown = np.zeros((new_capacity, new_capacity), dtype=np.float64)
             grown[:capacity, :capacity] = old
@@ -441,130 +526,81 @@ class Rothko:
             grown[:capacity] = old
             setattr(self, name, grown)
 
-    def _refresh_split_columns(
-        self,
-        split_color: int,
-        new_color: int,
-        retain: np.ndarray,
-        eject: np.ndarray,
-    ) -> None:
-        """Refresh both dirtied degree columns with a single scatter pass.
-
-        The pre-split column of ``split_color`` covered retain ∪ eject,
-        so only the smaller shard needs the ``O(nnz(shard))`` scatter
-        kernel; the sibling column is the difference against the old
-        column.  Geometric-threshold runs (which includes all of relative
-        mode) scatter both shards instead: the difference can leave
-        ``~1e-15`` residues — possibly *negative* — where an exact zero
-        is required, which would crash ``log_mean_threshold`` and flip
-        the relative spread's categorical zero/nonzero classification.
-        Direct sums of the non-negative weights are exactly zero iff
-        every term is.
-        """
-        if self.split_mean == "geometric":
-            for color, shard in ((split_color, retain), (new_color, eject)):
-                for d, compressed in (
-                    (self._d_out, self._csc), (self._d_in, self._csr)
-                ):
-                    d[color] = scatter_select_sums(
-                        compressed.indptr, compressed.indices,
-                        compressed.data, shard, self.n,
-                    )
-            return
-        if eject.size <= retain.size:
-            shard_color, shard, sibling = new_color, eject, split_color
-        else:
-            shard_color, shard, sibling = split_color, retain, new_color
-        for d, compressed in (
-            (self._d_out, self._csc), (self._d_in, self._csr)
-        ):
-            old = d[split_color].copy()
-            d[shard_color] = scatter_select_sums(
-                compressed.indptr, compressed.indices, compressed.data,
-                shard, self.n,
-            )
-            np.subtract(old, d[shard_color], out=d[sibling])
-
-    def _update_boundary_columns(self, touched: tuple[int, int]) -> None:
+    def _update_boundary_columns(self, touched: Iterable[int]) -> None:
         """Recompute U/L columns for the dirtied colors over all groups.
 
-        ``O(n)``: the member lists double as a color-sorted node order,
-        so no argsort is needed; both directions go through one fused
-        gather + ``reduceat`` pass.
+        Each dirty color's two degree columns are rebuilt from the
+        adjacency — ``D_out[:, c]`` off the CSC arrays, ``D_in[:, c]``
+        off the CSR arrays, fused into one key-offset bincount per chunk
+        (``O(nnz(columns) + n)``) — and reduced per group with the shared
+        member-order gather + ``reduceat`` (no argsort).  Direct sums, so
+        entries are exactly zero iff every term is (the property the
+        geometric/relative thresholds need).  The member order is built
+        once per call, so a batched round's ``2B`` dirty colors amortize
+        it.
         """
         k = self.k
-        c, t = touched
-        fused = np.empty((4, self.n), dtype=np.float64)
-        fused[0] = self._d_out[c]
-        fused[1] = self._d_out[t]
-        fused[2] = self._d_in[c]
-        fused[3] = self._d_in[t]
-        upper, lower = grouped_minmax_by_members(fused, self._members)
-        cols = [c, t]
-        self._u_out[:k, cols] = upper[:2].T
-        self._l_out[:k, cols] = lower[:2].T
-        self._u_in[:k, cols] = upper[2:].T
-        self._l_in[:k, cols] = lower[2:].T
+        order, starts = members_order(self._members, self._sizes[:k])
+        touched = list(touched)
+        for begin in range(0, len(touched), _COLUMN_CHUNK):
+            chunk = touched[begin:begin + _COLUMN_CHUNK]
+            rows = len(chunk)
+            fused = np.empty((2 * rows, self.n), dtype=np.float64)
+            for offset, color in enumerate(chunk):
+                members = self._members[color]
+                fused[offset] = scatter_select_sums(
+                    self._csc.indptr, self._csc.indices, self._csc.data,
+                    members, self.n,
+                )
+                fused[rows + offset] = scatter_select_sums(
+                    self._csr.indptr, self._csr.indices, self._csr.data,
+                    members, self.n,
+                )
+            upper, lower = grouped_minmax_ordered(fused, order, starts)
+            self._u_out[:k, chunk] = upper[:rows].T
+            self._l_out[:k, chunk] = lower[:rows].T
+            self._u_in[:k, chunk] = upper[rows:].T
+            self._l_in[:k, chunk] = lower[rows:].T
 
-    def _update_boundary_rowgroups(self, touched: tuple[int, int]) -> None:
+    def _update_boundary_rowgroups(self, touched: Iterable[int]) -> None:
         """Recompute U/L rows for the dirtied groups over all colors.
 
-        ``O(m k)`` where ``m`` is the split color's size.
+        ``O(nnz(members) + |members| k)`` per group via on-demand
+        ``(2, k, |members|)`` degree slices (both directions in one
+        fused bincount), reduced in chunks bounded by both the slice-cell
+        and the edge budget, so neither the block nor the gathered
+        position/weight temporaries grow with the color's size or its
+        hubs' degrees.
         """
         k = self.k
+        csr_arrays = (self._csr.indptr, self._csr.indices, self._csr.data)
+        csc_arrays = (self._csc.indptr, self._csc.indices, self._csc.data)
+        cap = max(16, _SLICE_CELLS // (2 * k))
+        edge_budget = max(_EDGE_CHUNK, self.n // 2)
         for group in touched:
             members = self._members[group]
-            block = self._d_out[:k, members]
-            self._u_out[group, :k] = block.max(axis=1)
-            self._l_out[group, :k] = block.min(axis=1)
-            block = self._d_in[:k, members]
-            self._u_in[group, :k] = block.max(axis=1)
-            self._l_in[group, :k] = block.min(axis=1)
-
-    def _update_errors(self, touched: tuple[int, int]) -> None:
-        """Refresh the dirtied rows/columns of Err and the witness scores.
-
-        ``_err_out``/``_err_in`` live in (source, target) orientation; the
-        boundary matrices group by the *node's* color, so for the
-        in-direction a dirty row-group lands in an Err column and vice
-        versa.
-        """
-        k = self.k
-        for g in touched:
-            self._err_out[g, :k] = self._spread(
-                self._u_out[g, :k], self._l_out[g, :k]
+            counts = (
+                self._csr.indptr[members + 1] - self._csr.indptr[members]
+                + self._csc.indptr[members + 1] - self._csc.indptr[members]
             )
-            self._err_out[:k, g] = self._spread(
-                self._u_out[:k, g], self._l_out[:k, g]
-            )
-            self._err_in[g, :k] = self._spread(
-                self._u_in[:k, g], self._l_in[:k, g]
-            )
-            self._err_in[:k, g] = self._spread(
-                self._u_in[g, :k], self._l_in[g, :k]
-            )
-        alpha_pow = self._alpha_pow[:k]
-        beta_pow = self._beta_pow[:k]
-        frozen = self._frozen_ids
-        for g in touched:
-            self._w_out[g, :k] = self._err_out[g, :k] * (
-                alpha_pow[g] * beta_pow
-            )
-            self._w_out[:k, g] = self._err_out[:k, g] * (
-                alpha_pow * beta_pow[g]
-            )
-            self._w_in[g, :k] = self._err_in[g, :k] * (
-                alpha_pow[g] * beta_pow
-            )
-            self._w_in[:k, g] = self._err_in[:k, g] * (
-                alpha_pow * beta_pow[g]
-            )
-            if frozen.size:
-                # Writes above clobbered masked entries in the touched
-                # rows/columns; re-apply (split colors are never frozen,
-                # so whole-row/column masks cannot be hit here).
-                self._w_out[frozen, g] = -np.inf
-                self._w_in[g, frozen] = -np.inf
+            upper = lower = None
+            for begin, end in self._row_chunks(counts, cap, edge_budget):
+                block = color_degree_slice_pair(
+                    csr_arrays, csc_arrays,
+                    members[begin:end],
+                    self.labels, k,
+                )
+                chunk_upper = block.max(axis=2)
+                chunk_lower = block.min(axis=2)
+                if upper is None:
+                    upper, lower = chunk_upper, chunk_lower
+                else:
+                    np.maximum(upper, chunk_upper, out=upper)
+                    np.minimum(lower, chunk_lower, out=lower)
+            self._u_out[group, :k] = upper[0]
+            self._l_out[group, :k] = lower[0]
+            self._u_in[group, :k] = upper[1]
+            self._l_in[group, :k] = lower[1]
 
     # ------------------------------------------------------------------
     # error matrices and witness selection
@@ -577,27 +613,24 @@ class Rothko:
         degrees mix, so the smallest eps for which the block is
         ``~eps``-regular is exactly this matrix entry.
 
-        Served from the maintained state in ``O(k^2)`` (copies are
+        Derived from the maintained U/L in ``O(k^2)`` (fresh arrays are
         returned; mutating them does not disturb the engine).
         """
-        k = self.k
-        return self._err_out[:k, :k].copy(), self._err_in[:k, :k].copy()
+        return self._error_matrices()
 
     def _find_witness(self) -> tuple[float, float, int, int, str]:
         """Return (max_raw_err, max_weighted_err, i, j, direction).
 
-        Pure ``O(k^2)`` argmax scans over the maintained matrices — no
-        degree-matrix sweep, no argsort.
+        Pure ``O(k^2)`` spread + argmax scans over the maintained U/L —
+        no degree-matrix sweep, no argsort.
         """
         k = self.k
         if k == 0:
             return 0.0, 0.0, 0, 0, "out"
-        err_out = self._err_out[:k, :k]
-        err_in = self._err_in[:k, :k]
+        err_out, err_in = self._error_matrices()
         raw_max = float(max(err_out.max(initial=0.0), err_in.max(initial=0.0)))
 
-        weighted_out = self._w_out[:k, :k]
-        weighted_in = self._w_in[:k, :k]
+        weighted_out, weighted_in = self._weighted_scores(err_out, err_in)
         flat_out = int(np.argmax(weighted_out))
         flat_in = int(np.argmax(weighted_in))
         best_out = weighted_out.flat[flat_out]
@@ -611,25 +644,260 @@ class Rothko:
     # ------------------------------------------------------------------
     # splitting
     # ------------------------------------------------------------------
-    def _split(self, i: int, j: int, direction: str) -> int:
+    def _witness_degrees(self, i: int, j: int, direction: str) -> np.ndarray:
+        """The split-threshold degree vector ``D[j, members(i)]`` (out)
+        or ``D[i, members(j)]`` (in), computed on demand off the index
+        arrays in ``O(nnz(members))`` — chunk-bounded like every other
+        degree gather."""
         if direction == "out":
-            split_color = i
-            degrees = self._d_out[j, self._members[i]]
+            members, target = self._members[i], j
+            indptr = self._csr.indptr
         else:
-            split_color = j
-            degrees = self._d_in[i, self._members[j]]
+            members, target = self._members[j], i
+            indptr = self._csc.indptr
+        counts = indptr[members + 1] - indptr[members]
+        return self._threshold_degrees(members, counts, direction, target)
+
+    def _row_chunks(
+        self, counts: np.ndarray, cap: int, edge_budget: int
+    ) -> list[tuple[int, int]]:
+        """Partition member rows into chunks bounded by a row cap and an
+        edge budget (rows are atomic, so a single hub row may exceed the
+        budget on its own)."""
+        r = counts.size
+        if r <= cap and int(counts.sum()) <= edge_budget:
+            return [(0, r)]
+        cum = np.cumsum(counts, dtype=np.int64)
+        bounds: list[tuple[int, int]] = []
+        start = 0
+        while start < r:
+            prev = int(cum[start - 1]) if start else 0
+            end = int(np.searchsorted(cum, prev + edge_budget, side="right"))
+            end = max(min(end, start + cap, r), start + 1)
+            bounds.append((start, end))
+            start = end
+        return bounds
+
+    def _threshold_degrees(
+        self, members: np.ndarray, counts: np.ndarray,
+        direction: str, target: int,
+    ) -> np.ndarray:
+        """Split-threshold degree vector ``D[target, members]``, gathered
+        in edge-budget chunks so no O(nnz(members)) temporary is held."""
+        compressed = self._csr if direction == "out" else self._csc
+        r = members.size
+        degrees = np.empty(r, dtype=np.float64)
+        # Single direction, fewer temporaries per edge than the refresh
+        # pass — a doubled edge budget keeps the same transient bound.
+        for begin, end in self._row_chunks(
+            counts, r, max(2 * _EDGE_CHUNK, self.n // 2)
+        ):
+            degrees[begin:end] = select_degrees_toward(
+                compressed.indptr, compressed.indices, compressed.data,
+                members[begin:end], self.labels, target,
+            )
+        return degrees
+
+    def _split(self, i: int, j: int, direction: str) -> int:
+        """Greedy split with a fused, chunk-bounded state refresh.
+
+        The threshold degree vector, both row-group slices, and both
+        fresh boundary columns are key-offset bincounts over the split
+        color's edges, gathered in edge-budget chunks — one fused
+        kernel pass per chunk instead of a kernel call per piece of
+        state, and never more than a chunk of edge temporaries live.
+        """
+        split_color = i if direction == "out" else j
         members = self._members[split_color]
+        csr, csc = self._csr, self._csc
+        counts_out = csr.indptr[members + 1] - csr.indptr[members]
+        counts_in = csc.indptr[members + 1] - csc.indptr[members]
+        if direction == "out":
+            degrees = self._threshold_degrees(members, counts_out, "out", j)
+        else:
+            degrees = self._threshold_degrees(members, counts_in, "in", i)
         eject_mask = split_eject_mask(
             degrees, self.split_mean, relative=self.error_mode == "relative"
         )
-        retain = members[~eject_mask]
-        eject = members[eject_mask]
-        self._apply_split(split_color, retain, eject)
+        self._apply_split(
+            split_color, members[~eject_mask], members[eject_mask]
+        )
+        self._refresh_split(
+            split_color, members, eject_mask, counts_out, counts_in
+        )
         return split_color
+
+    def _refresh_split(
+        self,
+        split_color: int,
+        pre_members: np.ndarray,
+        eject_mask: np.ndarray,
+        counts_out: np.ndarray,
+        counts_in: np.ndarray,
+    ) -> None:
+        """Patch U/L after a greedy split in fused chunk passes.
+
+        Iterates the *pre-split* member list (``retain ∪ eject`` in the
+        original order) in chunks bounded by the slice-cell and edge
+        budgets.  Per chunk, one bincount scatters both row-group slice
+        layers *and* both dirty boundary columns: the labels are already
+        post-split, so slice entries toward the sibling color come out
+        exact (direct sums, no residues), and the eject mask routes
+        every edge to its post-split column.  The chunk's slice block is
+        reduced into the ``c``/``t`` row-groups immediately; single-chunk
+        splits scatter the column cells in the same bincount, multi-chunk
+        splits collect column keys for one final scatter so the ``4n``
+        column range is zeroed once per split.
+        """
+        c, t = split_color, self.k - 1
+        k, n = self.k, self.n
+        csr, csc = self._csr, self._csc
+        labels = self.labels
+        r = pre_members.size
+        cap = max(16, _SLICE_CELLS // (2 * k))
+        bounds = self._row_chunks(
+            counts_out + counts_in, cap, max(_EDGE_CHUNK, n // 2)
+        )
+        single = len(bounds) == 1
+        accumulate = not single and 4 * n <= _COLUMN_ACCUM_CELLS
+        collect = not single and not accumulate
+        if collect:
+            # Large-n multi-chunk splits: preallocate the column scatter
+            # input once (the edge total is known), so no concatenation
+            # ever doubles the O(nnz(color)) transient.
+            total_edges = int(counts_out.sum() + counts_in.sum())
+            key_buffer = np.empty(total_edges, dtype=np.int64)
+            weight_buffer = np.empty(total_edges, dtype=np.float64)
+            filled = 0
+
+        # The member lists are a color-sorted node order and the sizes
+        # are maintained, so node -> rank within that order is one
+        # scatter, and the column scatter below lands directly in
+        # reduceat layout — no post-hoc (4, n) gather.
+        order, starts = members_order(self._members, self._sizes[:k])
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n, dtype=np.int64)
+
+        # Single-chunk splits (the common case) scatter the column cells
+        # in the same bincount as the slice; multi-chunk splits either
+        # accumulate dense column contributions (small n) or fill the
+        # preallocated buffers (large n), so the 4n column range is
+        # zeroed once per split, not once per chunk.
+        fused: np.ndarray | None = None
+        upper = lower = None
+        for begin, end in bounds:
+            rows = pre_members[begin:end]
+            rc = end - begin
+            chunk_out = counts_out[begin:end]
+            chunk_in = counts_in[begin:end]
+            positions = take_ranges(csr.indptr[rows], chunk_out)
+            nodes_o = csr.indices[positions]
+            w_o = csr.data[positions]
+            positions = take_ranges(csc.indptr[rows], chunk_in)
+            nodes_i = csc.indices[positions]
+            w_i = csc.data[positions]
+            del positions
+            mask = eject_mask[begin:end]
+            # Remap local row ids retained-first so the slice block's
+            # last axis is [retain | eject] and the group reductions are
+            # plain views, not boolean-mask copies.
+            retained = int(rc - mask.sum())
+            remap = np.empty(rc, dtype=np.int64)
+            remap[~mask] = np.arange(retained, dtype=np.int64)
+            remap[mask] = np.arange(retained, rc, dtype=np.int64)
+            local_o = np.repeat(remap, chunk_out)
+            local_i = np.repeat(remap, chunk_in)
+            cells = 2 * k * rc
+            # Column keys: D_out[:, c|t] sums edges *into* the members
+            # (CSC positions, rows 0-1), D_in[:, c|t] edges out of them
+            # (CSR positions, rows 2-3); the remapped local id picks c
+            # vs t, and the rank mapping puts nodes in reduceat order.
+            keys_cols_i = (local_i >= retained) * n + rank[nodes_i]
+            keys_cols_o = (2 + (local_o >= retained)) * n + rank[nodes_o]
+            keys_slice = [
+                labels[nodes_o] * rc + local_o,
+                (k + labels[nodes_i]) * rc + local_i,
+            ]
+            if single:
+                combined = np.bincount(
+                    np.concatenate(
+                        keys_slice
+                        + [cells + keys_cols_i, cells + keys_cols_o]
+                    ),
+                    weights=np.concatenate([w_o, w_i, w_i, w_o]),
+                    minlength=cells + 4 * n,
+                )
+                block = combined[:cells].reshape(2, k, rc)
+                fused = combined[cells:].reshape(4, n)
+                for group, lo, hi in ((c, 0, retained), (t, retained, rc)):
+                    sub = block[:, :, lo:hi]
+                    self._u_out[group, :k] = sub[0].max(axis=1)
+                    self._l_out[group, :k] = sub[0].min(axis=1)
+                    self._u_in[group, :k] = sub[1].max(axis=1)
+                    self._l_in[group, :k] = sub[1].min(axis=1)
+            else:
+                block = np.bincount(
+                    np.concatenate(keys_slice),
+                    weights=np.concatenate([w_o, w_i]),
+                    minlength=cells,
+                ).reshape(2, k, rc)
+                if accumulate:
+                    part = np.bincount(
+                        np.concatenate([keys_cols_i, keys_cols_o]),
+                        weights=np.concatenate([w_i, w_o]),
+                        minlength=4 * n,
+                    )
+                    if fused is None:
+                        fused = part.reshape(4, n)
+                    else:
+                        fused += part.reshape(4, n)
+                else:
+                    for keys, weights in (
+                        (keys_cols_i, w_i), (keys_cols_o, w_o)
+                    ):
+                        key_buffer[filled:filled + keys.size] = keys
+                        weight_buffer[filled:filled + keys.size] = weights
+                        filled += keys.size
+                if upper is None:
+                    # [group (c, t), direction, color]
+                    upper = np.full((2, 2, k), -np.inf)
+                    lower = np.full((2, 2, k), np.inf)
+                for group_index, lo, hi in ((0, 0, retained), (1, retained, rc)):
+                    if lo < hi:
+                        sub = block[:, :, lo:hi]
+                        np.maximum(
+                            upper[group_index], sub.max(axis=2),
+                            out=upper[group_index],
+                        )
+                        np.minimum(
+                            lower[group_index], sub.min(axis=2),
+                            out=lower[group_index],
+                        )
+        if not single:
+            for group_index, group in ((0, c), (1, t)):
+                self._u_out[group, :k] = upper[group_index, 0]
+                self._l_out[group, :k] = lower[group_index, 0]
+                self._u_in[group, :k] = upper[group_index, 1]
+                self._l_in[group, :k] = lower[group_index, 1]
+            if collect:
+                fused = np.bincount(
+                    key_buffer[:filled],
+                    weights=weight_buffer[:filled],
+                    minlength=4 * n,
+                ).reshape(4, n)
+
+        col_upper = np.maximum.reduceat(fused, starts, axis=1)
+        col_lower = np.minimum.reduceat(fused, starts, axis=1)
+        cols = [c, t]
+        self._u_out[:k, cols] = col_upper[:2].T
+        self._l_out[:k, cols] = col_lower[:2].T
+        self._u_in[:k, cols] = col_upper[2:].T
+        self._l_in[:k, cols] = col_lower[2:].T
 
     def _apply_split(
         self, split_color: int, retain: np.ndarray, eject: np.ndarray
     ) -> None:
+        """Commit one split's labels/members/sizes (no state refresh)."""
         self._grow()
         new_color = self.k
         self.k += 1
@@ -642,11 +910,102 @@ class Rothko:
             size_f = np.float64(members.size)
             self._alpha_pow[color] = np.power(size_f, self.alpha)
             self._beta_pow[color] = np.power(size_f, self.beta)
-        self._refresh_split_columns(split_color, new_color, retain, eject)
-        touched = (split_color, new_color)
-        self._update_boundary_columns(touched)
-        self._update_boundary_rowgroups(touched)
-        self._update_errors(touched)
+
+    # ------------------------------------------------------------------
+    # batched split rounds
+    # ------------------------------------------------------------------
+    def _find_witness_batch(
+        self, limit: int, q_tolerance: float = 0.0
+    ) -> tuple[float, list[tuple[int, int, str]]]:
+        """Current max raw error and the top-``limit`` non-conflicting
+        witnesses, best first.
+
+        One ``O(k^2)`` scan serves both the round's stopping check (the
+        returned raw maximum) and the batch selection: the positive
+        weighted scores of both directions are partially sorted, then
+        greedily filtered so the chosen witnesses' color pairs are
+        pairwise disjoint — every chosen split is decided against the
+        same pre-round state *and* no chosen witness's degree vector or
+        membership is invalidated by another split in the round.  Pairs
+        already within ``q_tolerance`` are excluded: a round never
+        spends budget on splits the stopping rule no longer requires
+        (greedy re-checks the tolerance after every single split; rounds
+        re-check between rounds and filter members here).
+        """
+        k = self.k
+        if k == 0 or limit <= 0:
+            return 0.0, []
+        err_out, err_in = self._error_matrices()
+        raw = np.concatenate([err_out.ravel(), err_in.ravel()])
+        raw_max = float(raw.max(initial=0.0))
+        weighted_out, weighted_in = self._weighted_scores(err_out, err_in)
+        scores = np.concatenate([weighted_out.ravel(), weighted_in.ravel()])
+        # NaN scores (inf error x zero size weight) stop greedy; exclude
+        # them outright so argpartition cannot surface them first.
+        eligible = np.flatnonzero(
+            (np.nan_to_num(scores, nan=-np.inf) > 0) & (raw > q_tolerance)
+        )
+        if eligible.size == 0:
+            return raw_max, []
+        oversample = min(eligible.size, 4 * limit)
+        top = eligible[
+            np.argpartition(scores[eligible], -oversample)[-oversample:]
+        ]
+        top = top[np.argsort(scores[top], kind="stable")[::-1]]
+        used: set[int] = set()
+        picked: list[tuple[int, int, str]] = []
+        for flat in top.tolist():
+            direction = "out" if flat < k * k else "in"
+            i, j = divmod(flat % (k * k), k)
+            if i in used or j in used:
+                continue
+            used.update((i, j))
+            picked.append((i, j, direction))
+            if len(picked) == limit:
+                break
+        return raw_max, picked
+
+    def _apply_batch(
+        self, picked: list[tuple[int, int, str]]
+    ) -> list[tuple[tuple[int, int, str], int]]:
+        """Split at every chosen witness, then refresh state once.
+
+        All eject masks are decided against the pre-round state (the
+        witnesses are color-disjoint, so each degree vector is still
+        exact when its split commits), then the ``2B`` dirtied colors'
+        columns, row-groups, and error entries are refreshed in fused
+        passes sharing one member-order gather.
+        """
+        relative = self.error_mode == "relative"
+        pending: list[tuple[tuple[int, int, str], int, np.ndarray]] = []
+        for witness in picked:
+            i, j, direction = witness
+            split_color = i if direction == "out" else j
+            degrees = self._witness_degrees(i, j, direction)
+            try:
+                eject_mask = split_eject_mask(
+                    degrees, self.split_mean, relative=relative
+                )
+            except ColoringError:
+                # Pure floating-point guard: a positive per-direction
+                # score implies non-constant degrees, so this can only
+                # trip on sub-ulp ties; dropping the witness for one
+                # round is always safe.
+                continue
+            pending.append((witness, split_color, eject_mask))
+        splits: list[tuple[tuple[int, int, str], int]] = []
+        dirty: list[int] = []
+        for witness, split_color, eject_mask in pending:
+            members = self._members[split_color]
+            self._apply_split(
+                split_color, members[~eject_mask], members[eject_mask]
+            )
+            dirty.extend((split_color, self.k - 1))
+            splits.append((witness, split_color))
+        if dirty:
+            self._update_boundary_columns(dirty)
+            self._update_boundary_rowgroups(dirty)
+        return splits
 
     # ------------------------------------------------------------------
     # the anytime loop
@@ -700,13 +1059,30 @@ class Rothko:
         Stops when ``max_colors`` is reached, the max q-error drops to
         ``q_tolerance``, no splittable witness remains, or
         ``max_iterations`` splits have been performed.
+
+        Under ``strategy="batched"`` the loop advances a whole round of
+        non-conflicting splits at a time; one step is still yielded per
+        split (snapshots replay exactly as in greedy mode), with
+        ``q_err_before`` reporting the error of the *pre-round* state
+        for every split of that round.
         """
         if max_colors is None and max_iterations is None and q_tolerance <= 0:
             # Without any bound the loop would refine to the discrete
             # partition, which is legal but rarely intended; allow it but
             # bound iterations by n for safety.
             max_iterations = self.n
+        if max_colors is not None and max_colors > self.k:
+            # Remember the budget so the doubling rule stops exactly at
+            # it (no color count can exceed n, so clamp there too).
+            hint = min(max_colors, max(self.n, 1))
+            if self._capacity_hint is None or hint > self._capacity_hint:
+                self._capacity_hint = hint
         start = time.perf_counter()
+        if self.strategy == "batched":
+            yield from self._steps_batched(
+                max_colors, q_tolerance, max_iterations, start
+            )
+            return
         iteration = 0
         while True:
             if max_colors is not None and self.k >= max_colors:
@@ -732,6 +1108,42 @@ class Rothko:
                 elapsed=time.perf_counter() - start,
                 engine=self,
             )
+
+    def _steps_batched(
+        self,
+        max_colors: int | None,
+        q_tolerance: float,
+        max_iterations: int | None,
+        start: float,
+    ) -> Iterator[RothkoStep]:
+        """Round-based variant of the anytime loop (``strategy="batched"``)."""
+        iteration = 0
+        while True:
+            limit = self.batch_size
+            if max_colors is not None:
+                limit = min(limit, max_colors - self.k)
+            if max_iterations is not None:
+                limit = min(limit, max_iterations - iteration)
+            if limit <= 0:
+                return
+            raw_err, picked = self._find_witness_batch(limit, q_tolerance)
+            if raw_err <= q_tolerance or not picked:
+                return
+            k_before = self.k
+            splits = self._apply_batch(picked)
+            if not splits:
+                return
+            for offset, (witness, parent_color) in enumerate(splits):
+                iteration += 1
+                yield RothkoStep(
+                    iteration=iteration,
+                    n_colors=k_before + offset + 1,
+                    q_err_before=raw_err,
+                    witness=witness,
+                    parent_color=parent_color,
+                    elapsed=time.perf_counter() - start,
+                    engine=self,
+                )
 
     def run(
         self,
@@ -765,6 +1177,9 @@ class Rothko:
 
         The invariant test suite calls this after every split — it is the
         executable definition of what the incremental updates maintain.
+        The reference recompute builds the dense ``k x n`` degree
+        matrices the flat engine never keeps, so this is a diagnostic
+        for test-scale graphs, not a production code path.
         """
         n, k = self.n, self.k
         if sorted(np.unique(self.labels).tolist()) != list(range(k)):
@@ -786,17 +1201,18 @@ class Rothko:
             self._csc.indptr, self._csc.indices, self._csc.data,
             self.labels, k,
         )
-        checks = [("D_out", self._d_out[:k], d_out),
-                  ("D_in", self._d_in[:k], d_in)]
         u_out, l_out = grouped_minmax_by_labels(d_out.T, self.labels, k)
         u_in, l_in = grouped_minmax_by_labels(d_in.T, self.labels, k)
-        checks += [
+        checks = [
             ("U_out", self._u_out[:k, :k], u_out),
             ("L_out", self._l_out[:k, :k], l_out),
             ("U_in", self._u_in[:k, :k], u_in),
             ("L_in", self._l_in[:k, :k], l_in),
-            ("Err_out", self._err_out[:k, :k], self._spread(u_out, l_out)),
-            ("Err_in", self._err_in[:k, :k], self._spread(u_in, l_in).T),
+        ]
+        derived_err_out, derived_err_in = self._error_matrices()
+        checks += [
+            ("Err_out", derived_err_out, self._spread(u_out, l_out)),
+            ("Err_in", derived_err_in, self._spread(u_in, l_in).T),
         ]
         weight = self._alpha_pow[:k, None] * self._beta_pow[None, :k]
         w_out = self._spread(u_out, l_out) * weight
@@ -804,14 +1220,18 @@ class Rothko:
         if self._frozen_ids.size:
             w_out[self._frozen_ids, :] = -np.inf
             w_in[:, self._frozen_ids] = -np.inf
+        derived_out, derived_in = self._weighted_scores(
+            derived_err_out, derived_err_in
+        )
         checks += [
-            ("weighted_out", self._w_out[:k, :k], w_out),
-            ("weighted_in", self._w_in[:k, :k], w_in),
+            ("weighted_out", derived_out, w_out),
+            ("weighted_in", derived_in, w_in),
         ]
         for name, maintained, scratch in checks:
-            # The sibling-column subtraction leaves residues proportional
-            # to the weight magnitude on exact-zero entries, where rtol
-            # contributes nothing — scale atol by the matrix magnitude.
+            # Maintained sums accumulate edge weights in a different
+            # order than the scratch bincount, so rounding differences
+            # are relative to the weight magnitude — and rtol contributes
+            # nothing on exact-zero entries.  Scale atol by magnitude.
             finite = scratch[np.isfinite(scratch)]
             scale = (
                 max(1.0, float(np.abs(finite).max())) if finite.size else 1.0
@@ -835,11 +1255,15 @@ def q_color(
     initial: Coloring | None = None,
     frozen: Iterable[int] = (),
     max_iterations: int | None = None,
+    strategy: str = "greedy",
+    batch_size: int | None = None,
 ) -> RothkoResult:
     """Compute a quasi-stable coloring with the Rothko heuristic.
 
     Exactly one stopping knob is required: a color budget ``n_colors``
-    and/or a target maximum q-error ``q``.
+    and/or a target maximum q-error ``q``.  ``strategy="batched"``
+    enables the fused multi-witness split rounds, with ``batch_size``
+    witnesses per round (see :class:`Rothko`).
 
     Examples
     --------
@@ -861,6 +1285,8 @@ def q_color(
         beta=beta,
         split_mean=split_mean,
         frozen=frozen,
+        strategy=strategy,
+        batch_size=batch_size,
     )
     return engine.run(
         max_colors=n_colors,
@@ -878,6 +1304,8 @@ def eps_color(
     initial: Coloring | None = None,
     frozen: Iterable[int] = (),
     max_iterations: int | None = None,
+    strategy: str = "greedy",
+    batch_size: int | None = None,
 ) -> RothkoResult:
     """Compute an eps-relative quasi-stable coloring (Sec. 3.1).
 
@@ -900,6 +1328,8 @@ def eps_color(
         beta=beta,
         frozen=frozen,
         error_mode="relative",
+        strategy=strategy,
+        batch_size=batch_size,
     )
     return engine.run(
         max_colors=n_colors,

@@ -238,11 +238,13 @@ class DynamicColoring:
         return engine
 
     def _adopt(self, engine: Rothko) -> None:
-        """Take over a static engine's labels, members, and degree matrices.
+        """Take over a static engine's labels and members, then build the
+        dense degree matrices from the graph.
 
-        The static engine stores its degree matrices color-major
-        (``k x n``); this engine patches per-node entries on every arc
-        event, so transpose back into node-major ``n x k`` storage.
+        The memory-flat static engine keeps no degree matrices at all;
+        this engine patches per-node entries on every arc event, so it
+        rebuilds its own node-major ``n x k`` storage with one ``O(m)``
+        bincount pass over the CSR/CSC snapshots.
         """
         self.k = engine.k
         self._labels_buf = engine.labels.copy()
@@ -250,8 +252,11 @@ class DynamicColoring:
         capacity = max(16, 2 * self.k)
         self._d_out = np.zeros((engine.n, capacity), dtype=np.float64)
         self._d_in = np.zeros((engine.n, capacity), dtype=np.float64)
-        self._d_out[:, : self.k] = engine._d_out[: self.k].T
-        self._d_in[:, : self.k] = engine._d_in[: self.k].T
+        d_out, d_in = color_degree_matrices(
+            self.graph.to_csr(), self._labels_buf, self.k
+        )
+        self._d_out[:, : self.k] = d_out
+        self._d_in[:, : self.k] = d_in
         self._row_capacity = engine.n
         self._color_pin = [
             int(self._pins.labels[int(members[0])]) if members.size else -1

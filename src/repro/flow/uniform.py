@@ -21,6 +21,7 @@ import numpy as np
 import scipy.optimize
 import scipy.sparse as sp
 
+from repro.core.kernels import scatter_select_sums
 from repro.exceptions import FlowError
 from repro.flow.network import FlowNetwork, max_flow
 from repro.graphs.bipartite import BipartiteGraph
@@ -30,31 +31,43 @@ _METHODS = ("auto", "biregular", "parametric", "lp")
 
 
 def lemma8_condition_holds(graph: BipartiteGraph, a: float, b: float) -> bool:
-    """Check Eq. (8) by brute force over subset pairs (exponential; tests).
+    """Check Eq. (8): ``c(S, T) + F >= a |S| + b |T|`` for all
+    ``S subseteq X, T subseteq Y`` with ``F = min(a |X|, b |Y|)``.
 
-    ``c(S, T) + F >= a |S| + b |T|`` for all ``S subseteq X, T subseteq Y``
-    with ``F = min(a |X|, b |Y|)``.
+    Enumerates the left subsets only: for a fixed ``S`` the worst right
+    subset is available in closed form.  With
+    ``w_S(y) = c(S, {y})`` (the row/column reductions, computed on the
+    sparse CSR arrays — no dense materialization),
+
+    ``min_T [c(S, T) - b |T|] = sum_y min(0, w_S(y) - b)``
+
+    because each right node contributes independently and only nodes with
+    ``w_S(y) < b`` make the left side smaller.  That reduces the check
+    from ``O(4^n)`` subset pairs to ``O(2^|X|)`` sparse reductions, so
+    the guard is on the left side only (still exponential; tests).
     """
     from itertools import combinations
 
     n_left, n_right = graph.n_left, graph.n_right
-    if n_left > 12 or n_right > 12:
-        raise ValueError("brute-force Lemma 8 check limited to 12x12 graphs")
+    if n_left > 20:
+        raise ValueError(
+            "brute-force Lemma 8 check limited to 20 left nodes"
+        )
     target = min(a * n_left, b * n_right)
-    dense = graph.matrix.toarray()
+    matrix = graph.matrix
     left_all = range(n_left)
-    right_all = range(n_right)
     for ls in range(n_left + 1):
         for subset_left in combinations(left_all, ls):
-            row_slice = dense[list(subset_left), :] if subset_left else None
-            for rs in range(n_right + 1):
-                for subset_right in combinations(right_all, rs):
-                    if subset_left and subset_right:
-                        c_st = row_slice[:, list(subset_right)].sum()
-                    else:
-                        c_st = 0.0
-                    if c_st + target < a * ls + b * rs - 1e-9:
-                        return False
+            if subset_left:
+                col_sums = scatter_select_sums(
+                    matrix.indptr, matrix.indices, matrix.data,
+                    np.asarray(subset_left, dtype=np.int64), n_right,
+                )
+                worst = float(np.minimum(col_sums - b, 0.0).sum())
+            else:
+                worst = n_right * min(-b, 0.0)
+            if worst + target < a * ls - 1e-9:
+                return False
     return True
 
 

@@ -8,6 +8,14 @@ therefore keeps a dict-of-dicts adjacency for cheap construction and
 mutation, plus lazily-built, cached CSR/CSC snapshots for the vectorized
 kernels.  Mutations invalidate the cache.
 
+Bulk construction goes the other way: :meth:`WeightedDiGraph.from_arrays`
+builds the CSR snapshot directly from ``(src, dst, weight)`` arrays and
+defers the dict-of-dicts (and, for default integer labels, the label
+table) until a mutation or per-node query actually needs them.  The
+vectorized pipeline — generators, coloring, solvers — runs entirely off
+the CSR/CSC snapshots, so million-node graphs never pay per-edge dict
+insertion.
+
 Node labels may be arbitrary hashable objects; the label <-> index mapping
 is maintained internally.  Undirected graphs are represented by storing both
 edge directions and setting ``directed=False`` for bookkeeping (this makes
@@ -17,7 +25,7 @@ treatment in Sec. 3).
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import Any, Hashable, Iterable, Iterator, Mapping, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -39,13 +47,44 @@ class WeightedDiGraph:
 
     def __init__(self, directed: bool = True) -> None:
         self.directed = directed
-        self._labels: list[Hashable] = []
-        self._index: dict[Hashable, int] = {}
-        self._succ: list[dict[int, float]] = []
-        self._pred: list[dict[int, float]] = []
+        self._n = 0
+        #: ``None`` on array-built graphs until a label is asked for —
+        #: identity labels ``0..n-1`` are served without the table.
+        self._labels: list[Hashable] | None = []
+        self._index: dict[Hashable, int] | None = {}
+        #: ``None`` on array-built graphs until a mutation or per-node
+        #: query materializes the dicts from the CSR/CSC snapshots.
+        self._succ: list[dict[int, float]] | None = []
+        self._pred: list[dict[int, float]] | None = []
         self._csr: sp.csr_matrix | None = None
         self._csc: sp.csc_matrix | None = None
         self._listeners: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # lazy materialization (array-built graphs)
+    # ------------------------------------------------------------------
+    def _ensure_labels(self) -> None:
+        if self._labels is None:
+            self._labels = list(range(self._n))
+            self._index = {i: i for i in range(self._n)}
+
+    def _ensure_adjacency(self) -> None:
+        if self._succ is not None:
+            return
+        csr = self.to_csr()
+        csc = self.to_csc()
+        self._succ = [
+            dict(zip(
+                csr.indices[a:b].tolist(), csr.data[a:b].tolist()
+            ))
+            for a, b in zip(csr.indptr[:-1], csr.indptr[1:])
+        ]
+        self._pred = [
+            dict(zip(
+                csc.indices[a:b].tolist(), csc.data[a:b].tolist()
+            ))
+            for a, b in zip(csc.indptr[:-1], csc.indptr[1:])
+        ]
 
     # ------------------------------------------------------------------
     # mutation hooks
@@ -88,15 +127,18 @@ class WeightedDiGraph:
     # ------------------------------------------------------------------
     def add_node(self, label: Hashable | None = None) -> int:
         """Add a node (default label = its index); return its index."""
+        self._ensure_labels()
+        self._ensure_adjacency()
         if label is None:
-            label = len(self._labels)
+            label = self._n
         if label in self._index:
             return self._index[label]
-        index = len(self._labels)
+        index = self._n
         self._labels.append(label)
         self._index[label] = index
         self._succ.append({})
         self._pred.append({})
+        self._n += 1
         self._invalidate()
         if self._listeners:
             self._notify_node(index)
@@ -140,6 +182,8 @@ class WeightedDiGraph:
 
     def remove_edge(self, u: Hashable, v: Hashable, missing_ok: bool = False) -> None:
         """Remove the edge ``u -> v`` (both directions if undirected)."""
+        self._ensure_labels()
+        self._ensure_adjacency()
         try:
             ui, vi = self._index[u], self._index[v]
         except KeyError as exc:
@@ -167,11 +211,17 @@ class WeightedDiGraph:
     # ------------------------------------------------------------------
     @property
     def n_nodes(self) -> int:
-        return len(self._labels)
+        return self._n
 
     @property
     def n_edges(self) -> int:
         """Number of stored directed arcs (undirected edges count once)."""
+        if self._succ is None:
+            csr = self.to_csr()
+            if self.directed:
+                return int(csr.nnz)
+            loops = int(np.count_nonzero(csr.diagonal()))
+            return (int(csr.nnz) - loops) // 2 + loops
         arcs = sum(len(adj) for adj in self._succ)
         if self.directed:
             return arcs
@@ -181,56 +231,90 @@ class WeightedDiGraph:
     @property
     def n_arcs(self) -> int:
         """Number of stored directed arcs, regardless of directedness."""
+        if self._succ is None:
+            return int(self.to_csr().nnz)
         return sum(len(adj) for adj in self._succ)
 
     def labels(self) -> list[Hashable]:
         """Return node labels ordered by internal index."""
+        if self._labels is None:
+            return list(range(self._n))
         return list(self._labels)
 
     def index_of(self, label: Hashable) -> int:
+        if self._index is None:
+            if isinstance(label, (int, np.integer)) and 0 <= label < self._n:
+                return int(label)
+            raise GraphError(f"unknown node {label!r}")
         try:
             return self._index[label]
         except KeyError as exc:
             raise GraphError(f"unknown node {label!r}") from exc
 
     def label_of(self, index: int) -> Hashable:
+        if self._labels is None:
+            if not 0 <= index < self._n:
+                raise IndexError(f"node index {index} out of range")
+            return index
         return self._labels[index]
 
     def has_node(self, label: Hashable) -> bool:
+        if self._index is None:
+            return isinstance(label, (int, np.integer)) and 0 <= label < self._n
         return label in self._index
 
+    def _csr_weight(self, ui: int, vi: int) -> float:
+        """Single-arc lookup off the cached CSR (lazy graphs only):
+        binary search within the sorted row slice, no dict build."""
+        csr = self.to_csr()
+        lo, hi = int(csr.indptr[ui]), int(csr.indptr[ui + 1])
+        position = lo + int(np.searchsorted(csr.indices[lo:hi], vi))
+        if position < hi and csr.indices[position] == vi:
+            return float(csr.data[position])
+        return 0.0
+
     def has_edge(self, u: Hashable, v: Hashable) -> bool:
-        if u not in self._index or v not in self._index:
+        if not self.has_node(u) or not self.has_node(v):
             return False
-        return self._index[v] in self._succ[self._index[u]]
+        if self._succ is None:
+            return self._csr_weight(self.index_of(u), self.index_of(v)) != 0.0
+        return self.index_of(v) in self._succ[self.index_of(u)]
 
     def weight(self, u: Hashable, v: Hashable) -> float:
         """Return the weight of ``u -> v`` (0.0 if absent, Sec. 3 convention)."""
-        if u not in self._index or v not in self._index:
+        if not self.has_node(u) or not self.has_node(v):
             return 0.0
-        return self._succ[self._index[u]].get(self._index[v], 0.0)
+        if self._succ is None:
+            return self._csr_weight(self.index_of(u), self.index_of(v))
+        return self._succ[self.index_of(u)].get(self.index_of(v), 0.0)
 
     def successors(self, u: Hashable) -> Iterator[Hashable]:
+        self._ensure_adjacency()
         for vi in self._succ[self.index_of(u)]:
-            yield self._labels[vi]
+            yield self.label_of(vi)
 
     def predecessors(self, u: Hashable) -> Iterator[Hashable]:
+        self._ensure_adjacency()
         for vi in self._pred[self.index_of(u)]:
-            yield self._labels[vi]
+            yield self.label_of(vi)
 
     def out_items(self, index: int) -> Mapping[int, float]:
         """Successor index -> weight map for an internal node index."""
+        self._ensure_adjacency()
         return self._succ[index]
 
     def in_items(self, index: int) -> Mapping[int, float]:
         """Predecessor index -> weight map for an internal node index."""
+        self._ensure_adjacency()
         return self._pred[index]
 
     def out_degree(self, u: Hashable, weighted: bool = False) -> float:
+        self._ensure_adjacency()
         adj = self._succ[self.index_of(u)]
         return sum(adj.values()) if weighted else float(len(adj))
 
     def in_degree(self, u: Hashable, weighted: bool = False) -> float:
+        self._ensure_adjacency()
         adj = self._pred[self.index_of(u)]
         return sum(adj.values()) if weighted else float(len(adj))
 
@@ -239,11 +323,12 @@ class WeightedDiGraph:
 
         Undirected graphs yield each edge once, with ``u_index <= v_index``.
         """
+        self._ensure_adjacency()
         for ui, adj in enumerate(self._succ):
             for vi, w in adj.items():
                 if not self.directed and vi < ui:
                     continue
-                yield self._labels[ui], self._labels[vi], w
+                yield self.label_of(ui), self.label_of(vi), w
 
     def total_weight(self) -> float:
         """Sum of arc weights (undirected edges counted once)."""
@@ -253,7 +338,7 @@ class WeightedDiGraph:
         return self.n_nodes
 
     def __contains__(self, label: Hashable) -> bool:
-        return label in self._index
+        return self.has_node(label)
 
     def __repr__(self) -> str:
         kind = "directed" if self.directed else "undirected"
@@ -272,6 +357,7 @@ class WeightedDiGraph:
     def to_csr(self) -> sp.csr_matrix:
         """Adjacency as a cached ``n x n`` CSR matrix of weights."""
         if self._csr is None:
+            self._ensure_adjacency()
             n = self.n_nodes
             rows, cols, data = [], [], []
             for ui, adj in enumerate(self._succ):
@@ -295,6 +381,97 @@ class WeightedDiGraph:
     # ------------------------------------------------------------------
     # conversions
     # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        weight: np.ndarray | None = None,
+        *,
+        n_nodes: int | None = None,
+        directed: bool = True,
+        labels: Sequence[Hashable] | None = None,
+    ) -> "WeightedDiGraph":
+        """Vectorized bulk construction from parallel edge arrays.
+
+        Builds the CSR snapshot directly — no per-edge dict insertion.
+        The dict-of-dicts adjacency (and, when ``labels`` is omitted,
+        the label table) stays unmaterialized until a mutation or
+        per-node query needs it, so array-built graphs feed the
+        vectorized coloring/solver pipeline in ``O(m)`` time and memory.
+
+        ``src``/``dst`` hold integer node indices; ``weight`` defaults
+        to all ones.  Duplicate ``(src, dst)`` pairs sum their weights
+        (COO semantics); exact-zero weights are dropped (Sec. 3: zero
+        means "no edge").  For ``directed=False`` pass each undirected
+        edge once, in either orientation.  ``labels``, when given, must
+        have one entry per node and assigns ``labels[i]`` to index ``i``.
+        """
+        src = np.asarray(src, dtype=np.int64).ravel()
+        dst = np.asarray(dst, dtype=np.int64).ravel()
+        if src.shape != dst.shape:
+            raise GraphError(
+                f"src and dst must match, got {src.size} vs {dst.size}"
+            )
+        if weight is None:
+            weight = np.ones(src.size, dtype=np.float64)
+        else:
+            weight = np.asarray(weight, dtype=np.float64).ravel()
+            if weight.shape != src.shape:
+                raise GraphError(
+                    f"weight must match src/dst, got {weight.size} edges "
+                    f"vs {src.size}"
+                )
+        if n_nodes is None:
+            n = int(max(src.max(), dst.max())) + 1 if src.size else 0
+        else:
+            n = int(n_nodes)
+        if src.size and (
+            src.min() < 0 or dst.min() < 0
+            or src.max() >= n or dst.max() >= n
+        ):
+            raise GraphError(f"edge endpoints out of range [0, {n})")
+        if labels is not None and len(labels) != n:
+            raise GraphError(
+                f"labels must have one entry per node, got {len(labels)} "
+                f"for {n} nodes"
+            )
+        nonzero = weight != 0.0
+        if not nonzero.all():
+            src, dst, weight = src[nonzero], dst[nonzero], weight[nonzero]
+        if not directed and src.size:
+            off_diagonal = src != dst
+            src, dst, weight = (
+                np.concatenate([src, dst[off_diagonal]]),
+                np.concatenate([dst, src[off_diagonal]]),
+                np.concatenate([weight, weight[off_diagonal]]),
+            )
+        graph = cls(directed=directed)
+        graph._n = n
+        if labels is not None:
+            graph._labels = list(labels)
+            graph._index = {
+                label: i for i, label in enumerate(graph._labels)
+            }
+            if len(graph._index) != n:
+                raise GraphError("duplicate node labels")
+        else:
+            graph._labels = None
+            graph._index = None
+        graph._succ = None
+        graph._pred = None
+        csr = sp.csr_matrix(
+            (weight, (src, dst)), shape=(n, n), dtype=np.float64
+        )
+        # Duplicates were summed by the COO conversion; sums that cancel
+        # to exactly zero must disappear entirely (Sec. 3: zero means
+        # "no edge", matching add_edge's removal semantics).  Sorted
+        # indices let single-edge probes binary-search the row slices.
+        csr.eliminate_zeros()
+        csr.sort_indices()
+        graph._csr = csr
+        return graph
+
     @classmethod
     def from_edges(
         cls,
@@ -359,12 +536,33 @@ class WeightedDiGraph:
         import networkx as nx
 
         nx_graph = nx.DiGraph() if self.directed else nx.Graph()
-        nx_graph.add_nodes_from(self._labels)
+        nx_graph.add_nodes_from(self.labels())
         for u, v, w in self.edges():
             nx_graph.add_edge(u, v, weight=w)
         return nx_graph
 
+    def _lazy_clone(self, csr: sp.csr_matrix) -> "WeightedDiGraph":
+        """Array-built shell around an owned CSR snapshot: label state is
+        carried over (copied if materialized), adjacency stays lazy."""
+        clone = WeightedDiGraph(directed=self.directed)
+        clone._n = self._n
+        if self._labels is None:
+            clone._labels = None
+            clone._index = None
+        else:
+            clone._labels = list(self._labels)
+            clone._index = dict(self._index)
+        clone._succ = None
+        clone._pred = None
+        clone._csr = csr
+        return clone
+
     def copy(self) -> "WeightedDiGraph":
+        if self._succ is None:
+            # Array-built and still lazy: clone the snapshot, keep the
+            # laziness (the copy can diverge through its own mutations).
+            return self._lazy_clone(self.to_csr().copy())
+        self._ensure_labels()
         clone = WeightedDiGraph(directed=self.directed)
         for label in self._labels:
             clone.add_node(label)
@@ -376,8 +574,13 @@ class WeightedDiGraph:
         """Return the graph with every arc reversed (no-op when undirected)."""
         if not self.directed:
             return self.copy()
+        if self._succ is None:
+            # CSC -> CSR layout conversion always allocates fresh
+            # arrays, so the reversed snapshot owns its buffers (a bare
+            # ``.T`` would alias this graph's cached data).
+            return self._lazy_clone(self.to_csr().T.tocsr())
         rev = WeightedDiGraph(directed=True)
-        for label in self._labels:
+        for label in self.labels():
             rev.add_node(label)
         for u, v, w in self.edges():
             rev.add_edge(v, u, w)
@@ -387,8 +590,9 @@ class WeightedDiGraph:
         """Symmetrized copy; antiparallel weights are summed."""
         if not self.directed:
             return self.copy()
+        self._ensure_adjacency()
         und = WeightedDiGraph(directed=False)
-        for label in self._labels:
+        for label in self.labels():
             und.add_node(label)
         seen: dict[tuple[int, int], float] = {}
         for ui, adj in enumerate(self._succ):
@@ -396,5 +600,5 @@ class WeightedDiGraph:
                 key = (min(ui, vi), max(ui, vi))
                 seen[key] = seen.get(key, 0.0) + w
         for (ui, vi), w in seen.items():
-            und.add_edge(self._labels[ui], self._labels[vi], w)
+            und.add_edge(self.label_of(ui), self.label_of(vi), w)
         return und

@@ -46,11 +46,11 @@ def karate_club() -> WeightedDiGraph:
     The running example of Fig. 1: its stable coloring has 27 colors while
     a q=3 quasi-stable coloring needs only 6.
     """
-    graph = WeightedDiGraph(directed=False)
-    for node in range(1, 35):
-        graph.add_node(node)
-    graph.add_edges(_KARATE_EDGES)
-    return graph
+    edges = np.asarray(_KARATE_EDGES, dtype=np.int64) - 1
+    return WeightedDiGraph.from_arrays(
+        edges[:, 0], edges[:, 1], n_nodes=34, directed=False,
+        labels=list(range(1, 35)),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -61,14 +61,11 @@ def erdos_renyi(n: int, p: float, seed: SeedLike = None) -> WeightedDiGraph:
     if not 0.0 <= p <= 1.0:
         raise GraphError(f"edge probability must be in [0, 1], got {p}")
     rng = ensure_rng(seed)
-    graph = WeightedDiGraph(directed=False)
-    for i in range(n):
-        graph.add_node(i)
     iu, ju = np.triu_indices(n, k=1)
     mask = rng.random(iu.size) < p
-    for u, v in zip(iu[mask].tolist(), ju[mask].tolist()):
-        graph.add_edge(u, v)
-    return graph
+    return WeightedDiGraph.from_arrays(
+        iu[mask], ju[mask], n_nodes=n, directed=False
+    )
 
 
 def barabasi_albert(n: int, m: int, seed: SeedLike = None) -> WeightedDiGraph:
@@ -81,22 +78,28 @@ def barabasi_albert(n: int, m: int, seed: SeedLike = None) -> WeightedDiGraph:
     if m < 1 or m >= n:
         raise GraphError(f"need 1 <= m < n, got m={m}, n={n}")
     rng = ensure_rng(seed)
-    graph = WeightedDiGraph(directed=False)
-    for i in range(n):
-        graph.add_node(i)
-    # Urn of endpoints; each edge contributes both ends.
+    # Urn of endpoints; each edge contributes both ends.  Edges are
+    # collected into flat lists and materialized once at the end — the
+    # urn process is inherently sequential, but the graph build is not.
+    src: list[int] = []
+    dst: list[int] = []
     urn: list[int] = []
     for i in range(1, m + 1):
-        graph.add_edge(0, i)
+        src.append(0)
+        dst.append(i)
         urn.extend((0, i))
     for new in range(m + 1, n):
         targets: set[int] = set()
         while len(targets) < m:
             targets.add(urn[rng.integers(0, len(urn))])
         for target in targets:
-            graph.add_edge(new, target)
+            src.append(new)
+            dst.append(target)
             urn.extend((new, target))
-    return graph
+    return WeightedDiGraph.from_arrays(
+        np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64),
+        n_nodes=n, directed=False,
+    )
 
 
 def powerlaw_cluster(
@@ -112,12 +115,12 @@ def powerlaw_cluster(
     if not 0.0 <= p <= 1.0:
         raise GraphError(f"triangle probability must be in [0, 1], got {p}")
     rng = ensure_rng(seed)
-    graph = WeightedDiGraph(directed=False)
-    for i in range(n):
-        graph.add_node(i)
+    src: list[int] = []
+    dst: list[int] = []
     urn: list[int] = []
     for i in range(1, m + 1):
-        graph.add_edge(0, i)
+        src.append(0)
+        dst.append(i)
         urn.extend((0, i))
     adjacency: list[set[int]] = [set() for _ in range(n)]
     for i in range(1, m + 1):
@@ -136,11 +139,15 @@ def powerlaw_cluster(
                     added.add(neighbors[rng.integers(0, len(neighbors))])
             target = urn[rng.integers(0, len(urn))]
         for t in added:
-            graph.add_edge(new, t)
+            src.append(new)
+            dst.append(t)
             adjacency[new].add(t)
             adjacency[t].add(new)
             urn.extend((new, t))
-    return graph
+    return WeightedDiGraph.from_arrays(
+        np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64),
+        n_nodes=n, directed=False,
+    )
 
 
 def stochastic_block(
@@ -157,10 +164,7 @@ def stochastic_block(
     if probs.shape != (k, k):
         raise GraphError(f"p_matrix must be {k}x{k}, got {probs.shape}")
     rng = ensure_rng(seed)
-    graph = WeightedDiGraph(directed=False)
     total = sum(sizes)
-    for i in range(total):
-        graph.add_node(i)
     offsets = np.concatenate([[0], np.cumsum(sizes)])
     membership = np.empty(total, dtype=int)
     for block, (lo, hi) in enumerate(zip(offsets[:-1], offsets[1:])):
@@ -168,72 +172,69 @@ def stochastic_block(
     iu, ju = np.triu_indices(total, k=1)
     thresholds = probs[membership[iu], membership[ju]]
     mask = rng.random(iu.size) < thresholds
-    for u, v in zip(iu[mask].tolist(), ju[mask].tolist()):
-        graph.add_edge(u, v)
-    return graph
+    return WeightedDiGraph.from_arrays(
+        iu[mask], ju[mask], n_nodes=total, directed=False
+    )
 
 
 # ----------------------------------------------------------------------
 # simple deterministic families
 # ----------------------------------------------------------------------
 def path_graph(n: int) -> WeightedDiGraph:
-    graph = WeightedDiGraph(directed=False)
-    for i in range(n):
-        graph.add_node(i)
-    for i in range(n - 1):
-        graph.add_edge(i, i + 1)
-    return graph
+    steps = np.arange(n - 1, dtype=np.int64)
+    return WeightedDiGraph.from_arrays(
+        steps, steps + 1, n_nodes=n, directed=False
+    )
 
 
 def cycle_graph(n: int) -> WeightedDiGraph:
     if n < 3:
         raise GraphError(f"cycle needs at least 3 nodes, got {n}")
-    graph = path_graph(n)
-    graph.add_edge(n - 1, 0)
-    return graph
+    steps = np.arange(n, dtype=np.int64)
+    return WeightedDiGraph.from_arrays(
+        steps, (steps + 1) % n, n_nodes=n, directed=False
+    )
 
 
 def star_graph(n_leaves: int) -> WeightedDiGraph:
     """Hub node 0 connected to ``n_leaves`` leaves."""
-    graph = WeightedDiGraph(directed=False)
-    graph.add_node(0)
-    for leaf in range(1, n_leaves + 1):
-        graph.add_edge(0, leaf)
-    return graph
+    leaves = np.arange(1, n_leaves + 1, dtype=np.int64)
+    return WeightedDiGraph.from_arrays(
+        np.zeros(n_leaves, dtype=np.int64), leaves,
+        n_nodes=n_leaves + 1, directed=False,
+    )
 
 
 def grid_2d(width: int, height: int) -> WeightedDiGraph:
     """4-connected ``width x height`` grid; node label = ``(x, y)``."""
-    graph = WeightedDiGraph(directed=False)
-    for y in range(height):
-        for x in range(width):
-            graph.add_node((x, y))
-    for y in range(height):
-        for x in range(width):
-            if x + 1 < width:
-                graph.add_edge((x, y), (x + 1, y))
-            if y + 1 < height:
-                graph.add_edge((x, y), (x, y + 1))
-    return graph
+    ids = np.arange(width * height, dtype=np.int64)
+    x = ids % width
+    y = ids // width
+    right = ids[x + 1 < width]
+    down = ids[y + 1 < height]
+    src = np.concatenate([right, down])
+    dst = np.concatenate([right + 1, down + width])
+    labels = list(zip(x.tolist(), y.tolist()))
+    return WeightedDiGraph.from_arrays(
+        src, dst, n_nodes=width * height, directed=False, labels=labels
+    )
 
 
 def grid_3d(nx: int, ny: int, nz: int) -> WeightedDiGraph:
     """6-connected 3-D grid; node label = ``(x, y, z)``."""
-    graph = WeightedDiGraph(directed=False)
-    for z in range(nz):
-        for y in range(ny):
-            for x in range(nx):
-                graph.add_node((x, y, z))
-    for z in range(nz):
-        for y in range(ny):
-            for x in range(nx):
-                if x + 1 < nx:
-                    graph.add_edge((x, y, z), (x + 1, y, z))
-                if y + 1 < ny:
-                    graph.add_edge((x, y, z), (x, y + 1, z))
-                if z + 1 < nz:
-                    graph.add_edge((x, y, z), (x, y, z + 1))
-    return graph
+    ids = np.arange(nx * ny * nz, dtype=np.int64)
+    x = ids % nx
+    y = (ids // nx) % ny
+    z = ids // (nx * ny)
+    right = ids[x + 1 < nx]
+    down = ids[y + 1 < ny]
+    deep = ids[z + 1 < nz]
+    src = np.concatenate([right, down, deep])
+    dst = np.concatenate([right + 1, down + nx, deep + nx * ny])
+    labels = list(zip(x.tolist(), y.tolist(), z.tolist()))
+    return WeightedDiGraph.from_arrays(
+        src, dst, n_nodes=nx * ny * nz, directed=False, labels=labels
+    )
 
 
 def biregular_bipartite(
@@ -245,21 +246,48 @@ def biregular_bipartite(
     go left -> right.  Wiring is the round-robin pattern of
     :meth:`BipartiteGraph.biregular`.
     """
+    if out_degree > n_right:
+        # Round-robin targets would collide, silently degenerating the
+        # graph (same guard as BipartiteGraph.biregular).
+        raise GraphError(
+            f"out_degree {out_degree} exceeds right side size {n_right}"
+        )
     if (n_left * out_degree) % n_right != 0:
         raise GraphError(
             "biregular graph needs n_left * out_degree divisible by n_right"
         )
-    graph = WeightedDiGraph(directed=True)
-    for i in range(n_left):
-        graph.add_node(("L", i))
-    for j in range(n_right):
-        graph.add_node(("R", j))
-    edge_id = 0
-    for i in range(n_left):
-        for _ in range(out_degree):
-            graph.add_edge(("L", i), ("R", edge_id % n_right))
-            edge_id += 1
-    return graph
+    edge_ids = np.arange(n_left * out_degree, dtype=np.int64)
+    src = edge_ids // out_degree
+    dst = n_left + edge_ids % n_right
+    labels = [("L", i) for i in range(n_left)]
+    labels += [("R", j) for j in range(n_right)]
+    return WeightedDiGraph.from_arrays(
+        src, dst, n_nodes=n_left + n_right, directed=True, labels=labels
+    )
+
+
+def uniform_random_digraph(
+    n: int, out_degree: int, seed: SeedLike = None
+) -> WeightedDiGraph:
+    """Directed random graph: every node draws ``out_degree`` targets
+    uniformly at random (self-loops dropped, parallel draws sum weight).
+
+    Fully vectorized — two array draws and one
+    :meth:`WeightedDiGraph.from_arrays` call — so it scales to
+    million-node instances in ``O(m)``; the large-scale Rothko benchmark
+    uses it as its synthetic workload.
+    """
+    if n < 1 or out_degree < 1:
+        raise GraphError(
+            f"need n >= 1 and out_degree >= 1, got n={n}, d={out_degree}"
+        )
+    rng = ensure_rng(seed)
+    src = np.repeat(np.arange(n, dtype=np.int64), out_degree)
+    dst = rng.integers(0, n, size=n * out_degree, dtype=np.int64)
+    keep = src != dst
+    return WeightedDiGraph.from_arrays(
+        src[keep], dst[keep], n_nodes=n, directed=True
+    )
 
 
 # ----------------------------------------------------------------------
@@ -299,22 +327,27 @@ def lifted_biregular(
         )
     rng = ensure_rng(seed)
     n = n_groups * group_size
-    graph = WeightedDiGraph(directed=False)
-    for i in range(n):
-        graph.add_node(i)
     membership = np.repeat(np.arange(n_groups), group_size)
 
     iu, ju = np.triu_indices(n_groups, k=1)
     chosen = rng.choice(iu.size, size=template_edges, replace=False)
+    block_a = np.repeat(np.arange(group_size, dtype=np.int64), lift_degree)
+    block_d = np.tile(np.arange(lift_degree, dtype=np.int64), group_size)
+    src_blocks: list[np.ndarray] = []
+    dst_blocks: list[np.ndarray] = []
     for gi, gj in zip(iu[chosen].tolist(), ju[chosen].tolist()):
         # Lift (gi, gj) to a lift_degree-biregular bipartite block using a
         # rotated round-robin so different template edges use different
         # wirings (keeps the template nodes distinguishable).
         rotation = int(rng.integers(0, group_size))
-        for a in range(group_size):
-            for d in range(lift_degree):
-                b = (a + rotation + d) % group_size
-                graph.add_edge(gi * group_size + a, gj * group_size + b)
+        src_blocks.append(gi * group_size + block_a)
+        dst_blocks.append(
+            gj * group_size + (block_a + rotation + block_d) % group_size
+        )
+    graph = WeightedDiGraph.from_arrays(
+        np.concatenate(src_blocks), np.concatenate(dst_blocks),
+        n_nodes=n, directed=False,
+    )
     return graph, membership
 
 

@@ -145,11 +145,12 @@ class ProgressiveRun:
 class ColoringCache:
     """Spec-keyed registry of :class:`ProgressiveRun` instances.
 
-    A cached run pins its Rothko engine — including the engine's dense
-    degree/error matrices — plus the block-weight tracker and memoized
-    checkpoint colorings for the cache's lifetime, so scope a cache to
-    one sweep or experiment call (every driver here creates its own by
-    default) and :meth:`clear` it when reuse is over.
+    A cached run pins its Rothko engine — the memory-flat ``O(m + k^2)``
+    state: CSR/CSC adjacency snapshots, member lists, and the ``k x k``
+    boundary/error/witness matrices — plus the block-weight tracker and
+    memoized checkpoint colorings for the cache's lifetime, so scope a
+    cache to one sweep or experiment call (every driver here creates its
+    own by default) and :meth:`clear` it when reuse is over.
     """
 
     def __init__(self) -> None:

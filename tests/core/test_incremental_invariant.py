@@ -1,10 +1,11 @@
 """The incremental-maintenance invariant of the Rothko engine.
 
-The engine keeps its degree matrices, U/L boundary matrices, error
-matrices, and weighted witness scores as persistent state, patched after
-every split.  These tests certify that after *every* split — across
-directed/undirected, weighted/unweighted, frozen, and relative-mode
-graphs — the maintained state is exactly what a from-scratch recompute
+The memory-flat engine keeps the U/L boundary matrices and error
+matrices as persistent ``k x k`` state, patched after every split from
+on-demand degree slices (no dense degree matrices exist).  These tests
+certify that after *every* split — across directed/undirected,
+weighted/unweighted, frozen, and relative-mode graphs — the maintained
+state is exactly what a from-scratch recompute
 (:func:`repro.core.qerror.error_matrices`) produces.
 """
 
@@ -165,8 +166,8 @@ class TestIncrementalMatchesScratch:
 
 
 class TestMaintainedDegreeColumns:
-    """The subtract-the-shard column refresh stays numerically tight
-    even across long split chains (drift would show up here first)."""
+    """The maintained U/L state stays numerically tight even across
+    long split chains (accumulated drift would show up here first)."""
 
     def test_long_split_chain_weighted(self):
         adjacency = _random_weighted(120, 0.2, 99)
@@ -208,3 +209,66 @@ class TestLazySnapshots:
         engine = Rothko(karate)
         for step in engine.steps(max_colors=5):
             assert not step.coloring.labels.flags.writeable
+
+
+class TestChunkedRefreshPaths:
+    """Certify the multi-chunk refresh machinery, not just the common
+    single-chunk fast path.
+
+    The production chunk budgets (`_EDGE_CHUNK`, `_SLICE_CELLS`,
+    `_COLUMN_ACCUM_CELLS`) are far larger than any test graph, so the
+    plain invariant sweep above only ever exercises single-chunk splits.
+    These cases shrink the budgets so every split runs the chunked
+    row-group reduction, the chunked degree gather, and both column
+    scatter strategies (dense per-chunk accumulation and collected-key
+    buffers), then re-run `verify_state` after every split.
+    """
+
+    def _shrink(self, monkeypatch, column_accum_cells):
+        from repro.core import rothko as rothko_module
+
+        monkeypatch.setattr(rothko_module, "_EDGE_CHUNK", 16)
+        monkeypatch.setattr(rothko_module, "_SLICE_CELLS", 64)
+        monkeypatch.setattr(
+            rothko_module, "_COLUMN_ACCUM_CELLS", column_accum_cells
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_accumulate_path(self, monkeypatch, seed):
+        """Multi-chunk splits with dense per-chunk column accumulation."""
+        self._shrink(monkeypatch, column_accum_cells=1 << 30)
+        adjacency = _random_weighted(60, 0.2, seed)
+        _drive_and_check(Rothko(adjacency), adjacency, max_colors=16)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_collect_path(self, monkeypatch, seed):
+        """Multi-chunk splits with preallocated collected-key buffers."""
+        self._shrink(monkeypatch, column_accum_cells=0)
+        adjacency = _random_weighted(60, 0.2, seed + 5)
+        _drive_and_check(Rothko(adjacency), adjacency, max_colors=16)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_collect_path_geometric(self, monkeypatch, seed):
+        """Exact-zero degree entries must survive the chunked paths
+        (the geometric threshold crashes on residues)."""
+        self._shrink(monkeypatch, column_accum_cells=0)
+        adjacency = _random_weighted(80, 0.08, seed + 20)
+        engine = Rothko(adjacency, split_mean="geometric")
+        _drive_and_check(engine, adjacency, max_colors=20)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_relative_mode_chunked(self, monkeypatch, seed):
+        self._shrink(monkeypatch, column_accum_cells=0)
+        adjacency = _random_weighted(50, 0.25, seed + 9)
+        engine = Rothko(adjacency, error_mode="relative")
+        _drive_and_check(engine, adjacency, max_colors=14)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_batched_chunked(self, monkeypatch, seed):
+        """The batched scheduler's generic chunked row-group refresh."""
+        self._shrink(monkeypatch, column_accum_cells=0)
+        adjacency = _random_weighted(50, 0.25, seed + 13)
+        engine = Rothko(adjacency, strategy="batched", batch_size=4)
+        for _ in engine.steps(max_colors=14):
+            engine.verify_state()
+            _assert_matches_scratch(engine, adjacency)

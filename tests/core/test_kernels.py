@@ -187,3 +187,134 @@ class TestAsCsrSquare:
     def test_dense_roundtrip(self):
         dense = np.arange(9.0).reshape(3, 3)
         assert kernels.as_csr_square(dense).toarray().tolist() == dense.tolist()
+
+
+class TestColorDegreeSlice:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_dense_degree_matrix(self, seed):
+        matrix = _random_csr(22, 0.3, seed)
+        generator = np.random.default_rng(seed)
+        k = 4
+        labels = generator.integers(0, k, size=22)
+        rows = np.array([0, 3, 9, 17, 21])
+        slice_out = kernels.color_degree_slice(
+            matrix.indptr, matrix.indices, matrix.data, rows, labels, k
+        )
+        dense = kernels.color_degree_matrix(
+            matrix.indptr, matrix.indices, matrix.data, labels, k
+        )
+        np.testing.assert_allclose(slice_out, dense[rows].T)
+
+    def test_exact_zeros(self):
+        """Entries with no contributing edge are exactly 0.0 (the
+        geometric/relative thresholds depend on it)."""
+        matrix = sp.csr_matrix(
+            np.array([[0.0, 0.3], [0.0, 0.0]])
+        )
+        labels = np.array([0, 1])
+        block = kernels.color_degree_slice(
+            matrix.indptr, matrix.indices, matrix.data,
+            np.array([0, 1]), labels, 2,
+        )
+        assert block[0, 0] == 0.0 and block[0, 1] == 0.0
+        assert block[1, 0] == 0.3 and block[1, 1] == 0.0
+
+    def test_empty_rows(self):
+        matrix = _random_csr(10, 0.3, 1)
+        block = kernels.color_degree_slice(
+            matrix.indptr, matrix.indices, matrix.data,
+            np.empty(0, dtype=np.int64), np.zeros(10, dtype=np.int64), 1,
+        )
+        assert block.shape == (1, 0)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pair_stacks_both_directions(self, seed):
+        matrix = _random_csr(18, 0.3, seed + 7)
+        csc = matrix.tocsc()
+        generator = np.random.default_rng(seed)
+        k = 3
+        labels = generator.integers(0, k, size=18)
+        rows = np.array([2, 5, 11])
+        pair = kernels.color_degree_slice_pair(
+            (matrix.indptr, matrix.indices, matrix.data),
+            (csc.indptr, csc.indices, csc.data),
+            rows, labels, k,
+        )
+        out_slice = kernels.color_degree_slice(
+            matrix.indptr, matrix.indices, matrix.data, rows, labels, k
+        )
+        in_slice = kernels.color_degree_slice(
+            csc.indptr, csc.indices, csc.data, rows, labels, k
+        )
+        np.testing.assert_allclose(pair[0], out_slice)
+        np.testing.assert_allclose(pair[1], in_slice)
+
+
+class TestSelectDegreesToward:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_scalar_target_matches_dense(self, seed):
+        matrix = _random_csr(20, 0.35, seed)
+        generator = np.random.default_rng(seed)
+        labels = generator.integers(0, 3, size=20)
+        rows = np.array([1, 6, 13, 19])
+        degrees = kernels.select_degrees_toward(
+            matrix.indptr, matrix.indices, matrix.data, rows, labels, 2
+        )
+        dense = matrix.toarray()
+        expected = dense[np.ix_(rows, np.flatnonzero(labels == 2))].sum(axis=1)
+        np.testing.assert_allclose(degrees, expected)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_per_row_targets(self, seed):
+        matrix = _random_csr(16, 0.4, seed + 3)
+        generator = np.random.default_rng(seed)
+        labels = generator.integers(0, 3, size=16)
+        rows = np.array([0, 4, 9, 15])
+        targets = np.array([2, 0, 1, 2])
+        degrees = kernels.select_degrees_toward(
+            matrix.indptr, matrix.indices, matrix.data, rows, labels, targets
+        )
+        dense = matrix.toarray()
+        for row, target, got in zip(rows, targets, degrees):
+            expected = dense[row, labels == target].sum()
+            assert got == pytest.approx(expected)
+
+    def test_no_matching_edges_exact_zero(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 0.5], [0.0, 0.0]]))
+        labels = np.array([0, 0])
+        degrees = kernels.select_degrees_toward(
+            matrix.indptr, matrix.indices, matrix.data,
+            np.array([0, 1]), labels, 1,
+        )
+        assert degrees[0] == 0.0 and degrees[1] == 0.0
+
+    def test_empty_rows(self):
+        matrix = _random_csr(8, 0.3, 0)
+        degrees = kernels.select_degrees_toward(
+            matrix.indptr, matrix.indices, matrix.data,
+            np.empty(0, dtype=np.int64), np.zeros(8, dtype=np.int64), 0,
+        )
+        assert degrees.size == 0
+
+
+class TestMembersOrder:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ordered_reduce_matches_by_members(self, seed):
+        generator = np.random.default_rng(seed)
+        n, k = 30, 5
+        labels = np.concatenate([np.arange(k), generator.integers(0, k, n - k)])
+        members = [np.flatnonzero(labels == c) for c in range(k)]
+        values = generator.random((3, n))
+        order, starts = kernels.members_order(members)
+        upper, lower = kernels.grouped_minmax_ordered(values, order, starts)
+        upper2, lower2 = kernels.grouped_minmax_by_members(values, members)
+        np.testing.assert_array_equal(upper, upper2)
+        np.testing.assert_array_equal(lower, lower2)
+
+    def test_empty_members(self):
+        order, starts = kernels.members_order([])
+        assert order.size == 0 and starts.size == 0
+        upper, lower = kernels.grouped_minmax_ordered(
+            np.zeros((2, 0)), order, starts
+        )
+        assert upper.shape == (2, 0) and lower.shape == (2, 0)

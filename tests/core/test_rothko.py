@@ -272,3 +272,42 @@ class TestAnytimeGenerator:
         engine = Rothko(karate)
         iterations = [step.iteration for step in engine.steps(max_colors=7)]
         assert iterations == list(range(1, len(iterations) + 1))
+
+
+class TestCapacityGrowth:
+    def test_generous_budget_early_stop_stays_small(self):
+        """Capacity tracks realized k under the budget cap: a huge
+        max_colors with an early q-tolerance stop must not preallocate
+        budget-sized k x k state."""
+        adjacency = random_adjacency(50, 0.3, 1)
+        engine = Rothko(adjacency)
+        engine.run(max_colors=40000, q_tolerance=5.0)
+        assert engine._u_out.shape[0] <= 2 * engine.k + 16
+
+    def test_budget_caps_doubling_exactly(self):
+        """A run that exhausts its budget lands on capacity == budget,
+        not the next power of two."""
+        adjacency = random_adjacency(80, 0.4, 2)
+        engine = Rothko(adjacency)
+        engine.run(max_colors=48)
+        assert engine.k == 48
+        assert engine._u_out.shape[0] == 48
+
+    def test_stale_hint_resumes_doubling(self):
+        """A follow-up run past an earlier budget must not degrade to
+        one capacity reallocation per split."""
+        adjacency = random_adjacency(200, 0.2, 3)
+        engine = Rothko(adjacency)
+        engine.run(max_colors=20)
+        grows = []
+        original = engine._grow_to
+
+        def counting(new_capacity):
+            grows.append(new_capacity)
+            return original(new_capacity)
+
+        engine._grow_to = counting
+        engine.run(q_tolerance=0.5, max_colors=None, max_iterations=160)
+        # Doubling from 20: a handful of growths, not one per split.
+        assert len(grows) <= 5, grows
+        engine.verify_state()

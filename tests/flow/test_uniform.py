@@ -49,9 +49,40 @@ class TestLemma8Condition:
         assert not lemma8_condition_holds(graph, 1.0, 1.0)
 
     def test_size_guard(self):
-        graph = BipartiteGraph(np.ones((13, 2)))
+        graph = BipartiteGraph(np.ones((21, 2)))
         with pytest.raises(ValueError):
             lemma8_condition_holds(graph, 1.0, 1.0)
+
+    def test_wide_right_side_supported(self):
+        """The closed-form inner minimization removes the right-side
+        size limit: only the left side is enumerated."""
+        graph = BipartiteGraph.biregular(4, 40, 10)
+        assert lemma8_condition_holds(graph, 10.0, 1.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_subset_brute_force(self, seed):
+        """The per-right-node closed form equals the full subset-pair
+        enumeration on small random instances."""
+        from itertools import combinations
+
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((5, 5)) < 0.5) * rng.integers(1, 4, (5, 5))
+        graph = BipartiteGraph(dense.astype(float))
+        for a, b in ((1.0, 1.0), (0.5, 2.0), (2.0, 0.5)):
+            target = min(a * 5, b * 5)
+            expected = True
+            for ls in range(6):
+                for left in combinations(range(5), ls):
+                    for rs in range(6):
+                        for right in combinations(range(5), rs):
+                            c_st = (
+                                dense[np.ix_(left, right)].sum()
+                                if left and right
+                                else 0.0
+                            )
+                            if c_st + target < a * ls + b * rs - 1e-9:
+                                expected = False
+            assert lemma8_condition_holds(graph, a, b) == expected
 
 
 class TestGeneralGraphs:

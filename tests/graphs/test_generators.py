@@ -104,6 +104,12 @@ class TestDeterministicFamilies:
         assert all(graph.out_degree(x) == 2 for x in lefts)
         assert all(graph.in_degree(y) == 3 for y in rights)
 
+    def test_biregular_bipartite_rejects_colliding_degree(self):
+        """out_degree > n_right would collide round-robin targets and
+        silently degenerate the graph; it must raise instead."""
+        with pytest.raises(GraphError):
+            gen.biregular_bipartite(2, 2, 4)
+
 
 class TestLiftedBiregular:
     def test_paper_sizes(self):
