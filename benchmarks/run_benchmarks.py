@@ -9,6 +9,9 @@ suite under ``benchmarks/results/<suite>.json``::
       "suite": "bench_rothko_scaling",
       "smoke": false,
       "max_rss_mb": 189.3,
+      "metrics": {"counters": {"rothko.splits": 1270, ...},
+                  "gauges": {...}, "histograms": {...}},
+      "spans": {"rothko.split": {"count": 1270, "total_s": ...}, ...},
       "results": [
         {"name": "test_rothko_scaling_colors[128]", "median": 0.053,
          "mean": 0.054, "stddev": 0.001, "rounds": 9},
@@ -16,10 +19,14 @@ suite under ``benchmarks/results/<suite>.json``::
       ]
     }
 
-Each suite runs pytest in a child interpreter that reports its own peak
-RSS (``resource.getrusage``), persisted as ``max_rss_mb``; benchmarks
-that attach ``extra_info`` (e.g. the large-scale Rothko suite's traced
-peak memory) carry it through to the condensed results.
+Each suite runs pytest in a child interpreter with an observability
+recorder installed, so the condensed document carries the suite's
+metrics snapshot (``metrics``) and per-span-name aggregates (``spans``)
+alongside the timings.  The child also reports its own peak RSS
+(``resource.getrusage`` — KiB on Linux, bytes on macOS; ``None`` on
+platforms without the ``resource`` module), persisted as ``max_rss_mb``;
+benchmarks that attach ``extra_info`` (e.g. the large-scale Rothko
+suite's traced peak memory) carry it through to the condensed results.
 
 Usage::
 
@@ -83,17 +90,38 @@ def discover(selects: list[str]) -> list[pathlib.Path]:
 
 #: in-process pytest driver: the child interpreter's own peak RSS covers
 #: the whole suite (getrusage on the parent would only see itself, and
-#: RUSAGE_CHILDREN is a running maximum across unrelated suites)
+#: RUSAGE_CHILDREN is a running maximum across unrelated suites); the
+#: same child installs an obs recorder so the suite's counters and span
+#: aggregates ride along in the payload
 _PYTEST_WRAPPER = """\
-import json, resource, sys
+import json, sys
 import pytest
 
-code = pytest.main(sys.argv[2:])
-kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-if sys.platform == "darwin":  # bytes there, KiB on Linux
-    kb //= 1024
+from repro.obs import Recorder, recording
+from repro.obs.export import aggregate_spans
+
+recorder = Recorder()
+with recording(recorder):
+    code = pytest.main(sys.argv[2:])
+
+max_rss_kb = None
+try:
+    import resource
+except ImportError:  # non-POSIX platform: degrade, don't crash
+    pass
+else:
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # bytes there, KiB on Linux
+        rss //= 1024
+    max_rss_kb = int(rss)
+
+payload = {
+    "max_rss_kb": max_rss_kb,
+    "metrics": recorder.snapshot(),
+    "spans": aggregate_spans(recorder.spans),
+}
 with open(sys.argv[1], "w") as handle:
-    json.dump({"max_rss_kb": int(kb)}, handle)
+    json.dump(payload, handle, default=str)
 sys.exit(code)
 """
 
@@ -143,9 +171,14 @@ def run_suite(
             return None
         raw = json.loads(raw_path.read_text())
         try:
-            max_rss_kb = json.loads(rss_path.read_text()).get("max_rss_kb")
+            payload = json.loads(rss_path.read_text())
         except (OSError, ValueError):
-            max_rss_kb = None
+            payload = {}
+        max_rss_kb = payload.get("max_rss_kb")
+        metrics = payload.get("metrics") or {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+        span_summary = payload.get("spans") or {}
     finally:
         raw_path.unlink(missing_ok=True)
         rss_path.unlink(missing_ok=True)
@@ -170,6 +203,8 @@ def run_suite(
         "max_rss_mb": (
             round(max_rss_kb / 1024.0, 1) if max_rss_kb else None
         ),
+        "metrics": metrics,
+        "spans": span_summary,
         "results": results,
     }
 
@@ -219,6 +254,13 @@ def main(argv: list[str] | None = None) -> int:
             )
         if condensed.get("max_rss_mb"):
             print(f"  peak RSS: {condensed['max_rss_mb']} MB")
+        counters = condensed.get("metrics", {}).get("counters", {})
+        if counters:
+            top = sorted(counters.items(), key=lambda item: -item[1])[:4]
+            print(
+                "  counters: "
+                + ", ".join(f"{name}={value:g}" for name, value in top)
+            )
         if args.json:
             RESULTS_DIR.mkdir(exist_ok=True)
             out_path = RESULTS_DIR / f"{path.stem}.json"

@@ -14,7 +14,13 @@ Commands
              budgets off a single coloring run;
 ``datasets`` print the Tables 2/3 dataset inventory;
 ``tables``   regenerate one of the paper's experiment tables at a chosen
-             scale (the pytest benchmarks wrap the same drivers).
+             scale (the pytest benchmarks wrap the same drivers);
+``profile``  run any other command under the observability tracer and
+             print the per-span summary afterwards.
+
+Every workload verb also takes ``--trace-out FILE`` to dump the
+recorded spans and metrics as JSONL (see :mod:`repro.obs.export`)
+without the summary table.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.obs import trace as _trace
 from repro.utils.tables import render_rows
 
 TABLE_CHOICES = (
@@ -190,27 +197,34 @@ _SOLVE_SCALES = {"maxflow": 0.01, "lp": 0.04, "centrality": 0.015}
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    from repro.datasets.registry import load_flow, load_graph, load_lp
-    from repro.exceptions import DatasetError
-    from repro.pipeline import progressive_sweep, run_task, task_for
+    # The lazy imports are a real chunk of the command's wall time
+    # (scipy optimize, dataset generators), so they get their own span.
+    with _trace.span("cli.imports"):
+        from repro.datasets.registry import load_flow, load_graph, load_lp
+        from repro.exceptions import DatasetError
+        from repro.pipeline import progressive_sweep, run_task, task_for
 
     scale = args.scale if args.scale is not None else _SOLVE_SCALES[args.task]
     try:
-        if args.task == "maxflow":
-            problem = load_flow(args.dataset, scale=scale)
-            options = {
-                "bound": args.bound,
-                "algorithm": args.algorithm,
-                "engine": args.engine,
-            }
-        elif args.task == "lp":
-            # The LP path solves via scipy/IPM, not the exact graph
-            # solvers, so --engine does not apply to it.
-            problem = load_lp(args.dataset, scale=scale)
-            options = {"mode": args.mode}
-        else:
-            problem = load_graph(args.dataset, scale=scale)
-            options = {"seed": args.seed, "engine": args.engine}
+        with _trace.span(
+            "cli.load_dataset", dataset=args.dataset, task=args.task,
+            scale=scale,
+        ):
+            if args.task == "maxflow":
+                problem = load_flow(args.dataset, scale=scale)
+                options = {
+                    "bound": args.bound,
+                    "algorithm": args.algorithm,
+                    "engine": args.engine,
+                }
+            elif args.task == "lp":
+                # The LP path solves via scipy/IPM, not the exact graph
+                # solvers, so --engine does not apply to it.
+                problem = load_lp(args.dataset, scale=scale)
+                options = {"mode": args.mode}
+            else:
+                problem = load_graph(args.dataset, scale=scale)
+                options = {"seed": args.seed, "engine": args.engine}
     except DatasetError as exc:
         raise SystemExit(str(exc)) from exc
     task = task_for(args.task, problem, **options)
@@ -233,28 +247,70 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     else:
         raise SystemExit("solve needs --colors and/or --q")
 
-    rows = [
-        {
-            "colors": result.n_colors,
-            "max_q": result.max_q_err,
-            "value": result.value,
-            "coloring_s": result.timings.coloring,
-            "reduce_s": result.timings.reduce,
-            "solve_s": result.timings.solve,
-            "total_s": result.total_seconds,
-        }
-        for result in results
-    ]
-    print(
-        render_rows(
-            rows,
-            title=(
-                f"{args.task} pipeline on {args.dataset} (scale {scale}, "
-                f"one coloring, {len(results)} checkpoint(s))"
-            ),
+    with _trace.span("cli.report"):
+        rows = [
+            {
+                "colors": result.n_colors,
+                "max_q": result.max_q_err,
+                "value": result.value,
+                "coloring_s": result.timings.coloring,
+                "reduce_s": result.timings.reduce,
+                "solve_s": result.timings.solve,
+                "total_s": result.total_seconds,
+            }
+            for result in results
+        ]
+        print(
+            render_rows(
+                rows,
+                title=(
+                    f"{args.task} pipeline on {args.dataset} (scale {scale}, "
+                    f"one coloring, {len(results)} checkpoint(s))"
+                ),
+            )
         )
-    )
     return 0
+
+
+def _run_traced(args: argparse.Namespace, command: str):
+    """Run ``args.func`` under a fresh recorder; returns ``(code, recorder)``.
+
+    The whole command executes inside a ``cli.<command>`` root span, so
+    the exported trace always has a parentless root covering the run.
+    """
+    from repro.obs import Recorder, recording
+
+    recorder = Recorder()
+    with recording(recorder):
+        with _trace.span(f"cli.{command}"):
+            code = args.func(args)
+    return code, recorder
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.export import render_summary, write_jsonl
+
+    rest = list(args.rest)
+    while rest and rest[0] == "--":
+        rest.pop(0)
+    if not rest:
+        raise SystemExit(
+            "profile needs a command to wrap, e.g. "
+            "`repro profile solve --task maxflow --dataset dblp --colors 32`"
+        )
+    if rest[0] == "profile":
+        raise SystemExit("profile cannot wrap itself")
+    parser = build_parser()
+    inner = parser.parse_args(rest)
+    _validate(parser, inner)
+    code, recorder = _run_traced(inner, inner.command)
+    print()
+    print(render_summary(recorder, title=f"profile: repro {' '.join(rest)}"))
+    trace_out = getattr(inner, "trace_out", None) or args.trace_out
+    if trace_out:
+        lines = write_jsonl(recorder, trace_out)
+        print(f"trace written to {trace_out} ({lines} lines)")
+    return code
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -345,6 +401,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="treat edges as directed")
     color.add_argument("--out", default=None,
                        help="write 'label color' lines to this file")
+    color.add_argument("--trace-out", default=None,
+                       help="dump the recorded trace/metrics as JSONL")
     color.set_defaults(func=_cmd_color)
 
     for name, help_text in (
@@ -370,6 +428,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="updates per repair batch")
         cmd.add_argument("--trace", default=None,
                          help="update trace file ('+/-/~ u v [w]' lines)")
+        cmd.add_argument("--trace-out", default=None,
+                         help="dump the recorded trace/metrics as JSONL")
         if name == "update":
             cmd.add_argument("--scenario", choices=("random", "hub", "jitter"),
                              default="random",
@@ -410,10 +470,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="lp: reduction weight mode")
     solve.add_argument("--seed", type=int, default=0,
                        help="centrality: pivot sampling seed")
+    solve.add_argument("--trace-out", default=None,
+                       help="dump the recorded trace/metrics as JSONL")
     solve.set_defaults(func=_cmd_solve)
 
     datasets = sub.add_parser("datasets", help="print the dataset registry")
     datasets.set_defaults(func=_cmd_datasets)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run another repro command under the tracer and print a "
+             "per-span summary",
+    )
+    profile.add_argument("--trace-out", default=None,
+                         help="dump the recorded trace/metrics as JSONL "
+                              "(also honored on the wrapped command)")
+    profile.add_argument("rest", nargs=argparse.REMAINDER,
+                         help="the command to wrap, with its own flags")
+    profile.set_defaults(func=_cmd_profile)
 
     tables = sub.add_parser("tables", help="regenerate a paper table/figure")
     tables.add_argument("which", choices=TABLE_CHOICES)
@@ -423,12 +497,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Cross-flag checks argparse cannot express (shared with profile)."""
     if args.command == "color" and args.colors is None and args.q is None \
             and args.eps is None:
         parser.error("color needs --colors, --q, or --eps")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate(parser, args)
+    if getattr(args, "trace_out", None) and args.command != "profile":
+        from repro.obs.export import write_jsonl
+
+        code, recorder = _run_traced(args, args.command)
+        lines = write_jsonl(recorder, args.trace_out)
+        print(f"trace written to {args.trace_out} ({lines} lines)")
+        return code
     return args.func(args)
 
 

@@ -35,12 +35,18 @@ to the same handful of primitives over CSR/CSC index arrays:
 
 Everything operates on plain numpy arrays so the kernels compose with
 both scipy sparse matrices and the dict-of-dicts mutable graph.
+
+The bincount-shaped kernels report their scattered cell counts to the
+``kernels.bincount_cells`` counter (:mod:`repro.obs`) — one counter add
+per kernel call, nothing per cell, so the chunk loops stay hot.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import scipy.sparse as sp
+
+from repro.obs import recorder as _obs
 
 __all__ = [
     "as_csr_square",
@@ -124,6 +130,7 @@ def scatter_select_sums(
     starts = indptr[select]
     counts = indptr[select + 1] - starts
     positions = take_ranges(starts, counts)
+    _obs._active.count("kernels.bincount_cells", size)
     return scatter_add(indices[positions], data[positions], size)
 
 
@@ -180,6 +187,7 @@ def color_degree_slice(
     positions = take_ranges(starts, counts)
     local = np.repeat(np.arange(r, dtype=np.int64), counts)
     flat = labels[indices[positions]] * r + local
+    _obs._active.count("kernels.bincount_cells", n_colors * r)
     return np.bincount(
         flat, weights=data[positions], minlength=n_colors * r
     ).reshape(n_colors, r)
@@ -217,6 +225,7 @@ def color_degree_slice_pair(
     flat = np.concatenate(keys)
     if flat.size == 0:
         return np.zeros((2, n_colors, r), dtype=np.float64)
+    _obs._active.count("kernels.bincount_cells", 2 * n_colors * r)
     return np.bincount(
         flat, weights=np.concatenate(weights), minlength=2 * n_colors * r
     ).reshape(2, n_colors, r)

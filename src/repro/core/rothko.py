@@ -76,6 +76,13 @@ that never inspect snapshots (``run()``, Table 6 timing) pay nothing.
 Weights may be negative (the LP reduction colors constraint matrices);
 the geometric-mean split requires non-negative degrees and raises
 otherwise.
+
+The loop is instrumented for :mod:`repro.obs`: every split (greedy) or
+round (batched) opens a span carrying the chosen witness and the
+pre-split q-error, and the ``rothko.splits`` counter plus the
+``rothko.max_q_err`` gauge track progress.  With no recorder installed
+(the default) these calls hit the null recorder and cost nothing
+measurable.
 """
 
 from __future__ import annotations
@@ -87,6 +94,8 @@ from typing import Iterable, Iterator
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs import recorder as _obs
+from repro.obs import trace as _trace
 from repro.core.kernels import (
     color_degree_matrix_t,
     color_degree_slice_pair,
@@ -886,6 +895,7 @@ class Rothko:
                     minlength=4 * n,
                 ).reshape(4, n)
 
+        _obs._active.count("kernels.bincount_cells", 2 * k * r + 4 * n)
         col_upper = np.maximum.reduceat(fused, starts, axis=1)
         col_lower = np.minimum.reduceat(fused, starts, axis=1)
         cols = [c, t]
@@ -1097,7 +1107,16 @@ class Rothko:
                 # infinite witness (relative mode, mixed zero/nonzero
                 # degrees) is valid and the split proceeds.
                 return
-            parent_color = self._split(i, j, direction)
+            with _trace.span(
+                "rothko.split",
+                witness=(i, j, direction),
+                q_err_before=raw_err,
+                size=int(self._sizes[i if direction == "out" else j]),
+            ):
+                parent_color = self._split(i, j, direction)
+            recorder = _obs._active
+            recorder.count("rothko.splits")
+            recorder.gauge("rothko.max_q_err", raw_err)
             iteration += 1
             yield RothkoStep(
                 iteration=iteration,
@@ -1130,7 +1149,15 @@ class Rothko:
             if raw_err <= q_tolerance or not picked:
                 return
             k_before = self.k
-            splits = self._apply_batch(picked)
+            with _trace.span(
+                "rothko.round", witnesses=len(picked), q_err_before=raw_err
+            ) as round_span:
+                splits = self._apply_batch(picked)
+                round_span.set(splits=len(splits))
+            recorder = _obs._active
+            recorder.count("rothko.rounds")
+            recorder.count("rothko.splits", len(splits))
+            recorder.gauge("rothko.max_q_err", raw_err)
             if not splits:
                 return
             for offset, (witness, parent_color) in enumerate(splits):
@@ -1154,13 +1181,22 @@ class Rothko:
         """Drive :meth:`steps` to completion and return the result."""
         start = time.perf_counter()
         iterations = 0
-        for step in self.steps(
+        with _trace.span(
+            "rothko.run",
+            n=self.n,
+            strategy=self.strategy,
             max_colors=max_colors,
             q_tolerance=q_tolerance,
-            max_iterations=max_iterations,
-        ):
-            iterations = step.iteration
-        raw_err, _, _, _, _ = self._find_witness()
+        ) as run_span:
+            for step in self.steps(
+                max_colors=max_colors,
+                q_tolerance=q_tolerance,
+                max_iterations=max_iterations,
+            ):
+                iterations = step.iteration
+            raw_err, _, _, _, _ = self._find_witness()
+            run_span.set(n_colors=self.k, max_q_err=raw_err)
+        _obs._active.gauge("rothko.max_q_err", raw_err)
         return RothkoResult(
             coloring=self.coloring(),
             max_q_err=raw_err,

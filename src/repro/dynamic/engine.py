@@ -51,6 +51,7 @@ from repro.core.partition import Coloring
 from repro.core.rothko import Rothko, split_eject_mask
 from repro.dynamic.updates import EdgeUpdate
 from repro.exceptions import ColoringError
+from repro.obs import recorder as _obs
 from repro.graphs.digraph import WeightedDiGraph
 
 #: float slack for tolerance comparisons on incrementally-patched sums
@@ -273,6 +274,7 @@ class DynamicColoring:
         initial, frozen_ids = self._pin_initial()
         self._adopt(self._run_rothko(initial, frozen_ids))
         self.stats.rebuilds += 1
+        _obs._active.count("dynamic.updates.rebuild")
         self.stats.rebuild_seconds += time.perf_counter() - start
 
     # ------------------------------------------------------------------
@@ -473,6 +475,7 @@ class DynamicColoring:
         self._d_out[:n, color] -= self._d_out[:n, new_color]
         self._d_in[:n, color] -= self._d_in[:n, new_color]
         self.stats.splits += 1
+        _obs._active.count("dynamic.updates.split")
         self._mark_color_pairs((color, new_color), worklist, queued)
         return True
 
@@ -561,6 +564,7 @@ class DynamicColoring:
                     if self._merge_error(lo, hi) <= self.q_tolerance + _EPS:
                         self._merge(lo, hi)
                         self.stats.merges += 1
+                        _obs._active.count("dynamic.updates.merge")
                         merged_any = True
                         break
                     if attempts >= self.merge_attempts:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.obs import recorder as _obs
 from repro.flow.network import FlowNetwork, FlowResult, ResidualGraph
 
 _EPS = 1e-12
@@ -82,10 +83,13 @@ def dinic_max_flow(network: FlowNetwork) -> FlowResult:
     residual = ResidualGraph.from_network(network)
     source, sink = network.source_index, network.sink_index
     total = 0.0
+    phases = 0
     while True:
         levels = _bfs_levels(residual, source, sink)
         if levels is None:
             break
+        phases += 1
         cursor = [0] * residual.n
         total += _blocking_flow(residual, levels, source, sink, cursor)
+    _obs._active.count("flow.dinic.phases", phases)
     return FlowResult(value=total, arc_flow=residual.extract_flow())

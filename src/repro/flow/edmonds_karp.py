@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.obs import recorder as _obs
 from repro.flow.network import FlowNetwork, FlowResult, ResidualGraph
 
 _EPS = 1e-12
@@ -21,6 +22,7 @@ def edmonds_karp_max_flow(network: FlowNetwork) -> FlowResult:
     residual = ResidualGraph.from_network(network)
     source, sink = network.source_index, network.sink_index
     total = 0.0
+    augmentations = 0
 
     while True:
         # BFS for a shortest residual path, remembering the incoming arc.
@@ -36,6 +38,7 @@ def edmonds_karp_max_flow(network: FlowNetwork) -> FlowResult:
                     queue.append(v)
         if parent_arc[sink] == -1:
             break
+        augmentations += 1
 
         # Bottleneck along the path.
         bottleneck = float("inf")
@@ -53,4 +56,5 @@ def edmonds_karp_max_flow(network: FlowNetwork) -> FlowResult:
             v = residual.to[arc_id ^ 1]
         total += bottleneck
 
+    _obs._active.count("flow.ek.augmentations", augmentations)
     return FlowResult(value=total, arc_flow=residual.extract_flow())

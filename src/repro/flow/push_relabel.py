@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.obs import recorder as _obs
 from repro.flow.network import FlowNetwork, FlowResult, ResidualGraph
 
 _EPS = 1e-12
@@ -37,7 +38,12 @@ def push_relabel_max_flow(network: FlowNetwork) -> FlowResult:
     in_queue = [False] * n
     cursor = [0] * n
 
+    relabels = 0
+    pushes = 0
+
     def push(arc_id: int, u: int) -> None:
+        nonlocal pushes
+        pushes += 1
         v = residual.to[arc_id]
         delta = min(excess[u], residual.cap[arc_id])
         residual.cap[arc_id] -= delta
@@ -56,6 +62,8 @@ def push_relabel_max_flow(network: FlowNetwork) -> FlowResult:
     excess[source] = 0.0
 
     def relabel(u: int) -> None:
+        nonlocal relabels
+        relabels += 1
         old_height = height[u]
         min_height = 2 * n
         for arc_id in residual.adj[u]:
@@ -94,4 +102,7 @@ def push_relabel_max_flow(network: FlowNetwork) -> FlowResult:
             else:
                 cursor[u] += 1
 
+    recorder = _obs._active
+    recorder.count("flow.pr.relabels", relabels)
+    recorder.count("flow.pr.pushes", pushes)
     return FlowResult(value=excess[sink], arc_flow=residual.extract_flow())

@@ -1,0 +1,101 @@
+"""Zero-dependency observability: tracing, metrics, exporters.
+
+One subsystem answers "where did the time go and what did the engines
+do" across the whole compress–solve–lift stack:
+
+* **Spans** (:mod:`repro.obs.trace`) — nested, wall+CPU-timed sections
+  with attributes: ``with obs.trace.span("rothko.split", witness=w):``.
+* **Metrics** (:mod:`repro.obs.metrics`) — named counters, gauges, and
+  fixed-bucket histograms: ``obs.count("rothko.splits")``,
+  ``obs.gauge("rothko.max_q_err", q)``,
+  ``obs.observe("pipeline.checkpoint_s", dt)``.
+* **Exporters** (:mod:`repro.obs.export`) — JSONL trace/metric dumps
+  and per-span-name count/total/p50/p99 summaries (the
+  ``repro profile`` output, also embedded in benchmark results JSON).
+
+Instrumentation is **on by default and off by default**: the calls are
+always in the code, but they route to a process-wide
+:class:`NullRecorder` whose every operation is a no-op — enabling
+tracing is installing a :class:`Recorder` via :func:`set_recorder` or
+the scoped :func:`recording` context manager, no re-plumbing:
+
+>>> from repro import obs
+>>> with obs.recording() as rec:
+...     with obs.trace.span("example", size=3):
+...         obs.count("example.events")
+>>> rec.spans[0].name, rec.snapshot()["counters"]["example.events"]
+('example', 1)
+
+Everything here is standard library only; nothing outside this package
+may import anything heavier through it.
+"""
+
+from __future__ import annotations
+
+from repro.obs import export, metrics, trace
+from repro.obs import recorder as _recorder_mod
+from repro.obs.export import (
+    aggregate_spans,
+    render_summary,
+    root_coverage,
+    summary_rows,
+    write_jsonl,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    SpanRecord,
+    active_recorder,
+    recording,
+    set_recorder,
+)
+from repro.obs.trace import current_span, span
+
+__all__ = [
+    "trace",
+    "metrics",
+    "export",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "SpanRecord",
+    "MetricsRegistry",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "active_recorder",
+    "set_recorder",
+    "recording",
+    "span",
+    "current_span",
+    "count",
+    "gauge",
+    "observe",
+    "enabled",
+    "aggregate_spans",
+    "summary_rows",
+    "render_summary",
+    "root_coverage",
+    "write_jsonl",
+]
+
+
+def count(name: str, value: float = 1) -> None:
+    """Increment counter ``name`` on the active recorder."""
+    _recorder_mod._active.count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` on the active recorder."""
+    _recorder_mod._active.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` on the active recorder."""
+    _recorder_mod._active.observe(name, value)
+
+
+def enabled() -> bool:
+    """True when a real recorder is installed (tracing is on)."""
+    return _recorder_mod._active.enabled

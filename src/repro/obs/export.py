@@ -1,0 +1,179 @@
+"""Exporters: JSONL trace dumps and aggregated span summaries.
+
+Two consumers, two shapes:
+
+* :func:`write_jsonl` streams one json object per line — a ``meta``
+  header, every finished span (nested via ``parent_id``), and one
+  ``metric`` row per counter/gauge/histogram — the format
+  ``repro profile`` and ``--trace-out`` emit and tests replay.
+* :func:`aggregate_spans` folds spans into a per-name table
+  (count / total wall / p50 / p99 / CPU), the compact view printed
+  after a profiled run and embedded in the benchmark results JSON.
+
+Percentiles here are exact (computed from the recorded durations, not
+histogram buckets): a trace holds every span, so there is nothing to
+estimate.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Sequence, TextIO
+
+from repro.obs.recorder import Recorder, SpanRecord
+
+__all__ = [
+    "aggregate_spans",
+    "root_coverage",
+    "summary_rows",
+    "render_summary",
+    "write_jsonl",
+]
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Exact linear-interpolated percentile of pre-sorted values."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+def aggregate_spans(
+    spans: Iterable[SpanRecord],
+) -> dict[str, dict[str, float]]:
+    """Per-span-name summary: count, total/p50/p99 wall, total CPU."""
+    durations: dict[str, list[float]] = {}
+    cpu: dict[str, float] = {}
+    errors: dict[str, int] = {}
+    for record in spans:
+        durations.setdefault(record.name, []).append(record.wall_seconds)
+        cpu[record.name] = cpu.get(record.name, 0.0) + record.cpu_seconds
+        if record.status != "ok":
+            errors[record.name] = errors.get(record.name, 0) + 1
+    summary: dict[str, dict[str, float]] = {}
+    for name, walls in durations.items():
+        walls.sort()
+        summary[name] = {
+            "count": len(walls),
+            "total_s": sum(walls),
+            "p50_s": _percentile(walls, 0.50),
+            "p99_s": _percentile(walls, 0.99),
+            "cpu_s": cpu[name],
+        }
+        if errors.get(name):
+            summary[name]["errors"] = errors[name]
+    return summary
+
+
+def root_coverage(spans: Sequence[SpanRecord]) -> tuple[float, float]:
+    """``(root_wall_s, fraction)`` of the root span's wall time covered
+    by its direct children.
+
+    The root is the longest parentless span; coverage near 1.0 means the
+    instrumentation accounts for essentially all of the run (the
+    acceptance bar for ``repro profile``).  Returns ``(0.0, 0.0)`` when
+    the trace has no parentless span.
+    """
+    roots = [record for record in spans if record.parent_id is None]
+    if not roots:
+        return 0.0, 0.0
+    root = max(roots, key=lambda record: record.wall_seconds)
+    child_wall = sum(
+        record.wall_seconds
+        for record in spans
+        if record.parent_id == root.span_id
+    )
+    if root.wall_seconds <= 0.0:
+        return 0.0, 0.0
+    return root.wall_seconds, min(child_wall / root.wall_seconds, 1.0)
+
+
+def summary_rows(spans: Sequence[SpanRecord]) -> list[dict[str, Any]]:
+    """Aggregate spans into printable rows, largest total first."""
+    summary = aggregate_spans(spans)
+    rows = [
+        {
+            "span": name,
+            "count": int(stats["count"]),
+            "total_s": stats["total_s"],
+            "p50_ms": stats["p50_s"] * 1000.0,
+            "p99_ms": stats["p99_s"] * 1000.0,
+            "cpu_s": stats["cpu_s"],
+        }
+        for name, stats in summary.items()
+    ]
+    rows.sort(key=lambda row: row["total_s"], reverse=True)
+    return rows
+
+
+def render_summary(recorder: Recorder, title: str = "trace summary") -> str:
+    """Human-readable per-span-name table plus the headline counters."""
+    from repro.utils.tables import render_rows
+
+    parts = []
+    if recorder.spans:
+        parts.append(render_rows(summary_rows(recorder.spans), title=title))
+        root_wall, coverage = root_coverage(recorder.spans)
+        if root_wall:
+            parts.append(
+                f"root span: {root_wall:.3f}s wall, "
+                f"{coverage:.0%} covered by direct child spans"
+            )
+    counters = recorder.snapshot()["counters"]
+    if counters:
+        rendered = ", ".join(
+            f"{name}={counters[name]:g}" for name in sorted(counters)
+        )
+        parts.append(f"counters: {rendered}")
+    return "\n".join(parts) if parts else "(no spans or metrics recorded)"
+
+
+def write_jsonl(recorder: Recorder, destination: str | TextIO) -> int:
+    """Dump the recorder's trace and metrics as JSONL; returns the line
+    count.  Attributes that are not json-native are stringified rather
+    than rejected (a trace dump must never crash the traced run)."""
+    if hasattr(destination, "write"):
+        return _write_jsonl_handle(recorder, destination)
+    with open(destination, "w", encoding="utf-8") as handle:
+        return _write_jsonl_handle(recorder, handle)
+
+
+def _write_jsonl_handle(recorder: Recorder, handle: TextIO) -> int:
+    def dump(obj: dict[str, Any]) -> None:
+        handle.write(json.dumps(obj, default=str) + "\n")
+
+    snapshot = recorder.snapshot()
+    lines = 1
+    dump(
+        {
+            "type": "meta",
+            "version": 1,
+            "spans": len(recorder.spans),
+            "counters": len(snapshot["counters"]),
+            "gauges": len(snapshot["gauges"]),
+            "histograms": len(snapshot["histograms"]),
+        }
+    )
+    for record in recorder.spans:
+        row = record.as_dict()
+        # Export start offsets relative to the recorder's epoch: stable
+        # across runs and immune to perf_counter's arbitrary origin.
+        row["start_s"] = row["start_s"] - recorder.epoch
+        dump(row)
+        lines += 1
+    for kind in ("counters", "gauges"):
+        for name, value in snapshot[kind].items():
+            dump({"type": "metric", "kind": kind[:-1], "name": name,
+                  "value": value})
+            lines += 1
+    for name, histogram in snapshot["histograms"].items():
+        dump({"type": "metric", "kind": "histogram", "name": name,
+              **histogram})
+        lines += 1
+    return lines

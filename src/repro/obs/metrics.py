@@ -1,0 +1,147 @@
+"""Named counters, gauges, and fixed-bucket histograms.
+
+The registry is deliberately primitive: three dicts keyed by metric
+name, no labels, no exposition format — just enough to answer "how many
+splits / relabels / cache hits did this run perform" and "how were the
+checkpoint latencies distributed", snapshot-able to a plain dict that
+``json.dumps`` accepts as-is (the shape the benchmark results JSON and
+the JSONL exporter embed).
+
+The module-level helpers instrumented code actually calls
+(``obs.count`` / ``obs.gauge`` / ``obs.observe``) live in
+:mod:`repro.obs` and route through the active recorder, so hot paths
+stay recorder-agnostic and cost near-nothing while the null recorder is
+installed.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Sequence
+
+__all__ = ["DEFAULT_BUCKETS", "Histogram", "MetricsRegistry"]
+
+#: default histogram bucket upper bounds: log-spaced from 100 us to
+#: 100 s, a natural range for the per-checkpoint / per-phase latencies
+#: the pipeline observes (values above the last edge land in +inf)
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0,
+    100.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound, plus sum/min/max.
+
+    Bucket ``i`` counts observations ``<= bounds[i]``; one implicit
+    overflow bucket catches the rest.  Quantiles are estimated from the
+    bucket counts (upper-bound rule), which is exactly as much precision
+    as a fixed layout can honestly claim.
+    """
+
+    __slots__ = ("bounds", "counts", "overflow", "total", "sum", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.total = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect.bisect_left(self.bounds, value)
+        if index == len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.total += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q`` quantile (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return float("nan")
+        rank = q * self.total
+        seen = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                return bound
+        return self.max
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.bounds),
+            "counts": list(self.counts),
+            "overflow": self.overflow,
+            "count": self.total,
+            "sum": self.sum,
+            "min": self.min if self.total else None,
+            "max": self.max if self.total else None,
+            "p50": self.quantile(0.5) if self.total else None,
+            "p99": self.quantile(0.99) if self.total else None,
+        }
+
+
+class MetricsRegistry:
+    """Mutable bag of named counters, gauges, and histograms."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` (default 1) to the counter ``name``."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest ``value``."""
+        self._gauges[name] = value
+
+    def observe(
+        self, name: str, value: float,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Record ``value`` into the fixed-bucket histogram ``name``.
+
+        ``buckets`` only applies on first touch; later observations
+        reuse the histogram's existing layout.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(buckets)
+        histogram.observe(value)
+
+    def counter_value(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    def histogram_for(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict, json-serializable view of every metric."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in self._histograms.items()
+            },
+        }

@@ -1,0 +1,332 @@
+"""Span recording: the tracer's data model and the recorder swap point.
+
+The observability layer has exactly one piece of mutable global state —
+the *active recorder* — and two implementations of it:
+
+* :class:`Recorder` keeps finished :class:`SpanRecord` rows and a
+  :class:`~repro.obs.metrics.MetricsRegistry`; spans carry wall *and*
+  CPU time, attributes, and a parent id from a thread-local active-span
+  stack, so traces reconstruct the full nesting.
+* :class:`NullRecorder` (the default) turns every call into a no-op:
+  ``span()`` hands back one shared, attribute-free context manager and
+  the metric methods return immediately, so instrumentation left in hot
+  loops costs a couple of attribute lookups and nothing else.
+
+Instrumented code never imports a concrete recorder; it calls the
+module-level helpers in :mod:`repro.obs.trace` / :mod:`repro.obs.
+metrics`, which read the active recorder at call time.  Enabling
+tracing is therefore one :func:`set_recorder` (or the scoped
+:func:`recording` context manager) — no re-plumbing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "SpanRecord",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "active_recorder",
+    "set_recorder",
+    "recording",
+]
+
+
+class SpanRecord:
+    """One finished span: timing, nesting, attributes, outcome."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "thread_id",
+        "start_wall",
+        "end_wall",
+        "cpu_seconds",
+        "attrs",
+        "status",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        thread_id: int,
+        start_wall: float,
+        end_wall: float,
+        cpu_seconds: float,
+        attrs: dict[str, Any],
+        status: str,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread_id = thread_id
+        self.start_wall = start_wall
+        self.end_wall = end_wall
+        self.cpu_seconds = cpu_seconds
+        self.attrs = attrs
+        self.status = status
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.end_wall - self.start_wall
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict view (the JSONL exporter's row shape)."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start_s": self.start_wall,
+            "wall_s": self.wall_seconds,
+            "cpu_s": self.cpu_seconds,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanRecord({self.name!r}, wall={self.wall_seconds:.6f}s, "
+            f"status={self.status!r})"
+        )
+
+
+class _SpanHandle:
+    """Context manager for one live span of a :class:`Recorder`.
+
+    Timing starts at ``__enter__`` (not construction) so building the
+    handle inside a ``with`` statement costs the span nothing.  Extra
+    attributes can be attached mid-span via :meth:`set`; an exception
+    propagating through marks ``status="error"`` but the span always
+    closes and always pops exactly itself off the stack.
+    """
+
+    __slots__ = (
+        "_recorder",
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "_start_wall",
+        "_start_cpu",
+    )
+
+    def __init__(
+        self, recorder: "Recorder", name: str, attrs: dict[str, Any]
+    ) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent_id: int | None = None
+        self._start_wall = 0.0
+        self._start_cpu = 0.0
+
+    def set(self, **attrs: Any) -> "_SpanHandle":
+        """Attach or overwrite span attributes; returns self."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        recorder = self._recorder
+        stack = recorder._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = recorder._next_id()
+        stack.append(self)
+        self._start_wall = time.perf_counter()
+        self._start_cpu = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_cpu = time.process_time()
+        end_wall = time.perf_counter()
+        stack = self._recorder._stack()
+        # Unwind to *this* span even if an inner span leaked (e.g. a
+        # generator holding one open was dropped): nesting stays sound.
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        self._recorder._finish(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                thread_id=threading.get_ident(),
+                start_wall=self._start_wall,
+                end_wall=end_wall,
+                cpu_seconds=end_cpu - self._start_cpu,
+                attrs=self.attrs,
+                status="ok" if exc_type is None else "error",
+            )
+        )
+        return False
+
+
+class Recorder:
+    """Collects finished spans and metrics for one profiled run.
+
+    Thread-safe: the active-span stack is thread-local (concurrent
+    threads nest independently) and finished spans append under a lock.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[SpanRecord] = []
+        self.metrics = MetricsRegistry()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._id = 0
+        #: wall-clock origin, so exported start offsets are relative
+        self.epoch = time.perf_counter()
+
+    # -- span plumbing --------------------------------------------------
+    def _stack(self) -> list[_SpanHandle]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._id += 1
+            return self._id
+
+    def _finish(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.spans.append(record)
+
+    # -- public API ------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a context-managed span nested under the current one."""
+        return _SpanHandle(self, name, attrs)
+
+    def current_span(self) -> _SpanHandle | None:
+        """The innermost live span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def count(self, name: str, value: float = 1) -> None:
+        self.metrics.count(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view of all metrics (see MetricsRegistry.snapshot)."""
+        return self.metrics.snapshot()
+
+    def clear(self) -> None:
+        """Drop recorded spans and metrics (live span stacks survive)."""
+        with self._lock:
+            self.spans = []
+        self.metrics = MetricsRegistry()
+
+
+class _NullSpan:
+    """Shared do-nothing span handle (one instance per process)."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Default recorder: every operation is a no-op.
+
+    ``span()`` returns one shared handle whose ``__enter__``/``__exit__``
+    do nothing, so instrumentation under the null recorder costs a
+    method call and an attribute lookup — no allocation, no clock read.
+    """
+
+    enabled = False
+    spans: tuple = ()
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def count(self, name: str, value: float = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def clear(self) -> None:
+        return None
+
+
+NULL_RECORDER = NullRecorder()
+
+#: the process-wide active recorder; swapped via set_recorder()
+_active: Recorder | NullRecorder = NULL_RECORDER
+
+
+def active_recorder() -> Recorder | NullRecorder:
+    """The recorder instrumentation is currently routed to."""
+    return _active
+
+
+def set_recorder(
+    recorder: Recorder | NullRecorder | None,
+) -> Recorder | NullRecorder:
+    """Install ``recorder`` (None = the null recorder); returns the
+    previously active one so callers can restore it."""
+    global _active
+    previous = _active
+    _active = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def recording(
+    recorder: Recorder | None = None,
+) -> Iterator[Recorder]:
+    """Scoped tracing: install a recorder, restore the previous one.
+
+    >>> from repro import obs
+    >>> with obs.recording() as rec:
+    ...     with obs.trace.span("work"):
+    ...         pass
+    >>> [span.name for span in rec.spans]
+    ['work']
+    """
+    rec = recorder if recorder is not None else Recorder()
+    previous = set_recorder(rec)
+    try:
+        yield rec
+    finally:
+        set_recorder(previous)

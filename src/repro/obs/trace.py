@@ -1,0 +1,35 @@
+"""Structured tracing entry points.
+
+``trace.span("rothko.split", color=c)`` is the one call instrumented
+code makes: it opens a context-managed span on whatever recorder is
+active.  Under the default :class:`~repro.obs.recorder.NullRecorder`
+the returned handle is a shared no-op object, so leaving spans in hot
+loops is effectively free; under a real recorder spans capture wall and
+CPU time, nest via a thread-local stack, and carry arbitrary
+json-serializable attributes (add more mid-span with ``handle.set()``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs import recorder as _recorder
+
+__all__ = ["span", "current_span"]
+
+
+def span(name: str, **attrs: Any):
+    """Open a span named ``name`` on the active recorder.
+
+    Usage::
+
+        with trace.span("rothko.split", witness=witness) as handle:
+            ...
+            handle.set(q_err=q_err)
+    """
+    return _recorder._active.span(name, **attrs)
+
+
+def current_span():
+    """The innermost live span on this thread (None when untraced)."""
+    return _recorder._active.current_span()

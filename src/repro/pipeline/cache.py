@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.core.partition import Coloring
 from repro.core.reduced import block_weights
+from repro.obs import recorder as _obs
+from repro.obs import trace as _trace
 from repro.pipeline.task import ColoringSpec
 from repro.pipeline.weights import BlockWeightTracker
 
@@ -67,17 +69,24 @@ class ProgressiveRun:
         """
         engine = self.engine
         advanced = False
-        for step in engine.steps(
-            max_colors=max_colors, q_tolerance=q_tolerance
-        ):
-            advanced = True
-            if self._tracker is not None:
-                self._dirty.add(step.parent_color)
-                self._dirty.add(step.new_color)
-            self._q_err[step.n_colors - 1] = step.q_err_before
-            self._reached.append(step.n_colors)
-        if advanced:
-            self._q_err[engine.k] = engine.max_q_err()
+        with _trace.span(
+            "pipeline.advance",
+            from_colors=engine.k,
+            max_colors=max_colors,
+            q_tolerance=q_tolerance,
+        ) as advance_span:
+            for step in engine.steps(
+                max_colors=max_colors, q_tolerance=q_tolerance
+            ):
+                advanced = True
+                if self._tracker is not None:
+                    self._dirty.add(step.parent_color)
+                    self._dirty.add(step.new_color)
+                self._q_err[step.n_colors - 1] = step.q_err_before
+                self._reached.append(step.n_colors)
+            if advanced:
+                self._q_err[engine.k] = engine.max_q_err()
+            advance_span.set(to_colors=engine.k)
 
     def resolve(
         self, max_colors: int | None = None, q_tolerance: float = 0.0
@@ -150,23 +159,48 @@ class ColoringCache:
     boundary/error/witness matrices — plus the block-weight tracker and
     memoized checkpoint colorings for the cache's lifetime, so scope a
     cache to one sweep or experiment call (every driver here creates its
-    own by default) and :meth:`clear` it when reuse is over.
+    own by default) and :meth:`clear` it when reuse is over.  A
+    ``max_runs`` bound turns the registry into an LRU: admitting a new
+    run past the bound drops the least-recently-served one.
+
+    Every lookup is mirrored to the active observability recorder as
+    ``pipeline.cache.hit`` / ``pipeline.cache.miss`` /
+    ``pipeline.cache.evict`` counters.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_runs: int | None = None) -> None:
+        if max_runs is not None and max_runs < 1:
+            raise ValueError(f"max_runs must be >= 1, got {max_runs}")
         self._runs: dict[tuple, ProgressiveRun] = {}
+        self.max_runs = max_runs
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def run_for(self, spec: ColoringSpec) -> ProgressiveRun:
         key = spec.cache_key()
         run = self._runs.get(key)
         if run is None:
             self.misses += 1
+            _obs._active.count("pipeline.cache.miss")
             run = ProgressiveRun(spec)
+            if (
+                self.max_runs is not None
+                and len(self._runs) >= self.max_runs
+            ):
+                # Dict order is recency order (hits re-append below),
+                # so the first key is the least recently served.
+                oldest = next(iter(self._runs))
+                del self._runs[oldest]
+                self.evictions += 1
+                _obs._active.count("pipeline.cache.evict")
             self._runs[key] = run
         else:
             self.hits += 1
+            _obs._active.count("pipeline.cache.hit")
+            # Refresh recency: move the served run to the dict's end.
+            del self._runs[key]
+            self._runs[key] = run
         return run
 
     def clear(self) -> None:

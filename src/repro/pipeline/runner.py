@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.obs import recorder as _obs
+from repro.obs import trace as _trace
 from repro.pipeline.cache import ColoringCache
 from repro.pipeline.task import CompressionTask, TaskResult
 from repro.utils.timing import StageTimer
@@ -45,25 +47,33 @@ def run_task(
         raise ValueError(f"{task.name} pipeline needs n_colors and/or q")
     if cache is None:
         cache = ColoringCache()
-    run = cache.run_for(task.coloring_spec())
-    timer = StageTimer()
-    with timer.stage("coloring"):
-        checkpoint = run.resolve(
-            max_colors=n_colors, q_tolerance=q if q is not None else 0.0
-        )
-        coloring = run.coloring(checkpoint)
-        q_err = run.q_err(checkpoint)
-    with timer.stage("reduce"):
-        weights = (
-            run.weights(checkpoint) if task.uses_block_weights else None
-        )
-        reduced = task.reduce(
-            task.problem, coloring, block_weights=weights, max_q_err=q_err
-        )
-    with timer.stage("solve"):
-        solution = task.solve(reduced)
-    with timer.stage("lift"):
-        lifted = task.lift(coloring, reduced, solution)
+    with _trace.span(
+        "pipeline.task", task=task.name, n_colors=n_colors, q=q
+    ) as task_span:
+        run = cache.run_for(task.coloring_spec())
+        timer = StageTimer()
+        with timer.stage("coloring"):
+            checkpoint = run.resolve(
+                max_colors=n_colors,
+                q_tolerance=q if q is not None else 0.0,
+            )
+            coloring = run.coloring(checkpoint)
+            q_err = run.q_err(checkpoint)
+        with timer.stage("reduce"):
+            weights = (
+                run.weights(checkpoint) if task.uses_block_weights else None
+            )
+            reduced = task.reduce(
+                task.problem, coloring, block_weights=weights,
+                max_q_err=q_err,
+            )
+        with timer.stage("solve"):
+            solution = task.solve(reduced)
+        with timer.stage("lift"):
+            lifted = task.lift(coloring, reduced, solution)
+        task_span.set(checkpoint=checkpoint, max_q_err=q_err)
+    timings = timer.freeze()
+    _obs._active.observe("pipeline.checkpoint_s", timings.total)
     return TaskResult(
         task=task.name,
         coloring=coloring,
@@ -72,7 +82,7 @@ def run_task(
         solution=solution,
         lifted=lifted,
         value=task.value(reduced, solution, lifted),
-        timings=timer.freeze(),
+        timings=timings,
     )
 
 
@@ -94,7 +104,11 @@ def progressive_sweep(
     """
     if cache is None:
         cache = ColoringCache()
-    return [
-        run_task(task, n_colors=budget, q=q, cache=cache)
-        for budget in checkpoints
-    ]
+    budgets = list(checkpoints)
+    with _trace.span(
+        "pipeline.sweep", task=task.name, checkpoints=len(budgets), q=q
+    ):
+        return [
+            run_task(task, n_colors=budget, q=q, cache=cache)
+            for budget in budgets
+        ]

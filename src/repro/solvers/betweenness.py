@@ -42,6 +42,7 @@ from typing import Iterable, List, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs import recorder as _obs
 from repro.core.kernels import scatter_add, take_ranges
 from repro.solvers.arcstore import unique_int
 
@@ -285,6 +286,14 @@ def betweenness_centrality_csr(
                 n,
             )
 
+    recorder = _obs._active
+    recorder.count("solvers.brandes.sources", len(source_list))
+    if not weighted and source_list:
+        recorder.count(
+            "solvers.brandes.batches",
+            -(-len(source_list) // _batch_size(n, int(matrix.nnz),
+                                               len(source_list))),
+        )
     if not directed:
         centrality /= 2.0
     if normalized:

@@ -26,6 +26,11 @@ ArcStore` and a residual capacity vector from ``store.residual()``:
 Each solver returns ``(value, cap)`` — the final residual vector is the
 flow witness; :meth:`ArcStore.extract_flow_arrays` turns it into per-arc
 flows.
+
+Every solver reports its work counters to :mod:`repro.obs` in one add
+at return — ``solvers.dinic.phases``, ``solvers.pr.relabels`` /
+``solvers.pr.pushes``, ``solvers.ek.augmentations`` — so profiled runs
+can attribute flow time to algorithmic effort without any per-arc cost.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from typing import List, Set, Tuple
 
 import numpy as np
 
+from repro.obs import recorder as _obs
 from repro.core.kernels import take_ranges
 from repro.solvers.arcstore import (
     ArcStore,
@@ -192,11 +198,13 @@ def dinic(
     cap = store.residual()
     tail, head, arcs = store.tail, store.head, store.arcs
     total = 0.0
+    phases = 0
     while True:
         level = bfs_levels(store, cap, source, sink)
         sink_level = level[sink]
         if sink_level < 0:
             break
+        phases += 1
         # Compacted level graph: admissible arcs in tail-grouped order
         # (masks computed directly on the grouped endpoint arrays),
         # pruned to the sink-reaching core.
@@ -242,6 +250,7 @@ def dinic(
         cap[changed] -= flow_array[positive]
         cap[changed ^ 1] += flow_array[positive]
         total += pushed
+    _obs._active.count("solvers.dinic.phases", phases)
     return total, cap
 
 
@@ -269,6 +278,8 @@ def push_relabel(
     buckets: List[List[int]] = [[] for _ in range(2 * n + 1)]
     in_queue = [False] * n
     highest = -1
+    relabels = 0
+    pushes = 0
 
     def activate(v: int) -> None:
         nonlocal highest
@@ -291,6 +302,8 @@ def push_relabel(
             activate(v)
 
     def relabel(u: int) -> None:
+        nonlocal relabels
+        relabels += 1
         old_height = height[u]
         min_height = 2 * n
         for position in range(indptr[u], indptr[u + 1]):
@@ -346,10 +359,14 @@ def push_relabel(
                 cap[a ^ 1] += delta
                 excess[u] -= delta
                 excess[v] += delta
+                pushes += 1
                 activate(v)
             else:
                 cursor[u] = position + 1
 
+    recorder = _obs._active
+    recorder.count("solvers.pr.relabels", relabels)
+    recorder.count("solvers.pr.pushes", pushes)
     cap_array[:] = cap
     return excess[sink], cap_array
 
@@ -364,10 +381,12 @@ def edmonds_karp(
     cap = store.residual()
     tail = store.tail
     total = 0.0
+    augmentations = 0
     while True:
         parent_arc = bfs_parents(store, cap, source, sink)
         if parent_arc is None:
             break
+        augmentations += 1
         # Collect the path, then augment by its bottleneck.
         path = []
         v = sink
@@ -380,6 +399,7 @@ def edmonds_karp(
         cap[path_array] -= bottleneck
         cap[path_array ^ 1] += bottleneck
         total += bottleneck
+    _obs._active.count("solvers.ek.augmentations", augmentations)
     return total, cap
 
 

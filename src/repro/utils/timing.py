@@ -1,5 +1,12 @@
 """Wall-clock timing helpers used by the experiment harness and the
-compress–solve–lift pipeline."""
+compress–solve–lift pipeline.
+
+:meth:`StageTimer.stage` is re-homed on the observability tracer: each
+stage opens a ``pipeline.<name>`` span on the active recorder (a no-op
+when tracing is disabled), so pipeline stage timings show up in trace
+exports without any caller changes.  The accumulated
+:class:`StageTimings` dataclass API is unchanged.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Tuple
+
+from repro.obs import trace as _trace
 
 
 class Stopwatch:
@@ -91,7 +100,8 @@ class StageTimer:
     def stage(self, name: str) -> Iterator[None]:
         start = time.perf_counter()
         try:
-            yield
+            with _trace.span(f"pipeline.{name}"):
+                yield
         finally:
             self.add(name, time.perf_counter() - start)
 

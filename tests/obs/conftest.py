@@ -1,0 +1,13 @@
+"""Safety net: never leak a recorder installed by one test into the next."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import NULL_RECORDER, set_recorder
+
+
+@pytest.fixture(autouse=True)
+def _restore_null_recorder():
+    yield
+    set_recorder(NULL_RECORDER)

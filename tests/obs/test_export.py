@@ -1,0 +1,146 @@
+"""Exporters: JSONL dumps, per-span aggregates, root coverage."""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    Recorder,
+    aggregate_spans,
+    recording,
+    render_summary,
+    root_coverage,
+    summary_rows,
+    trace,
+    write_jsonl,
+)
+
+
+def _recorded_workload() -> Recorder:
+    with recording() as rec:
+        with trace.span("run", n=5):
+            for _ in range(3):
+                with trace.span("step"):
+                    time.sleep(0.001)
+            obs.count("events", 3)
+            obs.gauge("level", 2.5)
+            obs.observe("latency_s", 0.01)
+    return rec
+
+
+class TestAggregate:
+    def test_per_name_summary(self):
+        rec = _recorded_workload()
+        summary = aggregate_spans(rec.spans)
+        assert summary["step"]["count"] == 3
+        assert summary["run"]["count"] == 1
+        assert summary["step"]["total_s"] >= 0.003
+        assert summary["step"]["p50_s"] <= summary["step"]["p99_s"]
+        assert "errors" not in summary["step"]
+
+    def test_error_spans_are_counted(self):
+        with recording() as rec:
+            with pytest.raises(ValueError):
+                with trace.span("fail"):
+                    raise ValueError("no")
+        assert aggregate_spans(rec.spans)["fail"]["errors"] == 1
+
+    def test_summary_rows_sorted_by_total(self):
+        rec = _recorded_workload()
+        rows = summary_rows(rec.spans)
+        totals = [row["total_s"] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+        assert rows[0]["span"] == "run"  # parent encloses the steps
+
+    def test_root_coverage_of_nested_trace(self):
+        rec = _recorded_workload()
+        root_wall, coverage = root_coverage(rec.spans)
+        assert root_wall > 0.0
+        assert 0.0 < coverage <= 1.0
+
+    def test_root_coverage_without_roots(self):
+        assert root_coverage([]) == (0.0, 0.0)
+
+
+class TestRenderSummary:
+    def test_contains_spans_counters_and_coverage(self):
+        rec = _recorded_workload()
+        text = render_summary(rec, title="test trace")
+        assert "test trace" in text
+        assert "step" in text
+        assert "events=3" in text
+        assert "covered by direct child spans" in text
+
+    def test_empty_recorder_renders_placeholder(self):
+        assert "no spans" in render_summary(Recorder())
+
+
+class TestWriteJsonl:
+    def test_every_line_parses_and_counts_match(self, tmp_path):
+        rec = _recorded_workload()
+        destination = tmp_path / "trace.jsonl"
+        lines_written = write_jsonl(rec, str(destination))
+        lines = destination.read_text().splitlines()
+        assert len(lines) == lines_written
+        rows = [json.loads(line) for line in lines]
+        meta = rows[0]
+        assert meta["type"] == "meta"
+        spans = [row for row in rows if row["type"] == "span"]
+        metrics = [row for row in rows if row["type"] == "metric"]
+        assert len(spans) == meta["spans"] == len(rec.spans)
+        assert len(metrics) == (
+            meta["counters"] + meta["gauges"] + meta["histograms"]
+        )
+
+    def test_span_rows_carry_nesting_and_relative_starts(self):
+        rec = _recorded_workload()
+        buffer = io.StringIO()
+        write_jsonl(rec, buffer)
+        rows = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        spans = {row["name"]: row for row in rows if row["type"] == "span"}
+        assert spans["step"]["parent_id"] == spans["run"]["span_id"]
+        assert spans["run"]["parent_id"] is None
+        assert all(
+            row["start_s"] >= 0.0
+            for row in rows
+            if row["type"] == "span"
+        )
+
+    def test_non_json_native_attrs_are_stringified(self, tmp_path):
+        with recording() as rec:
+            with trace.span("odd", payload={1, 2}):
+                pass
+        destination = tmp_path / "trace.jsonl"
+        write_jsonl(rec, str(destination))  # must not raise
+        rows = [
+            json.loads(line)
+            for line in destination.read_text().splitlines()
+        ]
+        (span_row,) = [row for row in rows if row["type"] == "span"]
+        assert isinstance(span_row["attrs"]["payload"], str)
+
+    def test_metric_rows_round_trip_values(self, tmp_path):
+        rec = _recorded_workload()
+        destination = tmp_path / "trace.jsonl"
+        write_jsonl(rec, str(destination))
+        rows = [
+            json.loads(line)
+            for line in destination.read_text().splitlines()
+        ]
+        counters = {
+            row["name"]: row["value"]
+            for row in rows
+            if row["type"] == "metric" and row["kind"] == "counter"
+        }
+        histograms = {
+            row["name"]: row
+            for row in rows
+            if row["type"] == "metric" and row["kind"] == "histogram"
+        }
+        assert counters["events"] == 3
+        assert histograms["latency_s"]["count"] == 1

@@ -1,0 +1,212 @@
+"""End-to-end instrumentation: the engines report what they did, and
+reporting it changes nothing about what they compute."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rothko import q_color
+from repro.dynamic import DynamicColoring, EdgeUpdate
+from repro.flow.network import FlowNetwork, max_flow
+from repro.graphs.digraph import WeightedDiGraph
+from repro.graphs.generators import barabasi_albert, karate_club
+from repro.obs import recording
+from repro.pipeline import (
+    ColoringCache,
+    MaxFlowTask,
+    progressive_sweep,
+    run_task,
+)
+from repro.utils.timing import StageTimer
+from tests.conftest import random_adjacency
+
+
+def flow_network(seed: int = 3, n: int = 40) -> FlowNetwork:
+    adjacency = random_adjacency(n, 0.2, seed)
+    graph = WeightedDiGraph.from_scipy(adjacency, directed=True)
+    return FlowNetwork(graph, 0, n - 1)
+
+
+class TestRothkoInstrumentation:
+    def test_split_count_matches_color_growth(self):
+        graph = karate_club()
+        with recording() as rec:
+            result = q_color(graph, n_colors=8)
+        counters = rec.snapshot()["counters"]
+        # Karate starts from one color, so reaching k takes k - 1 splits.
+        assert counters["rothko.splits"] == result.n_colors - 1
+        assert counters["kernels.bincount_cells"] > 0
+        assert rec.snapshot()["gauges"]["rothko.max_q_err"] == (
+            pytest.approx(result.max_q_err)
+        )
+
+    def test_run_span_wraps_split_spans(self):
+        with recording() as rec:
+            q_color(karate_club(), n_colors=6)
+        runs = [r for r in rec.spans if r.name == "rothko.run"]
+        splits = [r for r in rec.spans if r.name == "rothko.split"]
+        assert len(runs) == 1
+        assert len(splits) == 5
+        assert all(s.parent_id == runs[0].span_id for s in splits)
+        assert runs[0].attrs["n_colors"] == 6
+        for split in splits:
+            assert "witness" in split.attrs
+            assert split.attrs["q_err_before"] >= 0.0
+
+    def test_batched_strategy_counts_rounds(self):
+        with recording() as rec:
+            q_color(
+                karate_club(), n_colors=10, strategy="batched", batch_size=4
+            )
+        counters = rec.snapshot()["counters"]
+        assert counters["rothko.rounds"] >= 1
+        assert counters["rothko.splits"] == 9
+        rounds = [r for r in rec.spans if r.name == "rothko.round"]
+        assert sum(r.attrs["splits"] for r in rounds) == 9
+
+
+class TestSolverInstrumentation:
+    def test_arcstore_engines_report_work(self):
+        network = flow_network()
+        for algorithm, counter in (
+            ("dinic", "solvers.dinic.phases"),
+            ("push_relabel", "solvers.pr.relabels"),
+            ("edmonds_karp", "solvers.ek.augmentations"),
+        ):
+            with recording() as rec:
+                max_flow(network, algorithm=algorithm)
+            assert rec.snapshot()["counters"][counter] > 0, algorithm
+
+    def test_legacy_engines_use_flow_namespace(self):
+        from repro.flow.dinic import dinic_max_flow
+        from repro.flow.edmonds_karp import edmonds_karp_max_flow
+        from repro.flow.push_relabel import push_relabel_max_flow
+
+        network = flow_network()
+        with recording() as rec:
+            dinic_max_flow(network)
+            edmonds_karp_max_flow(network)
+            push_relabel_max_flow(network)
+        counters = rec.snapshot()["counters"]
+        assert counters["flow.dinic.phases"] > 0
+        assert counters["flow.ek.augmentations"] > 0
+        assert counters["flow.pr.relabels"] > 0
+        assert counters["flow.pr.pushes"] > 0
+
+
+class TestPipelineInstrumentation:
+    def test_three_checkpoint_sweep_is_one_miss_two_hits(self):
+        """The cache regression guard: a progressive sweep over one
+        cache colors once (one miss) and serves later budgets from the
+        same run (one hit per extra checkpoint)."""
+        network = flow_network()
+        cache = ColoringCache()
+        with recording() as rec:
+            progressive_sweep(MaxFlowTask(network), (4, 8, 12), cache=cache)
+        counters = rec.snapshot()["counters"]
+        assert counters["pipeline.cache.miss"] == 1
+        assert counters["pipeline.cache.hit"] >= 2
+        assert cache.misses == 1
+        assert cache.hits >= 2
+
+    def test_lru_eviction_counts_and_recolors(self):
+        network = flow_network()
+        cache = ColoringCache(max_runs=1)
+        # Different split means -> different coloring specs -> distinct
+        # cache keys (both maxflow bounds share one spec, so they would
+        # never contend for the slot).
+        arith = MaxFlowTask(network, split_mean="arithmetic")
+        geo = MaxFlowTask(network, split_mean="geometric")
+        with recording() as rec:
+            run_task(arith, n_colors=6, cache=cache)
+            run_task(geo, n_colors=6, cache=cache)  # evicts arith's run
+            run_task(arith, n_colors=6, cache=cache)  # recolors: a miss
+        counters = rec.snapshot()["counters"]
+        assert counters["pipeline.cache.evict"] == 2
+        assert counters["pipeline.cache.miss"] == 3
+        assert cache.evictions == 2
+        assert len(cache) == 1
+
+    def test_max_runs_validation(self):
+        with pytest.raises(ValueError):
+            ColoringCache(max_runs=0)
+
+    def test_task_spans_cover_stages(self):
+        network = flow_network()
+        with recording() as rec:
+            run_task(MaxFlowTask(network), n_colors=6)
+        names = [r.name for r in rec.spans]
+        task_span = next(r for r in rec.spans if r.name == "pipeline.task")
+        for stage in ("coloring", "reduce", "solve", "lift"):
+            assert f"pipeline.{stage}" in names
+        assert task_span.attrs["task"] == "maxflow"
+        assert task_span.attrs["checkpoint"] == 6
+        histograms = rec.snapshot()["histograms"]
+        assert histograms["pipeline.checkpoint_s"]["count"] == 1
+
+    def test_stage_timer_opens_pipeline_span(self):
+        timer = StageTimer()
+        with recording() as rec:
+            with timer.stage("solve"):
+                pass
+        (record,) = rec.spans
+        assert record.name == "pipeline.solve"
+        assert timer.freeze().solve >= 0.0
+
+
+class TestDynamicInstrumentation:
+    def test_update_outcomes_match_stats(self):
+        graph = barabasi_albert(120, 3, seed=5)
+        dynamic = DynamicColoring(graph, q_tolerance=1.0)
+        generator = np.random.default_rng(9)
+        updates = [
+            EdgeUpdate.insert(
+                int(generator.integers(0, 120)),
+                int(generator.integers(0, 120)),
+                float(generator.integers(1, 5)),
+            )
+            for _ in range(60)
+        ]
+        with recording() as rec:
+            dynamic.apply_batch(updates)
+        dynamic.detach()
+        counters = rec.snapshot()["counters"]
+        stats = dynamic.stats
+        assert counters.get("dynamic.updates.split", 0) == stats.splits
+        assert counters.get("dynamic.updates.merge", 0) == stats.merges
+        assert counters.get("dynamic.updates.rebuild", 0) == stats.rebuilds
+        # The batch must have done *something* for this test to bite.
+        assert stats.splits + stats.merges + stats.rebuilds > 0
+
+
+class TestTracingChangesNothing:
+    """NullRecorder vs Recorder: bit-identical outputs either way."""
+
+    def test_coloring_identical_off_vs_on(self):
+        graph = barabasi_albert(300, 3, seed=2)
+        off = q_color(graph, n_colors=24)
+        with recording():
+            on = q_color(graph, n_colors=24)
+        assert np.array_equal(
+            off.coloring.labels, on.coloring.labels
+        )
+        assert off.max_q_err == on.max_q_err
+
+    def test_solver_outputs_identical_off_vs_on(self):
+        network = flow_network(seed=7)
+        for algorithm in ("dinic", "push_relabel", "edmonds_karp"):
+            off = max_flow(network, algorithm=algorithm)
+            with recording():
+                on = max_flow(network, algorithm=algorithm)
+            assert off.value == on.value, algorithm
+            assert off.arc_flow == on.arc_flow, algorithm
+
+    def test_pipeline_result_identical_off_vs_on(self):
+        network = flow_network(seed=11)
+        off = run_task(MaxFlowTask(network), n_colors=8)
+        with recording():
+            on = run_task(MaxFlowTask(network), n_colors=8)
+        assert off.value == on.value
+        assert off.max_q_err == on.max_q_err
+        assert off.coloring == on.coloring

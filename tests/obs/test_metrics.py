@@ -1,0 +1,121 @@
+"""Counters, gauges, and the fixed-bucket histogram."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs import DEFAULT_BUCKETS, Histogram, MetricsRegistry, recording
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.count("splits")
+        registry.count("splits")
+        registry.count("cells", 40)
+        assert registry.counter_value("splits") == 2
+        assert registry.counter_value("cells") == 40
+        assert registry.counter_value("missing") == 0
+
+    def test_gauges_keep_latest(self):
+        registry = MetricsRegistry()
+        registry.gauge("max_q_err", 9.0)
+        registry.gauge("max_q_err", 4.5)
+        assert registry.gauge_value("max_q_err") == 4.5
+        assert registry.gauge_value("missing") is None
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.count("a")
+        registry.gauge("b", 2.0)
+        registry.observe("c", 0.005)
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.count("a")
+        snapshot = registry.snapshot()
+        snapshot["counters"]["a"] = 999
+        assert registry.counter_value("a") == 1
+
+    def test_module_helpers_route_to_active_recorder(self):
+        with recording() as rec:
+            obs.count("events", 3)
+            obs.gauge("level", 7.0)
+            obs.observe("latency_s", 0.5)
+        snapshot = rec.snapshot()
+        assert snapshot["counters"]["events"] == 3
+        assert snapshot["gauges"]["level"] == 7.0
+        assert snapshot["histograms"]["latency_s"]["count"] == 1
+
+    def test_module_helpers_are_noops_when_disabled(self):
+        obs.count("never")
+        obs.gauge("never", 1.0)
+        obs.observe("never", 1.0)
+        # nothing to assert beyond "did not raise": the null recorder
+        # records nothing by construction
+        assert not obs.enabled()
+
+
+class TestHistogram:
+    def test_bounds_must_be_sorted_and_nonempty(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 0.5))
+
+    def test_bucket_assignment_and_overflow(self):
+        histogram = Histogram((1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.counts == [2, 1]  # <=1.0 twice, <=10.0 once
+        assert histogram.overflow == 1
+        assert histogram.total == 4
+        assert histogram.sum == pytest.approx(56.5)
+        assert histogram.min == 0.5
+        assert histogram.max == 50.0
+
+    def test_quantile_upper_bound_rule(self):
+        histogram = Histogram((1.0, 10.0, 100.0))
+        for value in (0.5, 0.6, 5.0, 20.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(0.75) == 10.0
+        # Past the last populated bound the estimate falls back to max.
+        assert histogram.quantile(1.0) == 100.0
+
+    def test_quantile_of_empty_is_nan(self):
+        assert math.isnan(Histogram().quantile(0.5))
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_as_dict_shape(self):
+        histogram = Histogram()
+        histogram.observe(0.002)
+        payload = histogram.as_dict()
+        assert payload["buckets"] == list(DEFAULT_BUCKETS)
+        assert payload["count"] == 1
+        assert payload["p50"] == 3e-3
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_empty_as_dict_has_null_extremes(self):
+        payload = Histogram().as_dict()
+        assert payload["min"] is None
+        assert payload["max"] is None
+        assert payload["p50"] is None
+
+    def test_first_touch_fixes_bucket_layout(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", 0.5, buckets=(1.0,))
+        registry.observe("latency", 2.0, buckets=(5.0, 10.0))
+        histogram = registry.histogram_for("latency")
+        assert histogram.bounds == (1.0,)
+        assert histogram.overflow == 1

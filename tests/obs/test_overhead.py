@@ -1,0 +1,95 @@
+"""Disabled-tracing overhead: the null path must be measurably free.
+
+Rather than comparing two noisy wall-clock medians (hopeless in shared
+CI), the guard is estimated from first principles: count exactly how
+many instrumentation calls a coloring run makes, measure the per-call
+cost of the null-recorder primitives, and assert the product is under
+3% of the run's measured wall time.  Each factor is stable — the call
+count is deterministic, and a null op is a handful of attribute lookups
+— so the bound holds with a wide margin on any machine.
+
+The full colors[128] variant (the PR's acceptance workload) lives in
+``benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.rothko import q_color
+from repro.graphs.generators import barabasi_albert
+from repro.obs import NullRecorder, recording, set_recorder, trace
+
+OVERHEAD_BUDGET = 0.03
+
+
+class CallCountingRecorder(NullRecorder):
+    """Null recorder that tallies how often instrumentation fires."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def span(self, name, **attrs):
+        self.calls += 1
+        return super().span(name)
+
+    def count(self, name, value=1):
+        self.calls += 1
+
+    def gauge(self, name, value):
+        self.calls += 1
+
+    def observe(self, name, value):
+        self.calls += 1
+
+
+def null_op_seconds(repeats: int = 20_000) -> float:
+    """Per-call cost of a disabled instrumentation call (each loop
+    iteration makes two: one span, one counter).  The null recorder is
+    pinned so the calibration is immune to an ambient recorder."""
+    from repro.obs import NULL_RECORDER
+
+    previous = set_recorder(NULL_RECORDER)
+    try:
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(repeats):
+                with trace.span("x"):
+                    pass
+                trace._recorder._active.count("x")
+            best = min(best, time.perf_counter() - start)
+    finally:
+        set_recorder(previous)
+    return best / (2 * repeats)
+
+
+def test_disabled_instrumentation_under_three_percent():
+    graph = barabasi_albert(1000, 4, seed=2)
+    adjacency = graph.to_csr()
+
+    counting = CallCountingRecorder()
+    with recording(counting):  # type: ignore[arg-type]
+        q_color(adjacency, 64)
+    assert counting.calls > 0  # the hot paths are instrumented
+
+    runtime = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        q_color(adjacency, 64)
+        runtime = min(runtime, time.perf_counter() - start)
+
+    estimated_overhead = counting.calls * null_op_seconds()
+    assert estimated_overhead < OVERHEAD_BUDGET * runtime, (
+        f"{counting.calls} null instrumentation calls cost an estimated "
+        f"{estimated_overhead * 1e3:.3f} ms against a {runtime * 1e3:.1f} "
+        f"ms run"
+    )
+
+
+def test_null_recorder_restored_after_counting():
+    # Paranoia: the counting recorder must not leak into other tests.
+    counting = CallCountingRecorder()
+    previous = set_recorder(counting)  # type: ignore[arg-type]
+    set_recorder(previous)
+    assert not trace._recorder._active.enabled

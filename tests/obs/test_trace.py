@@ -1,0 +1,175 @@
+"""Span mechanics: nesting, exception safety, the recorder swap point."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    active_recorder,
+    recording,
+    set_recorder,
+    trace,
+)
+
+
+class TestNesting:
+    def test_parent_ids_reconstruct_nesting(self):
+        with recording() as rec:
+            with trace.span("outer"):
+                with trace.span("middle"):
+                    with trace.span("inner"):
+                        pass
+                with trace.span("sibling"):
+                    pass
+        by_name = {record.name: record for record in rec.spans}
+        assert by_name["outer"].parent_id is None
+        assert by_name["middle"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].parent_id == by_name["middle"].span_id
+        assert by_name["sibling"].parent_id == by_name["outer"].span_id
+
+    def test_spans_finish_innermost_first(self):
+        with recording() as rec:
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    pass
+        assert [record.name for record in rec.spans] == ["inner", "outer"]
+
+    def test_sequential_roots_are_both_parentless(self):
+        with recording() as rec:
+            with trace.span("first"):
+                pass
+            with trace.span("second"):
+                pass
+        assert [record.parent_id for record in rec.spans] == [None, None]
+
+    def test_current_span_tracks_innermost(self):
+        with recording():
+            assert trace.current_span() is None
+            with trace.span("outer"):
+                with trace.span("inner") as inner:
+                    assert trace.current_span() is inner
+        assert trace.current_span() is None
+
+    def test_threads_nest_independently(self):
+        names: dict[str, int | None] = {}
+
+        def worker() -> None:
+            with trace.span("thread-root") as handle:
+                names["parent"] = handle.parent_id
+
+        with recording() as rec:
+            with trace.span("main-root"):
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        # The worker's span must NOT nest under the main thread's span.
+        assert names["parent"] is None
+        roots = [r for r in rec.spans if r.parent_id is None]
+        assert {r.name for r in roots} == {"thread-root", "main-root"}
+
+
+class TestExceptionSafety:
+    def test_span_closes_and_marks_error(self):
+        with recording() as rec:
+            with pytest.raises(ValueError):
+                with trace.span("boom"):
+                    raise ValueError("no")
+        (record,) = rec.spans
+        assert record.name == "boom"
+        assert record.status == "error"
+        assert record.end_wall >= record.start_wall
+
+    def test_nested_spans_all_close_on_exception(self):
+        with recording() as rec:
+            with pytest.raises(RuntimeError):
+                with trace.span("outer"):
+                    with trace.span("inner"):
+                        raise RuntimeError("deep")
+        assert {record.name for record in rec.spans} == {"outer", "inner"}
+        assert all(record.status == "error" for record in rec.spans)
+        assert trace.current_span() is None
+
+    def test_stack_unwinds_past_leaked_inner_span(self):
+        # A generator/coroutine can leave an inner span un-exited; the
+        # outer span's __exit__ must still pop exactly down to itself.
+        with recording() as rec:
+            with trace.span("outer"):
+                leaked = trace.span("leaked")
+                leaked.__enter__()
+                # never exited
+            with trace.span("after"):
+                pass
+        after = next(r for r in rec.spans if r.name == "after")
+        assert after.parent_id is None
+
+
+class TestAttributes:
+    def test_attrs_from_call_and_set(self):
+        with recording() as rec:
+            with trace.span("work", color=3) as handle:
+                handle.set(q_err=1.5, color=4)
+        (record,) = rec.spans
+        assert record.attrs == {"color": 4, "q_err": 1.5}
+
+    def test_wall_and_cpu_recorded(self):
+        with recording() as rec:
+            with trace.span("spin"):
+                total = 0
+                for i in range(20_000):
+                    total += i
+        (record,) = rec.spans
+        assert record.wall_seconds > 0.0
+        assert record.cpu_seconds >= 0.0
+
+
+class TestRecorderSwap:
+    def test_default_is_null_recorder(self):
+        assert active_recorder() is NULL_RECORDER
+        assert not obs.enabled()
+
+    def test_recording_installs_and_restores(self):
+        with recording() as rec:
+            assert active_recorder() is rec
+            assert obs.enabled()
+        assert active_recorder() is NULL_RECORDER
+
+    def test_recording_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with recording():
+                raise ValueError("no")
+        assert active_recorder() is NULL_RECORDER
+
+    def test_set_recorder_returns_previous(self):
+        rec = Recorder()
+        previous = set_recorder(rec)
+        try:
+            assert previous is NULL_RECORDER
+            assert active_recorder() is rec
+        finally:
+            set_recorder(previous)
+
+    def test_null_recorder_span_is_shared_noop(self):
+        null = NullRecorder()
+        handle_a = null.span("a", x=1)
+        handle_b = null.span("b")
+        assert handle_a is handle_b
+        with handle_a as entered:
+            assert entered.set(anything=1) is entered
+        assert null.current_span() is None
+        assert null.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+    def test_clear_drops_spans_and_metrics(self):
+        with recording() as rec:
+            with trace.span("work"):
+                obs.count("events")
+            rec.clear()
+            assert rec.spans == []
+            assert rec.snapshot()["counters"] == {}

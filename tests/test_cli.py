@@ -140,3 +140,100 @@ class TestTablesCommand:
     def test_unknown_table_rejected(self):
         with pytest.raises(SystemExit):
             main(["tables", "table99"])
+
+
+class TestProfileCommand:
+    def test_profile_wraps_solve(self, capsys):
+        assert main(
+            ["profile", "solve", "--task", "maxflow", "--dataset",
+             "tsukuba0", "--scale", "0.002", "--colors", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        # Both the wrapped command's output and the span summary print.
+        assert "maxflow pipeline" in out
+        assert "profile: repro solve" in out
+        assert "cli.solve" in out
+        assert "rothko.splits" in out
+        assert "covered by direct child spans" in out
+
+    def test_profile_wraps_color(self, karate_file, capsys):
+        assert main(["profile", "color", karate_file, "--colors", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "cli.color" in out
+
+    def test_profile_trace_out_emits_valid_jsonl(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["profile", "solve", "--task", "maxflow", "--dataset",
+             "tsukuba0", "--scale", "0.002", "--colors", "8",
+             "--trace-out", str(trace_path)]
+        ) == 0
+        assert "trace written to" in capsys.readouterr().out
+        rows = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert rows[0]["type"] == "meta"
+        roots = [
+            row for row in rows
+            if row["type"] == "span" and row["parent_id"] is None
+        ]
+        assert [row["name"] for row in roots] == ["cli.solve"]
+        assert any(
+            row["type"] == "metric" and row["name"] == "rothko.splits"
+            for row in rows
+        )
+
+    def test_profile_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main(["profile"])
+
+    def test_profile_rejects_itself(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "profile", "datasets"])
+
+    def test_profile_validates_wrapped_flags(self, karate_file):
+        with pytest.raises(SystemExit):
+            main(["profile", "color", karate_file])  # no stopping rule
+
+
+class TestTraceOutFlag:
+    def test_solve_trace_out_without_profile(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["solve", "--task", "maxflow", "--dataset", "tsukuba0",
+             "--scale", "0.002", "--colors", "8",
+             "--trace-out", str(trace_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        # No summary table without profile — just the dump.
+        assert "covered by direct child spans" not in out
+        for line in trace_path.read_text().splitlines():
+            json.loads(line)
+
+    def test_color_trace_out(self, karate_file, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["color", karate_file, "--colors", "6",
+             "--trace-out", str(trace_path)]
+        ) == 0
+        assert trace_path.exists()
+
+    def test_update_trace_out(self, karate_file, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["update", karate_file, "--q", "2", "--n-updates", "20",
+             "--trace-out", str(trace_path)]
+        ) == 0
+        rows = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert rows[0]["type"] == "meta"
