@@ -161,3 +161,48 @@ def test_batched_strategy_largescale(benchmark):
     # Real margin is ~2.7x; 0.75 keeps headroom for one-shot timing
     # noise while still catching an amortization regression.
     assert benchmark.stats.stats.median <= 0.75 * greedy_seconds
+
+
+def test_parallel_batched_rounds(benchmark):
+    """Fanned batched rounds (``workers=cores``) vs sequential: the
+    eject-mask and boundary-refresh stages of each round run across a
+    worker pool, and must land on bit-identical labels.  On machines
+    with >= 4 cores the fan-out is asserted >= 1.5x faster; below that
+    the speedup is only reported (a 1-core box legitimately sees ~1x)."""
+    import os
+    import time
+
+    graph = uniform_random_digraph(250_000, 4, seed=7)
+    adjacency = graph.to_csr()
+    budget = 256
+    cores = os.cpu_count() or 1
+
+    start = time.perf_counter()
+    sequential = Rothko(adjacency, strategy="batched", batch_size=16).run(
+        max_colors=budget
+    )
+    sequential_seconds = time.perf_counter() - start
+
+    engine = Rothko(
+        adjacency, strategy="batched", batch_size=16, workers=cores
+    )
+    parallel = run_once(benchmark, lambda: engine.run(max_colors=budget))
+
+    # Parallel rounds are deterministic: masks are collected in
+    # submission order, so the split sequence cannot drift.
+    assert np.array_equal(
+        parallel.coloring.labels, sequential.coloring.labels
+    )
+    speedup = sequential_seconds / benchmark.stats.stats.median
+    benchmark.extra_info["backend"] = engine.backend.name
+    benchmark.extra_info["cores"] = cores
+    benchmark.extra_info["workers"] = engine.workers
+    benchmark.extra_info["sequential_seconds"] = round(
+        sequential_seconds, 3
+    )
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    if cores >= 4:
+        assert speedup >= 1.5, (
+            f"parallel batched rounds only {speedup:.2f}x faster than "
+            f"sequential on {cores} cores (expected >= 1.5x)"
+        )

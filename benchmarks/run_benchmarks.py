@@ -60,10 +60,14 @@ SMOKE_FILTERS = {
     ),
     # Quarter-million-node coloring with the memory-ceiling assertion,
     # plus the colors[128] 5x peak-memory-reduction guard; the full
-    # million-node case and the batched comparison stay out of smoke.
+    # million-node case and the batched/parallel comparisons stay out
+    # of smoke.
     "bench_rothko_largescale": (
         "test_largescale_coloring[250000] or colors128"
     ),
+    # One numpy-vs-best pairing; the million-node case (two full
+    # colorings per test) stays out of smoke.
+    "bench_backends": "test_backend_coloring[250000]",
     "bench_core_micro": "test_q_error_evaluation or edmonds_karp",
     # bench_dynamic_updates needs no filter: its single test covers all
     # scenarios in one ~1 s pass (a stale "random" filter used to

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Kernel backend dispatch: time every installed backend on one workload.
+
+The coloring engine's hot kernels dispatch through
+``repro.core.backends``: numpy is the always-available reference, and
+numba / torch backends are picked up automatically when installed (or
+explicitly via ``Rothko(backend=...)`` / ``REPRO_BACKEND``).  All CPU
+backends are bit-identical, so switching one in changes wall-clock and
+nothing else.
+
+This example colors a mid-size random digraph once per available
+backend — plus a parallel batched-round run (``workers=cores``) — and
+prints the timing table with speedups over the numpy reference.  On a
+machine without numba/torch it degrades to the numpy rows alone.
+
+Run:  python examples/backend_speedup.py
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.backends import available_backends, resolve_backend
+from repro.core.rothko import Rothko
+from repro.graphs.generators import uniform_random_digraph
+from repro.utils.tables import format_table
+
+N_NODES = 50_000
+OUT_DEGREE = 4
+BUDGET = 64
+
+
+def timed_run(adjacency, **kwargs):
+    engine = Rothko(adjacency, **kwargs)
+    start = time.perf_counter()
+    result = engine.run(max_colors=BUDGET)
+    return result, time.perf_counter() - start
+
+
+def main() -> None:
+    adjacency = uniform_random_digraph(
+        N_NODES, OUT_DEGREE, seed=7
+    ).to_csr()
+    cores = os.cpu_count() or 1
+    backends = available_backends()
+    print(
+        f"Graph: {N_NODES} nodes, {adjacency.nnz} arcs; budget {BUDGET} "
+        f"colors; {cores} core(s); installed backends: "
+        f"{', '.join(backends)}\n"
+    )
+
+    reference, numpy_seconds = timed_run(adjacency, backend="numpy")
+    rows = [["numpy", "greedy", 1, f"{numpy_seconds:.2f}s", "1.00x"]]
+
+    for name in backends:
+        if name == "numpy":
+            continue
+        backend = resolve_backend(name)
+        # One throwaway run first: numba JIT-compiles on first call.
+        timed_run(adjacency, backend=backend)
+        result, seconds = timed_run(adjacency, backend=backend)
+        assert np.array_equal(
+            result.coloring.labels, reference.coloring.labels
+        ), f"{name} diverged from the numpy reference"
+        rows.append([
+            name, "greedy", 1, f"{seconds:.2f}s",
+            f"{numpy_seconds / seconds:.2f}x",
+        ])
+
+    # Parallel batched rounds: the top-B disjoint splits of each round
+    # fan across workers; results are bit-for-bit sequential-identical.
+    sequential, seq_seconds = timed_run(
+        adjacency, strategy="batched", batch_size=16
+    )
+    parallel, par_seconds = timed_run(
+        adjacency, strategy="batched", batch_size=16, workers=cores
+    )
+    assert np.array_equal(
+        parallel.coloring.labels, sequential.coloring.labels
+    ), "parallel batched rounds diverged from sequential"
+    best = resolve_backend("auto")
+    rows.append([
+        best.name, "batched", 1, f"{seq_seconds:.2f}s",
+        f"{numpy_seconds / seq_seconds:.2f}x",
+    ])
+    rows.append([
+        best.name, "batched", cores, f"{par_seconds:.2f}s",
+        f"{numpy_seconds / par_seconds:.2f}x",
+    ])
+
+    print(format_table(
+        ["backend", "strategy", "workers", "time", "vs numpy greedy"],
+        rows,
+        title="One coloring, identical labels, different engines",
+    ))
+    print(
+        "\nEvery row produced the same coloring — backends and the "
+        "round fan-out change wall-clock only.  Install numba or torch "
+        "(or run on a multi-core box) to see the accelerated rows pull "
+        "ahead."
+    )
+
+
+if __name__ == "__main__":
+    main()

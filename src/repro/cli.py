@@ -31,6 +31,25 @@ import sys
 from repro.obs import trace as _trace
 from repro.utils.tables import render_rows
 
+
+def _apply_backend(args: argparse.Namespace) -> str | None:
+    """Install the requested kernel backend as the process default.
+
+    Returns the spec so commands can also pass it explicitly (the
+    pipeline's coloring-cache key records the resolved name).  Unknown
+    names and unavailable optional backends exit with a clear message
+    instead of an ImportError mid-run.
+    """
+    spec = getattr(args, "backend", None)
+    if spec:
+        from repro.core.backends import set_default_backend
+
+        try:
+            set_default_backend(spec)
+        except (ImportError, ValueError) as exc:
+            raise SystemExit(f"--backend {spec}: {exc}") from exc
+    return spec
+
 TABLE_CHOICES = (
     "fig2", "fig2-dynamic", "fig7-maxflow", "fig7-lp", "fig7-centrality",
     "table1-centrality", "table1-lp", "table4", "table5", "table6",
@@ -42,11 +61,16 @@ def _cmd_color(args: argparse.Namespace) -> int:
     from repro.core.rothko import eps_color, q_color
     from repro.graphs.io import read_edgelist
 
+    backend = _apply_backend(args)
     graph = read_edgelist(args.path, directed=args.directed)
     if args.eps is not None:
-        result = eps_color(graph, n_colors=args.colors, eps=args.eps)
+        result = eps_color(
+            graph, n_colors=args.colors, eps=args.eps, backend=backend
+        )
     else:
-        result = q_color(graph, n_colors=args.colors, q=args.q)
+        result = q_color(
+            graph, n_colors=args.colors, q=args.q, backend=backend
+        )
     report = q_error_report(graph.to_csr(), result.coloring)
     rows = [
         {
@@ -130,6 +154,7 @@ def _cmd_update(args: argparse.Namespace) -> int:
         q_tolerance=args.q,
         drift_budget=args.drift_budget,
         split_mean=args.split_mean,
+        backend=_apply_backend(args),
     )
     rows = [
         _apply_batch_row(dynamic, index, batch)
@@ -157,6 +182,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         q_tolerance=args.q,
         drift_budget=args.drift_budget,
         split_mean=args.split_mean,
+        backend=_apply_backend(args),
     )
 
     def flush_batch(batch_index: int, batch: list) -> None:
@@ -204,6 +230,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         from repro.exceptions import DatasetError
         from repro.pipeline import progressive_sweep, run_task, task_for
 
+    backend = _apply_backend(args)
     scale = args.scale if args.scale is not None else _SOLVE_SCALES[args.task]
     try:
         with _trace.span(
@@ -227,6 +254,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 options = {"seed": args.seed, "engine": args.engine}
     except DatasetError as exc:
         raise SystemExit(str(exc)) from exc
+    options["backend"] = backend
     task = task_for(args.task, problem, **options)
 
     if args.colors is not None:
@@ -300,6 +328,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         )
     if rest[0] == "profile":
         raise SystemExit("profile cannot wrap itself")
+    _apply_backend(args)
     parser = build_parser()
     inner = parser.parse_args(rest)
     _validate(parser, inner)
@@ -401,6 +430,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="treat edges as directed")
     color.add_argument("--out", default=None,
                        help="write 'label color' lines to this file")
+    color.add_argument("--backend", default=None,
+                       help="kernel backend: auto, numpy, numba, or torch[:device] (default: REPRO_BACKEND or auto-detect)")
     color.add_argument("--trace-out", default=None,
                        help="dump the recorded trace/metrics as JSONL")
     color.set_defaults(func=_cmd_color)
@@ -428,6 +459,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="updates per repair batch")
         cmd.add_argument("--trace", default=None,
                          help="update trace file ('+/-/~ u v [w]' lines)")
+        cmd.add_argument("--backend", default=None,
+                         help="kernel backend: auto, numpy, numba, or torch[:device] (default: REPRO_BACKEND or auto-detect)")
         cmd.add_argument("--trace-out", default=None,
                          help="dump the recorded trace/metrics as JSONL")
         if name == "update":
@@ -470,6 +503,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="lp: reduction weight mode")
     solve.add_argument("--seed", type=int, default=0,
                        help="centrality: pivot sampling seed")
+    solve.add_argument("--backend", default=None,
+                       help="kernel backend: auto, numpy, numba, or torch[:device] (default: REPRO_BACKEND or auto-detect)")
     solve.add_argument("--trace-out", default=None,
                        help="dump the recorded trace/metrics as JSONL")
     solve.set_defaults(func=_cmd_solve)
@@ -482,6 +517,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run another repro command under the tracer and print a "
              "per-span summary",
     )
+    profile.add_argument("--backend", default=None,
+                         help="kernel backend: auto, numpy, numba, or torch[:device] (default: REPRO_BACKEND or auto-detect) (applies to the wrapped command)")
     profile.add_argument("--trace-out", default=None,
                          help="dump the recorded trace/metrics as JSONL "
                               "(also honored on the wrapped command)")

@@ -1,0 +1,137 @@
+"""Multi-backend kernel dispatch for the flat-array engines.
+
+The coloring engine, the q-error metrics, the block-weight tracker, and
+the arc-store solvers all reduce to the small kernel surface defined by
+:class:`~repro.core.backends.base.Backend`.  This package resolves
+which implementation runs them:
+
+* ``numpy`` — the always-available reference
+  (:mod:`~repro.core.backends.numpy_backend`);
+* ``numba`` — prange-threaded ``@njit(cache=True)`` fusions
+  (:mod:`~repro.core.backends.numba_backend`), used automatically when
+  importable;
+* ``torch`` — tensor kernels with device passthrough
+  (:mod:`~repro.core.backends.torch_backend`); name it as
+  ``"torch:cuda"`` / ``"torch:cuda:1"`` to pick the device.
+
+Resolution happens **once per run**: explicit argument
+(``Rothko(backend=...)``, ``--backend`` on the CLI) beats the
+``REPRO_BACKEND`` environment variable beats auto-detection
+(numba if importable, else torch when it can see an accelerator, else
+numpy).  Optional backends that fail to import degrade silently under
+``auto`` and raise a clear :class:`ImportError` when named explicitly.
+Resolved instances are cached per ``(name, device)``, so repeated
+resolution is an attribute lookup, and the resolved ``name`` is what
+the observability spans, the coloring-cache key, and the benchmark
+results JSON record.
+
+:func:`parallel_round_executor` (in
+:mod:`~repro.core.backends.executor`) pairs a resolved backend with the
+right fan-out mode for batched split rounds: threads where the kernels
+release the GIL, a shared-memory process pool for the numpy path.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.backends.base import Backend, KERNEL_NAMES
+from repro.core.backends.executor import RoundExecutor, resolve_workers
+from repro.core.backends.numpy_backend import NumpyBackend
+from repro.core.backends import numba_backend as _numba
+from repro.core.backends import torch_backend as _torch
+
+__all__ = [
+    "Backend",
+    "KERNEL_NAMES",
+    "RoundExecutor",
+    "available_backends",
+    "default_backend",
+    "resolve_backend",
+    "resolve_workers",
+    "set_default_backend",
+]
+
+#: registered backend names, in auto-detection preference order
+BACKEND_NAMES = ("numba", "torch", "numpy")
+
+#: resolved instances, keyed by (name, device)
+_INSTANCES: dict[tuple[str, str], Backend] = {}
+
+#: the process-default backend (what the kernels-module wrappers use)
+_DEFAULT: Backend | None = None
+
+
+def available_backends() -> list[str]:
+    """Names of the backends that can actually be instantiated here."""
+    names = ["numpy"]
+    if _numba.available():
+        names.insert(0, "numba")
+    if _torch.available():
+        names.insert(len(names) - 1, "torch")
+    return names
+
+
+def _instantiate(name: str, device: str = "cpu") -> Backend:
+    key = (name, device)
+    backend = _INSTANCES.get(key)
+    if backend is None:
+        if name == "numpy":
+            backend = NumpyBackend()
+        elif name == "numba":
+            backend = _numba.NumbaBackend()
+        elif name == "torch":
+            backend = _torch.TorchBackend(device=device)
+        else:
+            raise ValueError(
+                f"unknown backend {name!r}; expected one of "
+                f"{('auto',) + BACKEND_NAMES}"
+            )
+        _INSTANCES[key] = backend
+    return backend
+
+
+def _auto_backend() -> Backend:
+    if _numba.available():
+        return _instantiate("numba")
+    if _torch.available():
+        import torch
+
+        if torch.cuda.is_available():  # pragma: no cover - needs a GPU
+            return _instantiate("torch", device="cuda")
+    return _instantiate("numpy")
+
+
+def resolve_backend(spec: "str | Backend | None" = None) -> Backend:
+    """Resolve a backend request to an instance.
+
+    ``spec`` may be an instance (returned as-is), a name (``"numpy"``,
+    ``"numba"``, ``"torch"``, ``"torch:<device>"``, ``"auto"``), or
+    ``None`` — which consults ``REPRO_BACKEND`` and falls back to
+    auto-detection.
+    """
+    if spec is None:
+        spec = os.environ.get("REPRO_BACKEND", "").strip() or "auto"
+    if not isinstance(spec, str):
+        return spec
+    if spec == "auto":
+        return _auto_backend()
+    name, _, device = spec.partition(":")
+    return _instantiate(name, device or "cpu")
+
+
+def default_backend() -> Backend:
+    """The process-default backend (resolved lazily, once)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = resolve_backend()
+    return _DEFAULT
+
+
+def set_default_backend(spec: "str | Backend | None") -> Backend:
+    """Replace the process default (``None`` re-enables lazy env/auto
+    resolution); returns the newly active backend.  The CLI's
+    ``--backend`` flag and tests are the intended callers."""
+    global _DEFAULT
+    _DEFAULT = None if spec is None else resolve_backend(spec)
+    return default_backend()

@@ -1,0 +1,135 @@
+"""The :class:`Backend` protocol: the kernel surface a backend implements.
+
+Every hot kernel the coloring engine and the pipeline touch per split is
+listed here — nothing else is.  The contract mirrors the numpy
+reference implementation in :mod:`repro.core.backends.numpy_backend`
+exactly: plain ``numpy.ndarray`` in, plain ``numpy.ndarray`` out (C
+layout, float64/int64), bit-identical results.  A backend is free to
+run the computation anywhere (compiled CPU loops, a CUDA device) as
+long as what crosses the boundary is a numpy array with the same
+values; the parity test sweep (``tests/core/test_backends.py``) holds
+every registered backend to that.
+
+Backends carry two capability flags the engine's round executor reads:
+
+``parallel_kernels``
+    the fused kernels release the GIL (compiled code), so fanning
+    color-disjoint witness work across *threads* scales;
+``device``
+    where the computation runs (``"cpu"`` or an accelerator string),
+    recorded in spans and benchmark results.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Backend", "KERNEL_NAMES"]
+
+#: every method a Backend must provide (the parity sweep iterates this)
+KERNEL_NAMES = (
+    "scatter_add",
+    "bincount",
+    "take_ranges",
+    "scatter_select_sums",
+    "scatter_select_color_sums",
+    "color_degree_slice",
+    "color_degree_slice_pair",
+    "select_degrees_toward",
+    "grouped_minmax_by_labels",
+    "grouped_minmax_ordered",
+)
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Kernel dispatch surface (see module docstring for the contract)."""
+
+    #: registry name ("numpy", "numba", "torch")
+    name: str
+    #: True when the fused kernels release the GIL, making thread-fanned
+    #: batched rounds profitable
+    parallel_kernels: bool
+    #: where kernels execute ("cpu", "cuda", "cuda:1", ...)
+    device: str
+
+    def scatter_add(
+        self, indices: np.ndarray, weights: np.ndarray, size: int
+    ) -> np.ndarray:
+        """Dense ``out[i] = sum of weights where indices == i``."""
+
+    def bincount(
+        self, keys: np.ndarray, weights: np.ndarray, minlength: int
+    ) -> np.ndarray:
+        """Weighted bincount over precomputed flat keys (the fused
+        scatter primitive the engine's split refresh builds on)."""
+
+    def take_ranges(
+        self, starts: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        """Concatenated ``arange(start, start + count)`` per pair."""
+
+    def scatter_select_sums(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        select: np.ndarray,
+        size: int,
+    ) -> np.ndarray:
+        """Sum of the selected CSR rows/CSC columns, scattered by index."""
+
+    def scatter_select_color_sums(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        select: np.ndarray,
+        labels: np.ndarray,
+        n_colors: int,
+    ) -> np.ndarray:
+        """Total weight of the selected rows per *color* (one W row)."""
+
+    def color_degree_slice(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        rows: np.ndarray,
+        labels: np.ndarray,
+        n_colors: int,
+    ) -> np.ndarray:
+        """Dense ``k x |rows|`` degree slice of the selected rows."""
+
+    def color_degree_slice_pair(
+        self,
+        csr_arrays: tuple[np.ndarray, np.ndarray, np.ndarray],
+        csc_arrays: tuple[np.ndarray, np.ndarray, np.ndarray],
+        rows: np.ndarray,
+        labels: np.ndarray,
+        n_colors: int,
+    ) -> np.ndarray:
+        """Both directions' degree slices, ``(2, k, |rows|)``."""
+
+    def select_degrees_toward(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        rows: np.ndarray,
+        labels: np.ndarray,
+        targets: int | np.ndarray,
+    ) -> np.ndarray:
+        """Per selected row, total weight toward a target color."""
+
+    def grouped_minmax_by_labels(
+        self, values: np.ndarray, labels: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-label max/min of a row-per-node array (1-D or 2-D)."""
+
+    def grouped_minmax_ordered(
+        self, values: np.ndarray, order: np.ndarray, starts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-color max/min over columns, given a members order."""

@@ -1,0 +1,258 @@
+"""Round executor: fan color-disjoint witness work across workers.
+
+The batched strategy's rounds are embarrassingly parallel by
+construction — the top-``B`` witnesses are pairwise color-disjoint, so
+their threshold-degree gathers and eject masks read disjoint member
+sets against the same pre-round snapshot, and the post-round refresh
+writes disjoint rows/columns of the boundary matrices.  The executor
+turns that structural independence into wall-clock:
+
+``serial``
+    plain in-order loop (the default, and the reference the
+    determinism test compares against);
+``threads``
+    a shared :class:`~concurrent.futures.ThreadPoolExecutor` — the
+    right mode for backends whose kernels release the GIL (numba's
+    compiled loops, torch's ATen ops);
+``processes``
+    a fork/spawn worker pool over a **shared-memory mirror** of the
+    engine's CSR/CSC snapshots and label array
+    (:mod:`multiprocessing.shared_memory`), for the numpy backend whose
+    bincount paths hold the GIL.  The big arrays are written once;
+    labels are refreshed in place before each round (children attached
+    the same physical pages, so the O(n) copy is the entire
+    synchronization cost), and only the per-witness member lists and
+    returned masks cross the pickle boundary.
+
+Every mode returns results **in submission order**, so a parallel round
+commits exactly the splits, in exactly the order, that the serial round
+would — bit-for-bit identical colorings (tested).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+__all__ = ["RoundExecutor", "resolve_workers"]
+
+MODES = ("serial", "threads", "processes")
+
+#: module-global worker state: shared-memory attachments, set once per
+#: worker by :func:`_attach_worker` (each worker process has its own copy)
+_WORKER_STATE: dict = {}
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Worker count: explicit argument > ``REPRO_WORKERS`` env > 1.
+
+    Parallel rounds are opt-in — the default of 1 keeps the engine's
+    single-threaded profile (and its exact numpy-path performance)
+    unless the caller or the environment asks for fan-out.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        workers = int(env) if env else 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _attach_worker(blocks: list[tuple[str, str, tuple]]) -> None:
+    """Pool initializer: attach the parent's shared-memory arrays."""
+    from multiprocessing import shared_memory
+
+    handles = []
+    for key, name, (dtype, shape) in blocks:
+        shm = shared_memory.SharedMemory(name=name)
+        handles.append(shm)  # keep alive for the worker's lifetime
+        _WORKER_STATE[key] = np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=shm.buf
+        )
+    _WORKER_STATE["_handles"] = handles
+
+
+def _eject_mask_task(job: tuple) -> np.ndarray | None:
+    """Worker body: threshold degrees + eject mask for one witness.
+
+    Runs against the shared-memory CSR/CSC/label arrays; ``None`` marks
+    the constant-degree guard (the caller drops that witness for the
+    round, exactly as the serial path does).
+    """
+    from repro.core.backends.numpy_backend import select_degrees_toward
+    from repro.core.rothko import split_eject_mask
+    from repro.exceptions import ColoringError
+
+    direction, members, target, split_mean, relative = job
+    prefix = "csr" if direction == "out" else "csc"
+    degrees = select_degrees_toward(
+        _WORKER_STATE[f"{prefix}_indptr"],
+        _WORKER_STATE[f"{prefix}_indices"],
+        _WORKER_STATE[f"{prefix}_data"],
+        members,
+        _WORKER_STATE["labels"],
+        target,
+    )
+    try:
+        return split_eject_mask(degrees, split_mean, relative=relative)
+    except ColoringError:
+        return None
+
+
+class _SharedGraphMirror:
+    """Shared-memory copies of the CSR/CSC arrays plus a live label slot."""
+
+    def __init__(self, arrays: dict[str, np.ndarray]) -> None:
+        from multiprocessing import shared_memory
+
+        self._shms = []
+        self._views: dict[str, np.ndarray] = {}
+        self.blocks: list[tuple[str, str, tuple]] = []
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, array.nbytes)
+            )
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+            view[...] = array
+            self._shms.append(shm)
+            self._views[key] = view
+            self.blocks.append(
+                (key, shm.name, (array.dtype.str, array.shape))
+            )
+
+    def update(self, key: str, array: np.ndarray) -> None:
+        self._views[key][...] = array
+
+    def close(self) -> None:
+        for shm in self._shms:
+            try:
+                shm.close()
+                shm.unlink()
+            except (FileNotFoundError, OSError):  # already torn down
+                pass
+        self._shms.clear()
+        self._views.clear()
+
+
+class RoundExecutor:
+    """Maps round work across workers; see module docstring for modes."""
+
+    def __init__(self, mode: str, workers: int) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.mode = mode if workers > 1 else "serial"
+        self.workers = workers if self.mode != "serial" else 1
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._process_pool = None
+        self._mirror: _SharedGraphMirror | None = None
+
+    @classmethod
+    def resolve(
+        cls,
+        workers: int | None = None,
+        mode: str | None = None,
+        parallel_kernels: bool = False,
+    ) -> "RoundExecutor":
+        """Pick the executor for a backend.
+
+        ``mode=None`` auto-selects: threads when the backend's kernels
+        release the GIL, the shared-memory process path otherwise.
+        """
+        workers = resolve_workers(workers)
+        if mode is None:
+            mode = "threads" if parallel_kernels else "processes"
+        return cls(mode, workers)
+
+    # -- thread/serial mapping ------------------------------------------
+    def map(self, fn, items: list) -> list:
+        """Apply ``fn`` to every item, results in submission order.
+
+        Used for the in-engine refresh fan-out, where ``fn`` closes over
+        engine state: threads share it directly; the process mode cannot
+        (the closure is not picklable), so it degrades to serial here
+        and parallelizes only the shared-memory mask stage.
+        """
+        if self.mode == "threads" and len(items) > 1:
+            return list(self._threads().map(fn, items))
+        return [fn(item) for item in items]
+
+    def _threads(self) -> ThreadPoolExecutor:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-round",
+            )
+        return self._thread_pool
+
+    # -- shared-memory process mapping ----------------------------------
+    def attach_graph(
+        self,
+        csr_arrays: tuple[np.ndarray, np.ndarray, np.ndarray],
+        csc_arrays: tuple[np.ndarray, np.ndarray, np.ndarray],
+        labels: np.ndarray,
+    ) -> None:
+        """Mirror the snapshots into shared memory and start the pool.
+
+        Idempotent; called lazily before the first process-mode round.
+        """
+        if self.mode != "processes" or self._process_pool is not None:
+            return
+        import multiprocessing
+
+        names = ("indptr", "indices", "data")
+        arrays = {f"csr_{n}": a for n, a in zip(names, csr_arrays)}
+        arrays.update({f"csc_{n}": a for n, a in zip(names, csc_arrays)})
+        arrays["labels"] = labels
+        self._mirror = _SharedGraphMirror(arrays)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork: spawn still works,
+            context = multiprocessing.get_context()  # attach is by name
+        self._process_pool = context.Pool(
+            processes=self.workers,
+            initializer=_attach_worker,
+            initargs=(self._mirror.blocks,),
+        )
+
+    def eject_masks(
+        self, jobs: list[tuple], labels: np.ndarray, compute_serial
+    ) -> list[np.ndarray | None]:
+        """All eject masks for one round, in witness order.
+
+        ``jobs`` are ``(direction, members, target, split_mean,
+        relative)`` tuples; ``compute_serial(job)`` is the engine's
+        in-process fallback (also used for thread mode, where the
+        backend kernels release the GIL).  Process mode publishes the
+        current labels once, then ships only members/masks.
+        """
+        if self.mode == "processes" and len(jobs) > 1:
+            self._mirror.update("labels", labels)
+            return self._process_pool.map(_eject_mask_task, jobs, chunksize=1)
+        if self.mode == "threads" and len(jobs) > 1:
+            return list(self._threads().map(compute_serial, jobs))
+        return [compute_serial(job) for job in jobs]
+
+    # -- lifecycle -------------------------------------------------------
+    def release(self) -> None:
+        """Shut down pools and unlink shared memory (idempotent)."""
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+        if self._process_pool is not None:
+            self._process_pool.terminate()
+            self._process_pool.join()
+            self._process_pool = None
+        if self._mirror is not None:
+            self._mirror.close()
+            self._mirror = None
+
+    def __del__(self) -> None:  # belt and braces; release() is the API
+        try:
+            self.release()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass

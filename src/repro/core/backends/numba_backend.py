@@ -1,0 +1,295 @@
+"""Numba backend: prange-threaded, ``@njit(cache=True)`` fused kernels.
+
+The bincount/reduceat fusions the flat engine leans on compile to tight
+C loops here, with the gather step (``take_ranges`` + fancy indexing)
+folded *into* the loop — no position/weight temporaries at all.  Kernels
+whose output cells are written by exactly one ``prange`` iteration (the
+degree slices: one column per selected row; the ordered min/max: one
+feature row per iteration) run multi-threaded; scatter-shaped kernels
+whose cells mix contributions across rows stay single-threaded inside
+``njit`` so the accumulation order — and therefore the floating-point
+result — is *bit-identical* to the numpy reference.  All compiled
+kernels release the GIL, which is what makes the round executor's
+thread-fanned batched splits scale on this backend.
+
+Import failure degrades gracefully: the module always imports, but
+:func:`available` reports False and instantiating :class:`NumbaBackend`
+raises — the ``auto`` resolution path skips it, and asking for it by
+name produces a clear error instead of an ImportError mid-run.
+
+First use of each kernel pays a one-off JIT compile (cached on disk via
+``cache=True``, so repeat processes skip it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backends.numpy_backend import NumpyBackend
+
+__all__ = ["NumbaBackend", "available"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    _NUMBA_ERROR: Exception | None = None
+except ImportError as exc:  # keep the module importable without numba
+    njit = prange = None
+    _NUMBA_ERROR = exc
+
+
+def available() -> bool:
+    """True when the numba toolchain imported cleanly."""
+    return _NUMBA_ERROR is None
+
+
+if available():  # pragma: no cover - exercised only where numba is installed
+
+    @njit(cache=True)
+    def _take_ranges(starts, counts):
+        total = 0
+        for i in range(counts.shape[0]):
+            total += counts[i]
+        out = np.empty(total, dtype=np.int64)
+        pos = 0
+        for i in range(starts.shape[0]):
+            start = starts[i]
+            for step in range(counts[i]):
+                out[pos] = start + step
+                pos += 1
+        return out
+
+    @njit(cache=True)
+    def _scatter_add(indices, weights, size):
+        out = np.zeros(size, dtype=np.float64)
+        for p in range(indices.shape[0]):
+            out[indices[p]] += weights[p]
+        return out
+
+    @njit(cache=True)
+    def _scatter_select_sums(indptr, indices, data, select, size):
+        out = np.zeros(size, dtype=np.float64)
+        for s in range(select.shape[0]):
+            node = select[s]
+            for p in range(indptr[node], indptr[node + 1]):
+                out[indices[p]] += data[p]
+        return out
+
+    @njit(cache=True)
+    def _scatter_select_color_sums(indptr, indices, data, select, labels, k):
+        out = np.zeros(k, dtype=np.float64)
+        for s in range(select.shape[0]):
+            node = select[s]
+            for p in range(indptr[node], indptr[node + 1]):
+                out[labels[indices[p]]] += data[p]
+        return out
+
+    @njit(cache=True, parallel=True)
+    def _color_degree_slice(indptr, indices, data, rows, labels, k):
+        r = rows.shape[0]
+        out = np.zeros((k, r), dtype=np.float64)
+        for t in prange(r):  # each iteration owns column t: race-free
+            node = rows[t]
+            for p in range(indptr[node], indptr[node + 1]):
+                out[labels[indices[p]], t] += data[p]
+        return out
+
+    @njit(cache=True, parallel=True)
+    def _color_degree_slice_pair(
+        out_indptr, out_indices, out_data,
+        in_indptr, in_indices, in_data,
+        rows, labels, k,
+    ):
+        r = rows.shape[0]
+        out = np.zeros((2, k, r), dtype=np.float64)
+        for t in prange(r):
+            node = rows[t]
+            for p in range(out_indptr[node], out_indptr[node + 1]):
+                out[0, labels[out_indices[p]], t] += out_data[p]
+            for p in range(in_indptr[node], in_indptr[node + 1]):
+                out[1, labels[in_indices[p]], t] += in_data[p]
+        return out
+
+    @njit(cache=True, parallel=True)
+    def _select_degrees_toward_scalar(
+        indptr, indices, data, rows, labels, target
+    ):
+        r = rows.shape[0]
+        out = np.zeros(r, dtype=np.float64)
+        for t in prange(r):
+            node = rows[t]
+            total = 0.0
+            for p in range(indptr[node], indptr[node + 1]):
+                if labels[indices[p]] == target:
+                    total += data[p]
+            out[t] = total
+        return out
+
+    @njit(cache=True, parallel=True)
+    def _select_degrees_toward_array(
+        indptr, indices, data, rows, labels, targets
+    ):
+        r = rows.shape[0]
+        out = np.zeros(r, dtype=np.float64)
+        for t in prange(r):
+            node = rows[t]
+            target = targets[t]
+            total = 0.0
+            for p in range(indptr[node], indptr[node + 1]):
+                if labels[indices[p]] == target:
+                    total += data[p]
+            out[t] = total
+        return out
+
+    @njit(cache=True, parallel=True)
+    def _grouped_minmax_ordered(values, order, starts):
+        r = values.shape[0]
+        total = order.shape[0]
+        k = starts.shape[0]
+        upper = np.empty((r, k), dtype=np.float64)
+        lower = np.empty((r, k), dtype=np.float64)
+        for f in prange(r):  # each iteration owns rows f of both outputs
+            for g in range(k):
+                begin = starts[g]
+                end = starts[g + 1] if g + 1 < k else total
+                hi = values[f, order[begin]]
+                lo = hi
+                for p in range(begin + 1, end):
+                    v = values[f, order[p]]
+                    if v > hi:
+                        hi = v
+                    if v < lo:
+                        lo = v
+                upper[f, g] = hi
+                lower[f, g] = lo
+        return upper, lower
+
+
+def _contig(array) -> np.ndarray:
+    """Numba specializes per dtype/layout signature, so arrays pass
+    through unchanged (scipy's int32 CSR indices included) — no per-call
+    O(m) dtype copies.  CSR arrays are already contiguous, making this a
+    no-op on the hot path."""
+    return np.ascontiguousarray(array)
+
+
+class NumbaBackend(NumpyBackend):
+    """Threaded compiled backend (see module docstring)."""
+
+    name = "numba"
+    parallel_kernels = True
+    device = "cpu"
+
+    def __init__(self) -> None:
+        if not available():
+            raise ImportError(
+                "the numba backend needs the 'numba' package "
+                f"(import failed: {_NUMBA_ERROR})"
+            )
+
+    # -- scatter-shaped kernels: serial njit, bit-identical to numpy --
+    def scatter_add(self, indices, weights, size):
+        if len(indices) == 0:
+            return np.zeros(size, dtype=np.float64)
+        return _scatter_add(
+            _contig(indices),
+            _contig(weights),
+            size,
+        )
+
+    def bincount(self, keys, weights, minlength):
+        if keys.size == 0:
+            return np.zeros(minlength, dtype=np.float64)
+        return _scatter_add(
+            _contig(keys),
+            _contig(weights),
+            minlength,
+        )
+
+    def take_ranges(self, starts, counts):
+        return _take_ranges(
+            _contig(starts),
+            _contig(counts),
+        )
+
+    def scatter_select_sums(self, indptr, indices, data, select, size):
+        return _scatter_select_sums(
+            _contig(indptr),
+            _contig(indices),
+            _contig(data),
+            _contig(select),
+            size,
+        )
+
+    def scatter_select_color_sums(
+        self, indptr, indices, data, select, labels, n_colors
+    ):
+        return _scatter_select_color_sums(
+            _contig(indptr),
+            _contig(indices),
+            _contig(data),
+            _contig(select),
+            _contig(labels),
+            n_colors,
+        )
+
+    # -- slice-shaped kernels: prange over row-owned output cells --
+    def color_degree_slice(self, indptr, indices, data, rows, labels, n_colors):
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0 or n_colors == 0:
+            return np.zeros((n_colors, rows.size), dtype=np.float64)
+        return _color_degree_slice(
+            _contig(indptr),
+            _contig(indices),
+            _contig(data),
+            _contig(rows),
+            _contig(labels),
+            n_colors,
+        )
+
+    def color_degree_slice_pair(
+        self, csr_arrays, csc_arrays, rows, labels, n_colors
+    ):
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0 or n_colors == 0:
+            return np.zeros((2, n_colors, rows.size), dtype=np.float64)
+        out_indptr, out_indices, out_data = csr_arrays
+        in_indptr, in_indices, in_data = csc_arrays
+        return _color_degree_slice_pair(
+            _contig(out_indptr),
+            _contig(out_indices),
+            _contig(out_data),
+            _contig(in_indptr),
+            _contig(in_indices),
+            _contig(in_data),
+            _contig(rows),
+            _contig(labels),
+            n_colors,
+        )
+
+    def select_degrees_toward(self, indptr, indices, data, rows, labels, targets):
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        args = (
+            _contig(indptr),
+            _contig(indices),
+            _contig(data),
+            _contig(rows),
+            _contig(labels),
+        )
+        if np.ndim(targets) == 0:
+            return _select_degrees_toward_scalar(*args, int(targets))
+        return _select_degrees_toward_array(
+            *args, _contig(targets)
+        )
+
+    def grouped_minmax_ordered(self, values, order, starts):
+        if starts.size == 0:
+            empty = np.empty((values.shape[0], 0), dtype=values.dtype)
+            return empty, empty.copy()
+        return _grouped_minmax_ordered(
+            _contig(values),
+            _contig(order),
+            _contig(starts),
+        )

@@ -1,0 +1,221 @@
+"""Torch backend: tensor kernels with ``device=`` passthrough.
+
+CPU tensors wrap the engine's numpy arrays zero-copy
+(``torch.from_numpy``), so the CPU path is a drop-in replacement whose
+ATen ops release the GIL — thread-fanned batched rounds scale.  Passing
+``device="cuda"`` (or ``"torch:cuda"`` through the registry string)
+moves the per-call computation to the accelerator unchanged; arrays are
+shipped per call, which already pays off on the large fused slices the
+batched strategy produces.  (Keeping the CSR snapshot resident on the
+device across calls is the follow-on optimization; the dispatch seams
+here are where it lands.)
+
+Determinism: on CPU, ``torch.bincount`` accumulates sequentially like
+``np.bincount``, so results are bit-identical to the numpy reference —
+the parity sweep enforces this.  On CUDA the scatter reductions use
+atomics, so float sums may differ in the last ulp; CUDA parity is
+therefore *approximate* (the sweep only runs the device it can).
+
+Import failure degrades gracefully exactly like the numba backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backends.numpy_backend import NumpyBackend
+
+__all__ = ["TorchBackend", "available"]
+
+try:  # pragma: no cover - exercised only where torch is installed
+    import torch
+
+    _TORCH_ERROR: Exception | None = None
+except ImportError as exc:  # keep the module importable without torch
+    torch = None
+    _TORCH_ERROR = exc
+
+
+def available() -> bool:
+    """True when the torch toolchain imported cleanly."""
+    return _TORCH_ERROR is None
+
+
+class TorchBackend(NumpyBackend):
+    """Tensor backend (see module docstring)."""
+
+    name = "torch"
+    parallel_kernels = True
+
+    def __init__(self, device: str = "cpu") -> None:
+        if not available():
+            raise ImportError(
+                "the torch backend needs the 'torch' package "
+                f"(import failed: {_TORCH_ERROR})"
+            )
+        self.device = str(torch.device(device))  # normalize + validate
+
+    # -- tensor plumbing ------------------------------------------------
+    def _tensor(self, array: np.ndarray, dtype=None) -> "torch.Tensor":
+        """Wrap a numpy array; zero-copy on CPU, one transfer on CUDA."""
+        tensor = torch.from_numpy(np.ascontiguousarray(array))
+        if dtype is not None and tensor.dtype != dtype:
+            tensor = tensor.to(dtype)
+        if self.device != "cpu":
+            tensor = tensor.to(self.device)
+        return tensor
+
+    def _numpy(self, tensor: "torch.Tensor") -> np.ndarray:
+        if tensor.device.type != "cpu":
+            tensor = tensor.cpu()
+        return tensor.numpy()
+
+    def _bincount(
+        self, keys: "torch.Tensor", weights: "torch.Tensor", minlength: int
+    ) -> np.ndarray:
+        out = torch.bincount(keys, weights=weights, minlength=minlength)
+        return self._numpy(out.to(torch.float64))
+
+    # -- kernels --------------------------------------------------------
+    def scatter_add(self, indices, weights, size):
+        if len(indices) == 0:
+            return np.zeros(size, dtype=np.float64)
+        return self._bincount(
+            self._tensor(np.asarray(indices), torch.int64),
+            self._tensor(np.asarray(weights), torch.float64),
+            size,
+        )
+
+    def bincount(self, keys, weights, minlength):
+        if keys.size == 0:
+            return np.zeros(minlength, dtype=np.float64)
+        return self._bincount(
+            self._tensor(keys, torch.int64),
+            self._tensor(weights, torch.float64),
+            minlength,
+        )
+
+    def scatter_select_sums(self, indptr, indices, data, select, size):
+        select = np.asarray(select, dtype=np.int64)
+        starts = indptr[select]
+        counts = indptr[select + 1] - starts
+        positions = self._tensor(
+            NumpyBackend.take_ranges(starts, counts), torch.int64
+        )
+        keys = self._tensor(np.asarray(indices), torch.int64)[positions]
+        weights = self._tensor(np.asarray(data), torch.float64)[positions]
+        return self._bincount(keys, weights, size)
+
+    def scatter_select_color_sums(
+        self, indptr, indices, data, select, labels, n_colors
+    ):
+        select = np.asarray(select, dtype=np.int64)
+        starts = indptr[select]
+        counts = indptr[select + 1] - starts
+        positions = self._tensor(
+            NumpyBackend.take_ranges(starts, counts), torch.int64
+        )
+        labels_t = self._tensor(labels, torch.int64)
+        keys = labels_t[self._tensor(np.asarray(indices), torch.int64)[positions]]
+        weights = self._tensor(np.asarray(data), torch.float64)[positions]
+        return self._bincount(keys, weights, n_colors)
+
+    def _slice_keys(self, indptr, indices, rows, labels):
+        """Gathered (edge colors, local row ids, positions) for a row
+        subset — the shared front half of the slice kernels."""
+        starts = indptr[rows]
+        counts = indptr[rows + 1] - starts
+        positions = self._tensor(
+            NumpyBackend.take_ranges(starts, counts), torch.int64
+        )
+        local = self._tensor(
+            np.repeat(np.arange(rows.size, dtype=np.int64), counts),
+            torch.int64,
+        )
+        labels_t = self._tensor(labels, torch.int64)
+        edge_colors = labels_t[
+            self._tensor(np.asarray(indices), torch.int64)[positions]
+        ]
+        return edge_colors, local, positions
+
+    def color_degree_slice(self, indptr, indices, data, rows, labels, n_colors):
+        rows = np.asarray(rows, dtype=np.int64)
+        r = rows.size
+        if r == 0 or n_colors == 0:
+            return np.zeros((n_colors, r), dtype=np.float64)
+        edge_colors, local, positions = self._slice_keys(
+            indptr, indices, rows, labels
+        )
+        weights = self._tensor(np.asarray(data), torch.float64)[positions]
+        flat = edge_colors * r + local
+        return self._bincount(flat, weights, n_colors * r).reshape(n_colors, r)
+
+    def color_degree_slice_pair(
+        self, csr_arrays, csc_arrays, rows, labels, n_colors
+    ):
+        rows = np.asarray(rows, dtype=np.int64)
+        r = rows.size
+        if r == 0 or n_colors == 0:
+            return np.zeros((2, n_colors, r), dtype=np.float64)
+        keys = []
+        weights = []
+        for layer, (indptr, indices, data) in enumerate(
+            (csr_arrays, csc_arrays)
+        ):
+            edge_colors, local, positions = self._slice_keys(
+                indptr, indices, rows, labels
+            )
+            keys.append((edge_colors + layer * n_colors) * r + local)
+            weights.append(self._tensor(np.asarray(data), torch.float64)[positions])
+        flat = torch.cat(keys)
+        if flat.numel() == 0:
+            return np.zeros((2, n_colors, r), dtype=np.float64)
+        return self._bincount(
+            flat, torch.cat(weights), 2 * n_colors * r
+        ).reshape(2, n_colors, r)
+
+    def select_degrees_toward(self, indptr, indices, data, rows, labels, targets):
+        rows = np.asarray(rows, dtype=np.int64)
+        r = rows.size
+        if r == 0:
+            return np.zeros(0, dtype=np.float64)
+        starts = indptr[rows]
+        counts = indptr[rows + 1] - starts
+        edge_colors, local, positions = self._slice_keys(
+            indptr, indices, rows, labels
+        )
+        if np.ndim(targets) == 0:
+            mask = edge_colors == int(targets)
+        else:
+            per_edge = self._tensor(
+                np.repeat(np.asarray(targets, dtype=np.int64), counts),
+                torch.int64,
+            )
+            mask = edge_colors == per_edge
+        weights = self._tensor(np.asarray(data), torch.float64)[positions]
+        return self._bincount(local[mask], weights[mask], r)
+
+    def grouped_minmax_ordered(self, values, order, starts):
+        if starts.size == 0:
+            empty = np.empty((values.shape[0], 0), dtype=values.dtype)
+            return empty, empty.copy()
+        r = values.shape[0]
+        k = starts.size
+        total = order.size
+        # group id of each position in the color-sorted order
+        group = np.zeros(total, dtype=np.int64)
+        group[starts[1:]] = 1
+        np.cumsum(group, out=group)
+        index = self._tensor(group, torch.int64).unsqueeze(0).expand(r, total)
+        gathered = self._tensor(values, torch.float64)[
+            :, self._tensor(order, torch.int64)
+        ]
+        upper = torch.full(
+            (r, k), -np.inf, dtype=torch.float64,
+            device=gathered.device,
+        ).scatter_reduce_(1, index, gathered, reduce="amax")
+        lower = torch.full(
+            (r, k), np.inf, dtype=torch.float64,
+            device=gathered.device,
+        ).scatter_reduce_(1, index, gathered, reduce="amin")
+        return self._numpy(upper), self._numpy(lower)

@@ -1,8 +1,9 @@
 """Shared vectorized kernels for degree-matrix maintenance.
 
 The coloring engines (static :class:`~repro.core.rothko.Rothko`, streaming
-:class:`~repro.dynamic.DynamicColoring`) and the q-error metrics all reduce
-to the same handful of primitives over CSR/CSC index arrays:
+:class:`~repro.dynamic.DynamicColoring`), the q-error metrics, the
+block-weight tracker, and the arc-store solvers all reduce to the same
+handful of primitives over CSR/CSC index arrays:
 
 * :func:`scatter_add` — accumulate weighted contributions into a dense
   vector (one ``np.bincount``, no Python-level loop);
@@ -15,30 +16,39 @@ to the same handful of primitives over CSR/CSC index arrays:
   member subset (one row or column of the block-weight matrix
   ``W = S^T A S``) in ``O(nnz(members))``;
 * :func:`color_degree_slice` — the ``k x |rows|`` degree-matrix *slice*
-  of a row subset, in ``O(nnz(rows) + k |rows|)``: the memory-flat
-  Rothko engine rebuilds exactly the slices a split touches instead of
-  maintaining the full ``k x n`` matrices;
+  of a row subset, in ``O(nnz(rows) + k |rows|)``;
 * :func:`select_degrees_toward` — per-selected-row total weight toward
   one target color (the split-threshold degree vector
-  ``D[j, members(i)]``) in ``O(nnz(rows))``; batched split rounds pass
-  a per-row target array to fuse many witnesses into one pass;
+  ``D[j, members(i)]``) in ``O(nnz(rows))``;
 * :func:`color_degree_matrix` — the full dense ``n x k`` degree matrix in
   one ``O(m)`` bincount over flattened ``(node, color)`` keys;
 * :func:`grouped_minmax_by_labels` — per-color max/min (the ``U``/``L``
   boundary matrices of Algorithm 1) via argsort + ``reduceat``;
-* :func:`grouped_minmax_by_members` — the same reduction when the caller
-  already maintains per-color member lists, skipping the argsort;
-* :func:`members_order` / :func:`grouped_minmax_ordered` — the split of
-  that kernel into its gather-order construction and its reduction, so
-  batched refreshes build the color-sorted order once per round and
-  reduce many value chunks against it.
+* :func:`grouped_minmax_by_members` / :func:`members_order` /
+  :func:`grouped_minmax_ordered` — the member-list variants that skip
+  the argsort.
+
+Since the backend-dispatch refactor, the hot kernels here are thin
+fronts over the **process-default backend**
+(:func:`repro.core.backends.default_backend` — numpy reference, numba,
+or torch; resolution order ``REPRO_BACKEND`` env then auto-detect).
+The reference implementations live in
+:mod:`repro.core.backends.numpy_backend`; every other backend is held
+to bit-identical results by the parity test sweep, so callers never
+need to know which one is active.  Code that wants a *specific*
+backend (e.g. a :class:`~repro.core.rothko.Rothko` instance built with
+``backend=``) holds its own resolved instance and calls its methods
+directly.
 
 Everything operates on plain numpy arrays so the kernels compose with
 both scipy sparse matrices and the dict-of-dicts mutable graph.
 
 The bincount-shaped kernels report their scattered cell counts to the
 ``kernels.bincount_cells`` counter (:mod:`repro.obs`) — one counter add
-per kernel call, nothing per cell, so the chunk loops stay hot.
+per kernel call *here at the dispatch layer*, nothing per cell and
+nothing inside the backend implementations, so chunked callers that
+talk to a backend directly (the Rothko refresh loops) can accumulate
+locally and emit a single count per logical kernel call.
 """
 
 from __future__ import annotations
@@ -46,6 +56,10 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.backends import default_backend
+from repro.core.backends.numpy_backend import (
+    grouped_minmax_by_labels as _np_grouped_minmax_by_labels,
+)
 from repro.obs import recorder as _obs
 
 __all__ = [
@@ -79,37 +93,14 @@ def as_csr_square(adjacency: sp.spmatrix | np.ndarray) -> sp.csr_matrix:
 def scatter_add(
     indices: np.ndarray, weights: np.ndarray, size: int
 ) -> np.ndarray:
-    """Dense ``out[i] = sum of weights where indices == i`` (length ``size``).
-
-    ``np.bincount`` compiles to a single C loop and beats both
-    ``np.add.at`` and per-element Python accumulation by a wide margin.
-    """
-    if len(indices) == 0:
-        return np.zeros(size, dtype=np.float64)
-    return np.bincount(indices, weights=weights, minlength=size)
+    """Dense ``out[i] = sum of weights where indices == i`` (length
+    ``size``), on the active backend."""
+    return default_backend().scatter_add(indices, weights, size)
 
 
 def take_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Concatenated ``arange(start, start + count)`` for each pair.
-
-    The standard cumsum trick: build a vector of ones, overwrite each
-    range's first slot with the jump from the previous range's end, and
-    integrate.  Empty ranges are dropped first so jump targets never
-    collide.
-    """
-    counts = np.asarray(counts, dtype=np.int64)
-    starts = np.asarray(starts, dtype=np.int64)
-    nonempty = counts > 0
-    starts = starts[nonempty]
-    counts = counts[nonempty]
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    result = np.ones(total, dtype=np.int64)
-    ends = np.cumsum(counts)
-    result[0] = starts[0]
-    result[ends[:-1]] = starts[1:] - starts[:-1] - counts[:-1] + 1
-    return np.cumsum(result)
+    """Concatenated ``arange(start, start + count)`` for each pair."""
+    return default_backend().take_ranges(starts, counts)
 
 
 def scatter_select_sums(
@@ -123,15 +114,12 @@ def scatter_select_sums(
 
     For a CSC adjacency and ``select = members(P_j)`` this is exactly the
     degree-matrix column ``D_out[:, j] = w(v, P_j)``; on the CSR arrays it
-    yields ``D_in[:, j] = w(P_j, v)``.  Runs in ``O(nnz(select))`` — no
-    fancy-indexed sparse slicing, no intermediate sparse matrix.
+    yields ``D_in[:, j] = w(P_j, v)``.  Runs in ``O(nnz(select))``.
     """
-    select = np.asarray(select, dtype=np.int64)
-    starts = indptr[select]
-    counts = indptr[select + 1] - starts
-    positions = take_ranges(starts, counts)
     _obs._active.count("kernels.bincount_cells", size)
-    return scatter_add(indices[positions], data[positions], size)
+    return default_backend().scatter_select_sums(
+        indptr, indices, data, select, size
+    )
 
 
 def scatter_select_color_sums(
@@ -146,17 +134,12 @@ def scatter_select_color_sums(
 
     On the CSR arrays with ``select = members(P_i)`` this is one row of
     the block-weight matrix: ``W[i, j] = w(P_i, P_j)`` for every ``j``;
-    on the CSC arrays it yields the column ``W[:, i] = w(P_j, P_i)``.
-    The incremental block-weight tracker of the pipeline runner uses it
-    to patch the two rows/columns a Rothko split dirties in
-    ``O(nnz(select))`` instead of recomputing the ``S^T A S`` triple
-    product.
+    the incremental block-weight tracker patches dirtied rows/columns
+    with it in ``O(nnz(select))``.
     """
-    select = np.asarray(select, dtype=np.int64)
-    starts = indptr[select]
-    counts = indptr[select + 1] - starts
-    positions = take_ranges(starts, counts)
-    return scatter_add(labels[indices[positions]], data[positions], n_colors)
+    return default_backend().scatter_select_color_sums(
+        indptr, indices, data, select, labels, n_colors
+    )
 
 
 def color_degree_slice(
@@ -171,26 +154,15 @@ def color_degree_slice(
 
     Column ``r`` holds the total weight from ``rows[r]`` toward every
     color: on CSR arrays this is ``D_out[:, rows].T`` restricted to the
-    selection, on CSC arrays ``D_in[:, rows].T``.  One
-    ``O(nnz(rows) + k |rows|)`` bincount over flattened
-    ``(color, local row)`` keys — the memory-flat engine's substitute for
-    slicing a maintained dense degree matrix.  Rows absent from the
-    selection's neighborhoods come out exactly zero (no subtraction
-    residues), which the geometric/relative split thresholds rely on.
+    selection, on CSC arrays ``D_in[:, rows].T``.  Entries are exactly
+    zero iff every term is (no subtraction residues), which the
+    geometric/relative split thresholds rely on.
     """
     rows = np.asarray(rows, dtype=np.int64)
-    r = rows.size
-    if r == 0 or n_colors == 0:
-        return np.zeros((n_colors, r), dtype=np.float64)
-    starts = indptr[rows]
-    counts = indptr[rows + 1] - starts
-    positions = take_ranges(starts, counts)
-    local = np.repeat(np.arange(r, dtype=np.int64), counts)
-    flat = labels[indices[positions]] * r + local
-    _obs._active.count("kernels.bincount_cells", n_colors * r)
-    return np.bincount(
-        flat, weights=data[positions], minlength=n_colors * r
-    ).reshape(n_colors, r)
+    _obs._active.count("kernels.bincount_cells", n_colors * rows.size)
+    return default_backend().color_degree_slice(
+        indptr, indices, data, rows, labels, n_colors
+    )
 
 
 def color_degree_slice_pair(
@@ -200,35 +172,16 @@ def color_degree_slice_pair(
     labels: np.ndarray,
     n_colors: int,
 ) -> np.ndarray:
-    """Both directions' degree slices of a row subset in one bincount.
+    """Both directions' degree slices of a row subset in one pass.
 
     Returns ``(2, k, |rows|)``: layer 0 is the out slice (from the CSR
-    arrays), layer 1 the in slice (from the CSC arrays).  The fused
-    variant of two :func:`color_degree_slice` calls, used by the flat
-    engine's row-group refresh.
+    arrays), layer 1 the in slice (from the CSC arrays).
     """
     rows = np.asarray(rows, dtype=np.int64)
-    r = rows.size
-    if r == 0 or n_colors == 0:
-        return np.zeros((2, n_colors, r), dtype=np.float64)
-    keys: list[np.ndarray] = []
-    weights: list[np.ndarray] = []
-    for layer, (indptr, indices, data) in enumerate((csr_arrays, csc_arrays)):
-        starts = indptr[rows]
-        counts = indptr[rows + 1] - starts
-        positions = take_ranges(starts, counts)
-        local = np.repeat(np.arange(r, dtype=np.int64), counts)
-        keys.append(
-            (labels[indices[positions]] + layer * n_colors) * r + local
-        )
-        weights.append(data[positions])
-    flat = np.concatenate(keys)
-    if flat.size == 0:
-        return np.zeros((2, n_colors, r), dtype=np.float64)
-    _obs._active.count("kernels.bincount_cells", 2 * n_colors * r)
-    return np.bincount(
-        flat, weights=np.concatenate(weights), minlength=2 * n_colors * r
-    ).reshape(2, n_colors, r)
+    _obs._active.count("kernels.bincount_cells", 2 * n_colors * rows.size)
+    return default_backend().color_degree_slice_pair(
+        csr_arrays, csc_arrays, rows, labels, n_colors
+    )
 
 
 def select_degrees_toward(
@@ -242,28 +195,12 @@ def select_degrees_toward(
     """Per selected row, the total weight toward a target color.
 
     ``targets`` is either one color id (every row measured toward the
-    same color — the split's threshold degree vector
-    ``D[j, members(i)]``, which the engine computes in edge-budget
-    chunks of this kernel) or an array of one target per row (fusing
-    several selections into a single ``O(nnz(rows))`` pass).  Sums are
-    taken directly over the matching entries, so a row with no edges
-    toward its target is exactly ``0.0``.
+    same color) or an array of one target per row (fusing several
+    selections into a single ``O(nnz(rows))`` pass).
     """
-    rows = np.asarray(rows, dtype=np.int64)
-    r = rows.size
-    if r == 0:
-        return np.zeros(0, dtype=np.float64)
-    starts = indptr[rows]
-    counts = indptr[rows + 1] - starts
-    positions = take_ranges(starts, counts)
-    edge_colors = labels[indices[positions]]
-    if np.ndim(targets) == 0:
-        mask = edge_colors == int(targets)
-    else:
-        per_edge = np.repeat(np.asarray(targets, dtype=np.int64), counts)
-        mask = edge_colors == per_edge
-    local = np.repeat(np.arange(r, dtype=np.int64), counts)
-    return np.bincount(local[mask], weights=data[positions][mask], minlength=r)
+    return default_backend().select_degrees_toward(
+        indptr, indices, data, rows, labels, targets
+    )
 
 
 def color_degree_matrix(
@@ -286,9 +223,9 @@ def color_degree_matrix(
         return np.zeros((n, n_colors), dtype=np.float64)
     rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
     flat = rows * n_colors + labels[indices]
-    return np.bincount(flat, weights=data, minlength=n * n_colors).reshape(
-        n, n_colors
-    )
+    return default_backend().bincount(
+        flat, data, n * n_colors
+    ).reshape(n, n_colors)
 
 
 def color_degree_matrix_t(
@@ -309,9 +246,9 @@ def color_degree_matrix_t(
         return np.zeros((n_colors, n), dtype=np.float64)
     rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
     flat = labels[indices] * n + rows
-    return np.bincount(flat, weights=data, minlength=n_colors * n).reshape(
-        n_colors, n
-    )
+    return default_backend().bincount(
+        flat, data, n_colors * n
+    ).reshape(n_colors, n)
 
 
 def color_degree_matrices(
@@ -338,23 +275,7 @@ def grouped_minmax_by_labels(
     ``0..k-1`` with no empty classes (``reduceat`` over duplicated start
     offsets would silently read the wrong element otherwise).
     """
-    if k == 0:
-        shape = (0,) if values.ndim == 1 else (0, values.shape[1])
-        return (
-            np.empty(shape, dtype=values.dtype),
-            np.empty(shape, dtype=values.dtype),
-        )
-    order = np.argsort(labels, kind="stable")
-    sizes = np.bincount(labels, minlength=k)
-    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
-    sorted_values = values[order]
-    if values.ndim == 1:
-        upper = np.maximum.reduceat(sorted_values, starts)
-        lower = np.minimum.reduceat(sorted_values, starts)
-    else:
-        upper = np.maximum.reduceat(sorted_values, starts, axis=0)
-        lower = np.minimum.reduceat(sorted_values, starts, axis=0)
-    return upper, lower
+    return default_backend().grouped_minmax_by_labels(values, labels, k)
 
 
 def members_order(
@@ -385,15 +306,9 @@ def grouped_minmax_ordered(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-color max/min over the columns of a feature-major array, given
     a precomputed :func:`members_order` pair.  ``values`` is ``(r, n)``;
-    the result pair is ``(r, k)`` — one ``O(r n)`` gather + ``reduceat``.
+    the result pair is ``(r, k)`` — one ``O(r n)`` gather + reduction.
     """
-    if starts.size == 0:
-        empty = np.empty((values.shape[0], 0), dtype=values.dtype)
-        return empty, empty.copy()
-    sorted_values = values[:, order]
-    upper = np.maximum.reduceat(sorted_values, starts, axis=1)
-    lower = np.minimum.reduceat(sorted_values, starts, axis=1)
-    return upper, lower
+    return default_backend().grouped_minmax_ordered(values, order, starts)
 
 
 def grouped_minmax_by_members(
@@ -420,3 +335,8 @@ def relative_spread(upper: np.ndarray, lower: np.ndarray) -> np.ndarray:
     spread[mixed] = np.inf
     spread[positive] = np.log(upper[positive] / lower[positive])
     return spread
+
+
+# re-exported for callers that need the reference implementation
+# regardless of the active backend (verify paths, tests)
+_reference_grouped_minmax_by_labels = _np_grouped_minmax_by_labels

@@ -68,6 +68,23 @@ the paper-exact greedy rule.  :meth:`Rothko.verify_state` checks the
 maintained state against a from-scratch recompute; the invariant test
 suite drives it after every split in both strategies.
 
+The hot kernels dispatch through a resolved
+:class:`~repro.core.backends.base.Backend` (``backend=`` argument, the
+``REPRO_BACKEND`` environment variable, or auto-detection — numba when
+importable, torch when it sees an accelerator, else the numpy
+reference; see :mod:`repro.core.backends`).  The engine holds the
+resolved instance and calls its methods directly, so per-kernel
+dispatch is one attribute lookup.  All backends are bit-identical on
+CPU (the parity sweep enforces it), so the choice affects wall-clock
+only.  ``workers=`` (or ``REPRO_WORKERS``) opts batched rounds into
+parallel execution: the round's color-disjoint witness masks — and the
+post-round refresh of the dirtied columns/row-groups — fan across a
+:class:`~repro.core.backends.executor.RoundExecutor`, threads where
+the backend's kernels release the GIL (numba, torch) and a
+shared-memory process pool for the numpy backend.  Results are
+collected in submission order, so a parallel round commits exactly the
+serial round's splits — bit-for-bit identical colorings (tested).
+
 ``RothkoStep.coloring`` is materialized lazily: the engine records each
 split's parent color, so any intermediate snapshot can be reconstructed
 on demand by remapping descendants back onto their ancestors — callers
@@ -96,16 +113,12 @@ import scipy.sparse as sp
 
 from repro.obs import recorder as _obs
 from repro.obs import trace as _trace
+from repro.core.backends import RoundExecutor, resolve_backend, resolve_workers
 from repro.core.kernels import (
     color_degree_matrix_t,
-    color_degree_slice_pair,
     grouped_minmax_by_labels,
-    grouped_minmax_ordered,
     members_order,
     relative_spread,
-    scatter_select_sums,
-    select_degrees_toward,
-    take_ranges,
 )
 from repro.core.partition import Coloring
 from repro.exceptions import ColoringError
@@ -352,6 +365,25 @@ class Rothko:
     batch_size:
         Witnesses per batched round (default 8).  Ignored under the
         greedy strategy.
+    backend:
+        Kernel backend: a name (``"numpy"``, ``"numba"``, ``"torch"``,
+        ``"torch:cuda"``, ``"auto"``), a resolved
+        :class:`~repro.core.backends.base.Backend` instance, or ``None``
+        — which consults the ``REPRO_BACKEND`` environment variable and
+        falls back to auto-detection.  All backends produce bit-identical
+        colorings on CPU; this knob trades wall-clock only.
+    workers:
+        Worker fan-out for batched rounds (``None`` consults
+        ``REPRO_WORKERS``, default 1 = serial).  With more than one
+        worker, each round's color-disjoint eject masks and the fused
+        refresh are mapped across threads (backends whose kernels
+        release the GIL) or a shared-memory process pool (numpy).
+        Parallel rounds commit bit-for-bit the serial rounds' splits.
+        Ignored under the greedy strategy.
+    parallel_mode:
+        Override the executor mode (``"serial"``, ``"threads"``,
+        ``"processes"``); ``None`` auto-selects from the backend's
+        ``parallel_kernels`` flag.
     """
 
     def __init__(
@@ -365,6 +397,9 @@ class Rothko:
         error_mode: str = "absolute",
         strategy: str = "greedy",
         batch_size: int | None = None,
+        backend=None,
+        workers: int | None = None,
+        parallel_mode: str | None = None,
     ) -> None:
         if split_mean not in SPLIT_MEANS:
             raise ValueError(
@@ -382,6 +417,10 @@ class Rothko:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.strategy = strategy
         self.batch_size = int(batch_size) if batch_size is not None else 8
+        self._backend = resolve_backend(backend)
+        self._workers = resolve_workers(workers)
+        self._parallel_mode = parallel_mode
+        self._executor: RoundExecutor | None = None
         self._csr = coerce_adjacency(graph)
         self._csc = self._csr.tocsc()
         self.n = self._csr.shape[0]
@@ -421,6 +460,16 @@ class Rothko:
         #: capacity cap from the tightest color budget seen (see _grow)
         self._capacity_hint: int | None = None
         self._init_state()
+
+    @property
+    def backend(self):
+        """The resolved kernel :class:`~repro.core.backends.Backend`."""
+        return self._backend
+
+    @property
+    def workers(self) -> int:
+        """Worker count for the batched-round fan-out (1 = sequential)."""
+        return self._workers
 
     # ------------------------------------------------------------------
     # incremental state: U/L, Err, weighted witness scores (all k x k)
@@ -546,30 +595,47 @@ class Rothko:
         entries are exactly zero iff every term is (the property the
         geometric/relative thresholds need).  The member order is built
         once per call, so a batched round's ``2B`` dirty colors amortize
-        it.
+        it.  Chunks read shared pre-round state and write disjoint U/L
+        columns, so the round executor may fan them across threads; the
+        scattered cell count is accumulated locally and reported to the
+        ``kernels.bincount_cells`` counter once per call, not per chunk.
         """
         k = self.k
+        kernel = self._backend
         order, starts = members_order(self._members, self._sizes[:k])
         touched = list(touched)
-        for begin in range(0, len(touched), _COLUMN_CHUNK):
-            chunk = touched[begin:begin + _COLUMN_CHUNK]
+        chunks = [
+            touched[begin:begin + _COLUMN_CHUNK]
+            for begin in range(0, len(touched), _COLUMN_CHUNK)
+        ]
+
+        def refresh_chunk(chunk: list[int]) -> None:
             rows = len(chunk)
             fused = np.empty((2 * rows, self.n), dtype=np.float64)
             for offset, color in enumerate(chunk):
                 members = self._members[color]
-                fused[offset] = scatter_select_sums(
+                fused[offset] = kernel.scatter_select_sums(
                     self._csc.indptr, self._csc.indices, self._csc.data,
                     members, self.n,
                 )
-                fused[rows + offset] = scatter_select_sums(
+                fused[rows + offset] = kernel.scatter_select_sums(
                     self._csr.indptr, self._csr.indices, self._csr.data,
                     members, self.n,
                 )
-            upper, lower = grouped_minmax_ordered(fused, order, starts)
+            upper, lower = kernel.grouped_minmax_ordered(fused, order, starts)
             self._u_out[:k, chunk] = upper[:rows].T
             self._l_out[:k, chunk] = lower[:rows].T
             self._u_in[:k, chunk] = upper[rows:].T
             self._l_in[:k, chunk] = lower[rows:].T
+
+        if self._workers > 1 and len(chunks) > 1:
+            self._round_executor().map(refresh_chunk, chunks)
+        else:
+            for chunk in chunks:
+                refresh_chunk(chunk)
+        _obs._active.count(
+            "kernels.bincount_cells", 2 * len(touched) * self.n
+        )
 
     def _update_boundary_rowgroups(self, touched: Iterable[int]) -> None:
         """Recompute U/L rows for the dirtied groups over all colors.
@@ -579,14 +645,20 @@ class Rothko:
         fused bincount), reduced in chunks bounded by both the slice-cell
         and the edge budget, so neither the block nor the gathered
         position/weight temporaries grow with the color's size or its
-        hubs' degrees.
+        hubs' degrees.  Groups read shared pre-round state and write
+        disjoint U/L rows, so the round executor may fan them across
+        threads; the per-chunk cell counts accumulate locally and reach
+        the ``kernels.bincount_cells`` counter as one add per call.
         """
         k = self.k
+        kernel = self._backend
         csr_arrays = (self._csr.indptr, self._csr.indices, self._csr.data)
         csc_arrays = (self._csc.indptr, self._csc.indices, self._csc.data)
         cap = max(16, _SLICE_CELLS // (2 * k))
         edge_budget = max(_EDGE_CHUNK, self.n // 2)
-        for group in touched:
+        touched = list(touched)
+
+        def refresh_group(group: int) -> None:
             members = self._members[group]
             counts = (
                 self._csr.indptr[members + 1] - self._csr.indptr[members]
@@ -594,7 +666,7 @@ class Rothko:
             )
             upper = lower = None
             for begin, end in self._row_chunks(counts, cap, edge_budget):
-                block = color_degree_slice_pair(
+                block = kernel.color_degree_slice_pair(
                     csr_arrays, csc_arrays,
                     members[begin:end],
                     self.labels, k,
@@ -610,6 +682,14 @@ class Rothko:
             self._l_out[group, :k] = lower[0]
             self._u_in[group, :k] = upper[1]
             self._l_in[group, :k] = lower[1]
+
+        if self._workers > 1 and len(touched) > 1:
+            self._round_executor().map(refresh_group, touched)
+        else:
+            for group in touched:
+                refresh_group(group)
+        total_rows = int(sum(self._members[group].size for group in touched))
+        _obs._active.count("kernels.bincount_cells", 2 * k * total_rows)
 
     # ------------------------------------------------------------------
     # error matrices and witness selection
@@ -701,7 +781,7 @@ class Rothko:
         for begin, end in self._row_chunks(
             counts, r, max(2 * _EDGE_CHUNK, self.n // 2)
         ):
-            degrees[begin:end] = select_degrees_toward(
+            degrees[begin:end] = self._backend.select_degrees_toward(
                 compressed.indptr, compressed.indices, compressed.data,
                 members[begin:end], self.labels, target,
             )
@@ -761,6 +841,7 @@ class Rothko:
         c, t = split_color, self.k - 1
         k, n = self.k, self.n
         csr, csc = self._csr, self._csc
+        kernel = self._backend
         labels = self.labels
         r = pre_members.size
         cap = max(16, _SLICE_CELLS // (2 * k))
@@ -799,10 +880,10 @@ class Rothko:
             rc = end - begin
             chunk_out = counts_out[begin:end]
             chunk_in = counts_in[begin:end]
-            positions = take_ranges(csr.indptr[rows], chunk_out)
+            positions = kernel.take_ranges(csr.indptr[rows], chunk_out)
             nodes_o = csr.indices[positions]
             w_o = csr.data[positions]
-            positions = take_ranges(csc.indptr[rows], chunk_in)
+            positions = kernel.take_ranges(csc.indptr[rows], chunk_in)
             nodes_i = csc.indices[positions]
             w_i = csc.data[positions]
             del positions
@@ -828,13 +909,13 @@ class Rothko:
                 (k + labels[nodes_i]) * rc + local_i,
             ]
             if single:
-                combined = np.bincount(
+                combined = kernel.bincount(
                     np.concatenate(
                         keys_slice
                         + [cells + keys_cols_i, cells + keys_cols_o]
                     ),
-                    weights=np.concatenate([w_o, w_i, w_i, w_o]),
-                    minlength=cells + 4 * n,
+                    np.concatenate([w_o, w_i, w_i, w_o]),
+                    cells + 4 * n,
                 )
                 block = combined[:cells].reshape(2, k, rc)
                 fused = combined[cells:].reshape(4, n)
@@ -845,16 +926,16 @@ class Rothko:
                     self._u_in[group, :k] = sub[1].max(axis=1)
                     self._l_in[group, :k] = sub[1].min(axis=1)
             else:
-                block = np.bincount(
+                block = kernel.bincount(
                     np.concatenate(keys_slice),
-                    weights=np.concatenate([w_o, w_i]),
-                    minlength=cells,
+                    np.concatenate([w_o, w_i]),
+                    cells,
                 ).reshape(2, k, rc)
                 if accumulate:
-                    part = np.bincount(
+                    part = kernel.bincount(
                         np.concatenate([keys_cols_i, keys_cols_o]),
-                        weights=np.concatenate([w_i, w_o]),
-                        minlength=4 * n,
+                        np.concatenate([w_i, w_o]),
+                        4 * n,
                     )
                     if fused is None:
                         fused = part.reshape(4, n)
@@ -889,10 +970,10 @@ class Rothko:
                 self._u_in[group, :k] = upper[group_index, 1]
                 self._l_in[group, :k] = lower[group_index, 1]
             if collect:
-                fused = np.bincount(
+                fused = kernel.bincount(
                     key_buffer[:filled],
-                    weights=weight_buffer[:filled],
-                    minlength=4 * n,
+                    weight_buffer[:filled],
+                    4 * n,
                 ).reshape(4, n)
 
         _obs._active.count("kernels.bincount_cells", 2 * k * r + 4 * n)
@@ -924,6 +1005,51 @@ class Rothko:
     # ------------------------------------------------------------------
     # batched split rounds
     # ------------------------------------------------------------------
+    def _round_executor(self) -> RoundExecutor:
+        """The engine's round executor, created lazily on first use.
+
+        Mode auto-selection follows the backend's ``parallel_kernels``
+        flag (threads for GIL-releasing kernels, the shared-memory
+        process pool for numpy); ``workers == 1`` yields the serial
+        executor, which costs nothing.
+        """
+        if self._executor is None:
+            self._executor = RoundExecutor.resolve(
+                self._workers,
+                self._parallel_mode,
+                self._backend.parallel_kernels,
+            )
+        return self._executor
+
+    def release(self) -> None:
+        """Shut down the round executor's pools and shared memory.
+
+        Idempotent; called automatically when a batched ``steps()``
+        generator finishes.  Only needed explicitly by callers that
+        abandon an engine mid-run with ``workers > 1``.
+        """
+        if self._executor is not None:
+            self._executor.release()
+            self._executor = None
+
+    def _eject_job_mask(self, job: tuple) -> np.ndarray | None:
+        """In-process eject mask for one witness job (the serial and
+        thread-mode body of the round fan-out; the process mode runs
+        :func:`repro.core.backends.executor._eject_mask_task` against
+        the shared-memory mirror instead).  ``None`` drops the witness
+        for this round (constant degrees)."""
+        direction, members, target, split_mean, relative = job
+        indptr = (self._csr if direction == "out" else self._csc).indptr
+        counts = indptr[members + 1] - indptr[members]
+        degrees = self._threshold_degrees(members, counts, direction, target)
+        try:
+            return split_eject_mask(degrees, split_mean, relative=relative)
+        except ColoringError:
+            # Pure floating-point guard: a positive per-direction score
+            # implies non-constant degrees, so this can only trip on
+            # sub-ulp ties; dropping the witness for one round is safe.
+            return None
+
     def _find_witness_batch(
         self, limit: int, q_tolerance: float = 0.0
     ) -> tuple[float, list[tuple[int, int, str]]]:
@@ -985,23 +1111,35 @@ class Rothko:
         exact when its split commits), then the ``2B`` dirtied colors'
         columns, row-groups, and error entries are refreshed in fused
         passes sharing one member-order gather.
+
+        With ``workers > 1`` the masks fan across the round executor —
+        read-only work against the pre-round snapshot, collected in
+        witness order, so the parallel round commits exactly the serial
+        round's splits.
         """
         relative = self.error_mode == "relative"
+        jobs: list[tuple] = []
+        for i, j, direction in picked:
+            split_color = i if direction == "out" else j
+            target = j if direction == "out" else i
+            jobs.append((
+                direction, self._members[split_color], target,
+                self.split_mean, relative,
+            ))
+        executor = self._round_executor()
+        if executor.mode == "processes":
+            executor.attach_graph(
+                (self._csr.indptr, self._csr.indices, self._csr.data),
+                (self._csc.indptr, self._csc.indices, self._csc.data),
+                self.labels,
+            )
+        masks = executor.eject_masks(jobs, self.labels, self._eject_job_mask)
         pending: list[tuple[tuple[int, int, str], int, np.ndarray]] = []
-        for witness in picked:
+        for witness, eject_mask in zip(picked, masks):
+            if eject_mask is None:
+                continue
             i, j, direction = witness
             split_color = i if direction == "out" else j
-            degrees = self._witness_degrees(i, j, direction)
-            try:
-                eject_mask = split_eject_mask(
-                    degrees, self.split_mean, relative=relative
-                )
-            except ColoringError:
-                # Pure floating-point guard: a positive per-direction
-                # score implies non-constant degrees, so this can only
-                # trip on sub-ulp ties; dropping the witness for one
-                # round is always safe.
-                continue
             pending.append((witness, split_color, eject_mask))
         splits: list[tuple[tuple[int, int, str], int]] = []
         dirty: list[int] = []
@@ -1136,6 +1274,22 @@ class Rothko:
         start: float,
     ) -> Iterator[RothkoStep]:
         """Round-based variant of the anytime loop (``strategy="batched"``)."""
+        try:
+            yield from self._rounds_batched(
+                max_colors, q_tolerance, max_iterations, start
+            )
+        finally:
+            # Pools and shared memory are per-run transients; the engine
+            # itself stays usable (a follow-up run re-creates them).
+            self.release()
+
+    def _rounds_batched(
+        self,
+        max_colors: int | None,
+        q_tolerance: float,
+        max_iterations: int | None,
+        start: float,
+    ) -> Iterator[RothkoStep]:
         iteration = 0
         while True:
             limit = self.batch_size
@@ -1185,6 +1339,8 @@ class Rothko:
             "rothko.run",
             n=self.n,
             strategy=self.strategy,
+            backend=self._backend.name,
+            workers=self._workers,
             max_colors=max_colors,
             q_tolerance=q_tolerance,
         ) as run_span:
@@ -1293,6 +1449,8 @@ def q_color(
     max_iterations: int | None = None,
     strategy: str = "greedy",
     batch_size: int | None = None,
+    backend=None,
+    workers: int | None = None,
 ) -> RothkoResult:
     """Compute a quasi-stable coloring with the Rothko heuristic.
 
@@ -1323,6 +1481,8 @@ def q_color(
         frozen=frozen,
         strategy=strategy,
         batch_size=batch_size,
+        backend=backend,
+        workers=workers,
     )
     return engine.run(
         max_colors=n_colors,
@@ -1342,6 +1502,8 @@ def eps_color(
     max_iterations: int | None = None,
     strategy: str = "greedy",
     batch_size: int | None = None,
+    backend=None,
+    workers: int | None = None,
 ) -> RothkoResult:
     """Compute an eps-relative quasi-stable coloring (Sec. 3.1).
 
@@ -1366,6 +1528,8 @@ def eps_color(
         error_mode="relative",
         strategy=strategy,
         batch_size=batch_size,
+        backend=backend,
+        workers=workers,
     )
     return engine.run(
         max_colors=n_colors,

@@ -136,6 +136,10 @@ class DynamicColoring:
         Subscribe to the graph's mutation hooks so direct ``add_edge`` /
         ``remove_edge`` calls are tracked too.  Use :meth:`detach` (or a
         ``with`` block) to unsubscribe.
+    backend:
+        Kernel backend for the seed coloring and budget-triggered
+        rebuilds (see :mod:`repro.core.backends`); the per-arc repair
+        kernels dispatch through the process default regardless.
     """
 
     def __init__(
@@ -151,6 +155,7 @@ class DynamicColoring:
         merge_attempts: int = 64,
         frozen: Iterable[int] = (),
         attach: bool = True,
+        backend: str | None = None,
     ) -> None:
         if q_tolerance < 0:
             raise ValueError(f"q_tolerance must be non-negative, got {q_tolerance}")
@@ -170,6 +175,7 @@ class DynamicColoring:
         self.max_colors = max_colors
         self.drift_budget = float(drift_budget)
         self.merge_attempts = int(merge_attempts)
+        self.backend = backend
         self.stats = DynamicStats()
 
         self.n = graph.n_nodes
@@ -234,6 +240,7 @@ class DynamicColoring:
             split_mean=self.split_mean,
             frozen=frozen,
             error_mode=self.error_mode,
+            backend=self.backend,
         )
         engine.run(max_colors=self.max_colors, q_tolerance=self.q_tolerance)
         return engine

@@ -57,6 +57,7 @@ class MaxFlowTask(CompressionTask):
         split_mean: str = "arithmetic",
         lift_solution: bool = False,
         engine: str = "arcstore",
+        backend: str | None = None,
     ) -> None:
         self.problem = network
         self.bound = bound
@@ -64,6 +65,7 @@ class MaxFlowTask(CompressionTask):
         self.split_mean = split_mean
         self.lift_solution = lift_solution
         self.engine = engine
+        self.backend = backend
         self._spec: ColoringSpec | None = None
 
     def coloring_spec(self) -> ColoringSpec:
@@ -76,6 +78,7 @@ class MaxFlowTask(CompressionTask):
                 split_mean=self.split_mean,
                 initial=initial,
                 frozen=frozen,
+                backend=self.backend,
             )
         return self._spec
 
@@ -121,12 +124,14 @@ class LPTask(CompressionTask):
         method: str = "scipy",
         alpha: float = 1.0,
         beta: float = 0.0,
+        backend: str | None = None,
     ) -> None:
         self.problem = lp
         self.mode = mode
         self.method = method
         self.alpha = alpha
         self.beta = beta
+        self.backend = backend
         self._spec: ColoringSpec | None = None
 
     def coloring_spec(self) -> ColoringSpec:
@@ -141,6 +146,7 @@ class LPTask(CompressionTask):
                 split_mean="arithmetic",
                 initial=initial,
                 frozen=frozen,
+                backend=self.backend,
             )
         return self._spec
 
@@ -193,12 +199,14 @@ class CentralityTask(CompressionTask):
         pivots_per_color: int = 1,
         split_mean: str = "geometric",
         engine: str = "arcstore",
+        backend: str | None = None,
     ) -> None:
         self.problem = graph
         self.seed = seed
         self.pivots_per_color = pivots_per_color
         self.split_mean = split_mean
         self.engine = engine
+        self.backend = backend
         self._spec: ColoringSpec | None = None
 
     def coloring_spec(self) -> ColoringSpec:
@@ -208,6 +216,7 @@ class CentralityTask(CompressionTask):
                 alpha=1.0,
                 beta=1.0,
                 split_mean=self.split_mean,
+                backend=self.backend,
             )
         return self._spec
 

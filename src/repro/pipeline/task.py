@@ -65,6 +65,12 @@ class ColoringSpec:
     initial: Coloring | None = None
     frozen: tuple[int, ...] = ()
     error_mode: str = "absolute"
+    #: kernel backend spec ("numpy", "numba", "torch[:device]", "auto",
+    #: or None = REPRO_BACKEND / auto).  Backends are bit-identical on
+    #: CPU, but the cache key still carries the *resolved* name + device
+    #: so colorings computed by different backends never alias — a CUDA
+    #: torch run (last-ulp atomics) must not serve a numpy request.
+    backend: str | None = None
 
     def build_engine(self) -> Rothko:
         return Rothko(
@@ -75,7 +81,16 @@ class ColoringSpec:
             split_mean=self.split_mean,
             frozen=self.frozen,
             error_mode=self.error_mode,
+            backend=self.backend,
         )
+
+    def resolved_backend(self) -> tuple[str, str]:
+        """The ``(name, device)`` this spec's engine will actually run on
+        (``None``/``"auto"`` specs consult the environment here)."""
+        from repro.core.backends import resolve_backend
+
+        resolved = resolve_backend(self.backend)
+        return resolved.name, resolved.device
 
     def cache_key(self) -> tuple:
         """Hashable fingerprint identifying the split sequence.
@@ -99,6 +114,7 @@ class ColoringSpec:
                 initial_key,
                 tuple(sorted(self.frozen)),
                 self.error_mode,
+                self.resolved_backend(),
             )
             object.__setattr__(self, "_cache_key", key)
         return key

@@ -28,7 +28,10 @@ solvers share:
 
 The gather/scatter steps reuse :mod:`repro.core.kernels`
 (:func:`~repro.core.kernels.take_ranges`): the same cumsum trick that
-powers the coloring engine powers the solver BFS.
+powers the coloring engine powers the solver BFS.  Those wrappers
+dispatch through the process-default backend
+(:mod:`repro.core.backends`), so the BFS frontier gathers pick up the
+numba/torch kernels — bit-identical results — whenever one is active.
 """
 
 from __future__ import annotations

@@ -12,6 +12,12 @@ path DAG.  On the arc-store representation both sweeps vectorize:
   ``delta[v] += sigma[v] / sigma[w] * (1 + delta[w])`` summed over the
   level's DAG arcs ``v -> w``.
 
+Both sweeps run on the :func:`~repro.core.kernels.take_ranges` /
+:func:`~repro.core.kernels.scatter_add` wrappers, which dispatch
+through the process-default backend (:mod:`repro.core.backends`) — the
+frontier gathers and sigma/delta scatters are accelerated, with
+bit-identical results, whenever a numba/torch backend is active.
+
 On top of that, sources are processed in *batches* of flat BFS lanes
 (node ``v`` of lane ``b`` is key ``b * n + v``), so every per-level
 gather/scatter serves a whole block of sources at once and the numpy

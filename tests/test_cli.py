@@ -14,6 +14,15 @@ def karate_file(tmp_path):
     return str(path)
 
 
+@pytest.fixture(autouse=True)
+def _reset_backend_default():
+    # `--backend` installs a process default; undo it between tests
+    yield
+    from repro.core.backends import set_default_backend
+
+    set_default_backend(None)
+
+
 class TestColorCommand:
     def test_color_by_budget(self, karate_file, capsys):
         assert main(["color", karate_file, "--colors", "6"]) == 0
@@ -42,6 +51,27 @@ class TestColorCommand:
     def test_color_requires_stopping_rule(self, karate_file):
         with pytest.raises(SystemExit):
             main(["color", karate_file])
+
+    def test_color_explicit_backend(self, karate_file, capsys):
+        assert main(
+            ["color", karate_file, "--colors", "6", "--backend", "numpy"]
+        ) == 0
+        assert "colors" in capsys.readouterr().out
+
+    def test_color_unknown_backend_rejected(self, karate_file):
+        with pytest.raises(SystemExit, match="fortran"):
+            main(["color", karate_file, "--colors", "4",
+                  "--backend", "fortran"])
+
+    def test_color_backend_matches_default(self, karate_file, tmp_path):
+        default_out = tmp_path / "default.txt"
+        numpy_out = tmp_path / "numpy.txt"
+        main(["color", karate_file, "--colors", "6",
+              "--out", str(default_out)])
+        main(["color", karate_file, "--colors", "6", "--backend", "numpy",
+              "--out", str(numpy_out)])
+        # backends are bit-identical, so the assignments must agree
+        assert default_out.read_text() == numpy_out.read_text()
 
 
 class TestSolveCommand:
