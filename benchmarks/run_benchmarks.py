@@ -27,6 +27,9 @@ alongside the timings.  The child also reports its own peak RSS
 platforms without the ``resource`` module), persisted as ``max_rss_mb``;
 benchmarks that attach ``extra_info`` (e.g. the large-scale Rothko
 suite's traced peak memory) carry it through to the condensed results.
+``--json`` additionally writes one consolidated ``BENCH_<date>.json``
+at the repo root mapping every suite to its per-benchmark medians and
+peak RSS — the committed regression baseline.
 
 Usage::
 
@@ -69,6 +72,9 @@ SMOKE_FILTERS = {
     # colorings per test) stays out of smoke.
     "bench_backends": "test_backend_coloring[250000]",
     "bench_core_micro": "test_q_error_evaluation or edmonds_karp",
+    # Quarter-million-node mmap-vs-resident parity; the million-node
+    # parity case and the 100M-arc ingest+color run stay out of smoke.
+    "bench_outofcore_scale": "test_outofcore_parity[250000]",
     # bench_dynamic_updates needs no filter: its single test covers all
     # scenarios in one ~1 s pass (a stale "random" filter used to
     # deselect it entirely).
@@ -245,12 +251,20 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     failures = 0
+    consolidated: dict[str, dict] = {}
     for path in suites:
         print(f"== {path.stem} ==")
         condensed = run_suite(path, args.smoke, args.pytest_args)
         if condensed is None:
             failures += 1
             continue
+        consolidated[path.stem] = {
+            "max_rss_mb": condensed.get("max_rss_mb"),
+            "medians": {
+                row["name"]: row["median"]
+                for row in condensed["results"]
+            },
+        }
         for row in condensed["results"]:
             print(
                 f"  {row['name']}: median {row['median'] * 1000:.2f} ms "
@@ -270,6 +284,27 @@ def main(argv: list[str] | None = None) -> int:
             out_path = RESULTS_DIR / f"{path.stem}.json"
             out_path.write_text(json.dumps(condensed, indent=2) + "\n")
             print(f"  -> {out_path.relative_to(REPO_ROOT)}")
+    if args.json and consolidated:
+        # One consolidated baseline per run at the repo root: every
+        # suite's per-benchmark medians and peak RSS in a single file,
+        # so a regression diff is one document, not a results/ crawl.
+        import datetime
+
+        stamp = datetime.date.today().isoformat()
+        bench_path = REPO_ROOT / f"BENCH_{stamp}.json"
+        bench_path.write_text(
+            json.dumps(
+                {
+                    "date": stamp,
+                    "smoke": args.smoke,
+                    "python": sys.version.split()[0],
+                    "suites": consolidated,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"-> consolidated baseline: {bench_path.name}")
     return 1 if failures else 0
 
 

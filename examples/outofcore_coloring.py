@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Out-of-core coloring: ingest a graph to disk, color it memmapped.
+
+Walks the edge-store pipeline end to end on a million-arc synthetic
+digraph: stream the arcs into a memmapped store, open the graph with
+``from_edgestore`` (no resident arrays), color it, and verify the
+labels are bit-identical to a fully resident run.  tracemalloc shows
+the punchline — the out-of-core run's Python heap never holds the
+graph.
+
+Run:  python examples/outofcore_coloring.py
+"""
+
+import tempfile
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.rothko import Rothko
+from repro.graphs.digraph import WeightedDiGraph
+from repro.graphs.edgestore import ingest_uniform_random
+
+N_NODES = 250_000
+OUT_DEGREE = 4
+BUDGET = 64
+
+
+def traced(label, fn):
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    print(f"{label}: traced peak {peak / 1e6:.1f} MB")
+    return result
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "store"
+
+        # --- 1. stream the graph onto disk ---------------------------
+        store = ingest_uniform_random(
+            store_path, N_NODES, OUT_DEGREE, seed=7
+        )
+        print(
+            f"Store: {store.n_nodes:,} nodes, {store.n_arcs:,} arcs, "
+            f"{store.array_nbytes() / 1e6:.1f} MB on disk "
+            f"({store.index_dtype} indices)"
+        )
+
+        # --- 2. color straight off the files -------------------------
+        mmap_graph = WeightedDiGraph.from_edgestore(store, mmap=True)
+        mmap_result = traced(
+            "out-of-core coloring",
+            lambda: Rothko(mmap_graph).run(max_colors=BUDGET),
+        )
+
+        # --- 3. same run, fully resident -----------------------------
+        indptr, indices, data = store.csr_arrays(mmap=False)
+        resident = WeightedDiGraph.from_arrays(
+            np.repeat(
+                np.arange(store.n_nodes, dtype=np.int64),
+                np.diff(indptr),
+            ),
+            indices.astype(np.int64),
+            data,
+            n_nodes=store.n_nodes,
+        )
+        resident_result = traced(
+            "resident coloring",
+            lambda: Rothko(resident).run(max_colors=BUDGET),
+        )
+
+        # --- 4. the mmap path is an I/O strategy, not an approximation
+        assert np.array_equal(
+            mmap_result.coloring.labels,
+            resident_result.coloring.labels,
+        )
+        print(
+            f"Bit-identical colorings: {mmap_result.n_colors} colors, "
+            f"max q-error {mmap_result.max_q_err:.3f} "
+            f"(compression {store.n_nodes / mmap_result.n_colors:.0f}:1)"
+        )
+
+
+if __name__ == "__main__":
+    main()

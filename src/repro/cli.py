@@ -56,13 +56,73 @@ TABLE_CHOICES = (
 )
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.exceptions import GraphError
+    from repro.graphs import edgestore
+
+    if (args.edgelist is None) == (args.synthetic is None):
+        raise SystemExit("ingest needs exactly one of --edgelist/--synthetic")
+    start = time.perf_counter()
+    try:
+        if args.edgelist is not None:
+            store = edgestore.ingest_edgelist(
+                args.out,
+                args.edgelist,
+                directed=not args.undirected,
+                n_nodes=args.n_nodes,
+                chunk_arcs=args.chunk_arcs,
+                overwrite=args.overwrite,
+            )
+        else:
+            try:
+                n_nodes, out_degree = (
+                    int(part) for part in args.synthetic.split(",")
+                )
+            except ValueError as exc:
+                raise SystemExit(
+                    f"--synthetic must be 'N,OUT_DEGREE', "
+                    f"got {args.synthetic!r}"
+                ) from exc
+            store = edgestore.ingest_uniform_random(
+                args.out,
+                n_nodes,
+                out_degree,
+                seed=args.seed,
+                chunk_arcs=args.chunk_arcs,
+                overwrite=args.overwrite,
+            )
+    except (GraphError, OSError) as exc:
+        raise SystemExit(str(exc)) from exc
+    rows = [
+        {
+            "nodes": store.n_nodes,
+            "arcs": store.n_arcs,
+            "directed": store.directed,
+            "index_dtype": store.index_dtype.name,
+            "disk_mb": round(store.array_nbytes() / 1e6, 1),
+            "seconds": round(time.perf_counter() - start, 3),
+        }
+    ]
+    print(render_rows(rows, title=f"Edge store at {store.path}"))
+    return 0
+
+
 def _cmd_color(args: argparse.Namespace) -> int:
     from repro.core.qerror import q_error_report
     from repro.core.rothko import eps_color, q_color
     from repro.graphs.io import read_edgelist
 
     backend = _apply_backend(args)
-    graph = read_edgelist(args.path, directed=args.directed)
+    if args.mmap:
+        from repro.graphs.digraph import WeightedDiGraph
+
+        # PATH is an edge-store directory; the CSR/CSC snapshots stay
+        # memmap-backed, so the coloring streams edges from disk.
+        graph = WeightedDiGraph.from_edgestore(args.path, mmap=True)
+    else:
+        graph = read_edgelist(args.path, directed=args.directed)
     if args.eps is not None:
         result = eps_color(
             graph, n_colors=args.colors, eps=args.eps, backend=backend
@@ -418,8 +478,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="build an on-disk edge store (out-of-core, memmap-ready)",
+    )
+    ingest.add_argument("out", help="target store directory")
+    ingest.add_argument("--edgelist", default=None,
+                        help="text edge list: 'src dst [weight]' lines "
+                             "with integer node ids")
+    ingest.add_argument("--synthetic", default=None, metavar="N,OUT_DEGREE",
+                        help="stream-generate a uniform random digraph "
+                             "instead of reading a file")
+    ingest.add_argument("--seed", type=int, default=0,
+                        help="rng seed (with --synthetic)")
+    ingest.add_argument("--undirected", action="store_true",
+                        help="store both directions of every edge "
+                             "(with --edgelist)")
+    ingest.add_argument("--n-nodes", type=int, default=None,
+                        help="declared node count (default: max id + 1)")
+    ingest.add_argument("--chunk-arcs", type=int, default=8_000_000,
+                        help="arcs buffered per sorted run before it "
+                             "spills to disk")
+    ingest.add_argument("--overwrite", action="store_true",
+                        help="replace an existing store at OUT")
+    ingest.set_defaults(func=_cmd_ingest)
+
     color = sub.add_parser("color", help="color an edge-list graph file")
-    color.add_argument("path", help="edge-list file: 'u v [weight]' lines")
+    color.add_argument("path",
+                       help="edge-list file: 'u v [weight]' lines "
+                            "(or an edge-store directory with --mmap)")
+    color.add_argument("--mmap", action="store_true",
+                       help="PATH is a `repro ingest` edge-store "
+                            "directory; color it out-of-core off "
+                            "memmapped snapshots (directedness comes "
+                            "from the store)")
     color.add_argument("--colors", type=int, default=None,
                        help="color budget")
     color.add_argument("--q", type=float, default=None,

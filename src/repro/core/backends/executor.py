@@ -18,11 +18,14 @@ turns that structural independence into wall-clock:
     a fork/spawn worker pool over a **shared-memory mirror** of the
     engine's CSR/CSC snapshots and label array
     (:mod:`multiprocessing.shared_memory`), for the numpy backend whose
-    bincount paths hold the GIL.  The big arrays are written once;
-    labels are refreshed in place before each round (children attached
-    the same physical pages, so the O(n) copy is the entire
-    synchronization cost), and only the per-witness member lists and
-    returned masks cross the pickle boundary.
+    bincount paths hold the GIL.  The big arrays are written once —
+    or, when the snapshots are file-backed memmaps (edge-store graphs),
+    not written anywhere: workers reopen the store files read-only and
+    share the parent's page-cache pages.  Labels are refreshed in place
+    before each round (children attached the same physical pages, so
+    the O(n) copy is the entire synchronization cost), and only the
+    per-witness member lists and returned masks cross the pickle
+    boundary.
 
 Every mode returns results **in submission order**, so a parallel round
 commits exactly the splits, in exactly the order, that the serial round
@@ -61,11 +64,23 @@ def resolve_workers(workers: int | None = None) -> int:
 
 
 def _attach_worker(blocks: list[tuple[str, str, tuple]]) -> None:
-    """Pool initializer: attach the parent's shared-memory arrays."""
+    """Pool initializer: attach the parent's shared or memmapped arrays.
+
+    ``"shm"`` blocks attach a shared-memory segment by name; ``"file"``
+    blocks reopen a read-only memmap over the parent's backing file —
+    the kernel page cache makes that the same physical pages the parent
+    streams, so file-backed snapshots cost no per-worker copy at all.
+    """
     from multiprocessing import shared_memory
 
+    from repro.graphs.edgestore import open_descriptor
+
     handles = []
-    for key, name, (dtype, shape) in blocks:
+    for key, kind, spec in blocks:
+        if kind == "file":
+            _WORKER_STATE[key] = open_descriptor(spec)
+            continue
+        name, dtype, shape = spec
         shm = shared_memory.SharedMemory(name=name)
         handles.append(shm)  # keep alive for the worker's lifetime
         _WORKER_STATE[key] = np.ndarray(
@@ -102,15 +117,33 @@ def _eject_mask_task(job: tuple) -> np.ndarray | None:
 
 
 class _SharedGraphMirror:
-    """Shared-memory copies of the CSR/CSC arrays plus a live label slot."""
+    """Worker-visible views of the CSR/CSC arrays plus a live label slot.
 
-    def __init__(self, arrays: dict[str, np.ndarray]) -> None:
+    Arrays that are already file-backed memmaps (edge-store snapshots)
+    are published as picklable file descriptors — workers reopen the
+    same file read-only and share its page-cache pages, so the graph is
+    never copied per worker *or* into shared memory.  Everything else
+    (resident snapshots, and always the ``live`` keys, which must stay
+    writable for per-round updates) is mirrored into POSIX shared
+    memory as before.
+    """
+
+    def __init__(
+        self, arrays: dict[str, np.ndarray], live: frozenset = frozenset()
+    ) -> None:
         from multiprocessing import shared_memory
+
+        from repro.graphs.edgestore import memmap_descriptor
 
         self._shms = []
         self._views: dict[str, np.ndarray] = {}
         self.blocks: list[tuple[str, str, tuple]] = []
         for key, array in arrays.items():
+            if key not in live:
+                descriptor = memmap_descriptor(array)
+                if descriptor is not None:
+                    self.blocks.append((key, "file", descriptor))
+                    continue
             array = np.ascontiguousarray(array)
             shm = shared_memory.SharedMemory(
                 create=True, size=max(1, array.nbytes)
@@ -120,7 +153,7 @@ class _SharedGraphMirror:
             self._shms.append(shm)
             self._views[key] = view
             self.blocks.append(
-                (key, shm.name, (array.dtype.str, array.shape))
+                (key, "shm", (shm.name, array.dtype.str, array.shape))
             )
 
     def update(self, key: str, array: np.ndarray) -> None:
@@ -208,7 +241,9 @@ class RoundExecutor:
         arrays = {f"csr_{n}": a for n, a in zip(names, csr_arrays)}
         arrays.update({f"csc_{n}": a for n, a in zip(names, csc_arrays)})
         arrays["labels"] = labels
-        self._mirror = _SharedGraphMirror(arrays)
+        self._mirror = _SharedGraphMirror(
+            arrays, live=frozenset({"labels"})
+        )
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # platform without fork: spawn still works,

@@ -155,11 +155,14 @@ def coerce_adjacency(graph) -> sp.csr_matrix:
         return graph.to_csr()
     if sp.issparse(graph):
         matrix = graph.tocsr().astype(np.float64, copy=False)
-        if matrix is graph:
+        if matrix is graph and matrix.data.flags.writeable:
             # Already-float64 CSR inputs come back as the same object;
             # snapshot them so caller-side mutation cannot corrupt the
             # engine's maintained state mid-run.  (Format or dtype
             # conversions above already allocated fresh arrays.)
+            # Read-only inputs — memmapped edge-store snapshots — are
+            # immutable by construction, and copying one would pull the
+            # whole file resident, defeating the out-of-core path.
             matrix = matrix.copy()
     elif isinstance(graph, np.ndarray):
         matrix = sp.csr_matrix(graph, dtype=np.float64)
@@ -173,6 +176,24 @@ def coerce_adjacency(graph) -> sp.csr_matrix:
     if matrix.shape[0] != matrix.shape[1]:
         raise ColoringError(f"adjacency must be square, got {matrix.shape}")
     return matrix
+
+
+def coerce_adjacency_pair(graph) -> tuple[sp.csr_matrix, sp.csc_matrix]:
+    """CSR *and* CSC snapshots for the engine's two scan directions.
+
+    ``WeightedDiGraph`` inputs reuse the graph's own cached CSC — for
+    edge-store graphs that view is memmap-backed, so deriving a resident
+    CSC from the CSR here would silently re-materialize the whole edge
+    list in RAM.  Every other input derives the CSC from the coerced CSR
+    exactly as before (``to_csc`` caches the same conversion, so the
+    two paths agree bit-for-bit).
+    """
+    from repro.graphs.digraph import WeightedDiGraph
+
+    if isinstance(graph, WeightedDiGraph):
+        return graph.to_csr(), graph.to_csc()
+    csr = coerce_adjacency(graph)
+    return csr, csr.tocsc()
 
 
 def split_eject_mask(
@@ -421,8 +442,7 @@ class Rothko:
         self._workers = resolve_workers(workers)
         self._parallel_mode = parallel_mode
         self._executor: RoundExecutor | None = None
-        self._csr = coerce_adjacency(graph)
-        self._csc = self._csr.tocsc()
+        self._csr, self._csc = coerce_adjacency_pair(graph)
         self.n = self._csr.shape[0]
         self.alpha = float(alpha)
         self.beta = float(beta)
@@ -608,20 +628,33 @@ class Rothko:
             touched[begin:begin + _COLUMN_CHUNK]
             for begin in range(0, len(touched), _COLUMN_CHUNK)
         ]
+        csr_arrays = (self._csr.indptr, self._csr.indices, self._csr.data)
+        csc_arrays = (self._csc.indptr, self._csc.indices, self._csc.data)
+        # The gather inside ``scatter_select_sums`` is O(nnz(members)),
+        # so a color covering most of a dense graph (the k=1 trivial
+        # coloring, above all) would pull the whole edge list onto the
+        # heap.  Accumulating over member sub-ranges bounds the transient
+        # at O(n) regardless of m — the chunk cuts depend only on array
+        # sizes, so mmap and resident snapshots take identical paths and
+        # stay bit-identical.
+        edge_budget = max(_EDGE_CHUNK, self.n)
 
         def refresh_chunk(chunk: list[int]) -> None:
             rows = len(chunk)
-            fused = np.empty((2 * rows, self.n), dtype=np.float64)
+            fused = np.zeros((2 * rows, self.n), dtype=np.float64)
             for offset, color in enumerate(chunk):
                 members = self._members[color]
-                fused[offset] = kernel.scatter_select_sums(
-                    self._csc.indptr, self._csc.indices, self._csc.data,
-                    members, self.n,
-                )
-                fused[rows + offset] = kernel.scatter_select_sums(
-                    self._csr.indptr, self._csr.indices, self._csr.data,
-                    members, self.n,
-                )
+                for arrays, row in (
+                    (csc_arrays, offset), (csr_arrays, rows + offset)
+                ):
+                    indptr = arrays[0]
+                    counts = indptr[members + 1] - indptr[members]
+                    for begin, end in self._row_chunks(
+                        counts, max(1, members.size), edge_budget
+                    ):
+                        fused[row] += kernel.scatter_select_sums(
+                            *arrays, members[begin:end], self.n
+                        )
             upper, lower = kernel.grouped_minmax_ordered(fused, order, starts)
             self._u_out[:k, chunk] = upper[:rows].T
             self._l_out[:k, chunk] = lower[:rows].T
@@ -835,8 +868,9 @@ class Rothko:
         every edge to its post-split column.  The chunk's slice block is
         reduced into the ``c``/``t`` row-groups immediately; single-chunk
         splits scatter the column cells in the same bincount, multi-chunk
-        splits collect column keys for one final scatter so the ``4n``
-        column range is zeroed once per split.
+        splits collect column keys into an O(n)-bounded buffer scattered
+        on fill, so the ``4n`` column range is touched once per ~``4n``
+        edges rather than once per chunk — and never O(nnz(color)) keys.
         """
         c, t = split_color, self.k - 1
         k, n = self.k, self.n
@@ -852,12 +886,18 @@ class Rothko:
         accumulate = not single and 4 * n <= _COLUMN_ACCUM_CELLS
         collect = not single and not accumulate
         if collect:
-            # Large-n multi-chunk splits: preallocate the column scatter
-            # input once (the edge total is known), so no concatenation
-            # ever doubles the O(nnz(color)) transient.
+            # Large-n multi-chunk splits: collect column keys into a
+            # buffer bounded at O(n) and scatter-accumulate whenever it
+            # fills, so the dense 4n add amortizes to one per ~4n edges
+            # while a whole-graph color never holds O(nnz(color)) keys.
+            # A buffer covering the full edge total keeps the historical
+            # single-scatter behavior bit for bit.
             total_edges = int(counts_out.sum() + counts_in.sum())
-            key_buffer = np.empty(total_edges, dtype=np.int64)
-            weight_buffer = np.empty(total_edges, dtype=np.float64)
+            buffer_cap = min(
+                total_edges, max(4 * n, _COLUMN_ACCUM_CELLS)
+            )
+            key_buffer = np.empty(buffer_cap, dtype=np.int64)
+            weight_buffer = np.empty(buffer_cap, dtype=np.float64)
             filled = 0
 
         # The member lists are a color-sorted node order and the sizes
@@ -945,6 +985,20 @@ class Rothko:
                     for keys, weights in (
                         (keys_cols_i, w_i), (keys_cols_o, w_o)
                     ):
+                        if filled + keys.size > buffer_cap:
+                            # Flush: row incidences are <= 2n per atomic
+                            # hub row and the cap is >= 4n, so a drained
+                            # buffer always fits the incoming chunk.
+                            part = kernel.bincount(
+                                key_buffer[:filled],
+                                weight_buffer[:filled],
+                                4 * n,
+                            )
+                            if fused is None:
+                                fused = part.reshape(4, n)
+                            else:
+                                fused += part.reshape(4, n)
+                            filled = 0
                         key_buffer[filled:filled + keys.size] = keys
                         weight_buffer[filled:filled + keys.size] = weights
                         filled += keys.size
@@ -970,11 +1024,15 @@ class Rothko:
                 self._u_in[group, :k] = upper[group_index, 1]
                 self._l_in[group, :k] = lower[group_index, 1]
             if collect:
-                fused = kernel.bincount(
+                part = kernel.bincount(
                     key_buffer[:filled],
                     weight_buffer[:filled],
                     4 * n,
-                ).reshape(4, n)
+                )
+                if fused is None:
+                    fused = part.reshape(4, n)
+                else:
+                    fused += part.reshape(4, n)
 
         _obs._active.count("kernels.bincount_cells", 2 * k * r + 4 * n)
         col_upper = np.maximum.reduceat(fused, starts, axis=1)

@@ -1,0 +1,446 @@
+"""Slim Graph-style lossy-compression evaluation harness.
+
+Slim Graph (Besta et al., SC'19) argues that a lossy graph-compression
+claim is only credible when it reports *accuracy per byte* (and per
+second) against cheap sparsification baselines on real downstream
+tasks.  This harness runs that comparison for quasi-stable coloring on
+the paper's three pipeline tasks — max-flow, LP, and betweenness
+centrality — against two standard baselines:
+
+``quasi-stable``
+    the compress-solve-lift pipeline (color budget chosen to hit the
+    byte budget: ``k^2`` block weights + ``n`` labels);
+``degree-sampling``
+    keep each arc with probability proportional to
+    ``1/sqrt(deg(u) * deg(v))`` (degree-weighted edge sampling),
+    Horvitz-Thompson reweighting ``w/p`` keeps totals unbiased;
+``spanner``
+    a deterministic local filter in the spirit of spanner/backbone
+    sparsifiers: keep the ``ceil(level * out_degree)`` strongest arcs
+    of every node (weights unchanged).
+
+Every scheme is scored by the same task-level error against the exact
+solution on the uncompressed problem; ``accuracy = 1 / (1 + err)`` maps
+that onto ``(0, 1]`` so accuracy-per-MB and accuracy-per-second are
+comparable across tasks.  A failed solve (a sparsified LP can become
+unbounded) scores accuracy 0 — the baseline's failure is part of the
+comparison, not an excuse to drop the row.
+
+Run directly for the JSON artifact the CI smoke job uploads::
+
+    python -m repro.experiments.compression_harness --smoke --out out.json
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Iterable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import LPError
+
+__all__ = [
+    "degree_weighted_sample",
+    "spanner_sparsify",
+    "sparsify_lp",
+    "harness_rows",
+]
+
+SCHEMES = ("quasi-stable", "degree-sampling", "spanner")
+
+#: task -> (dataset, default scale, smoke scale)
+_PROBLEMS = {
+    "maxflow": ("tsukuba0", 0.01, 0.003),
+    "lp": ("qap15", 0.04, 0.015),
+    "centrality": ("deezer", 0.015, 0.005),
+}
+
+_DEFAULT_LEVELS = (0.05, 0.15, 0.4)
+
+
+# ----------------------------------------------------------------------
+# sparsification baselines
+# ----------------------------------------------------------------------
+def _arc_arrays(graph):
+    csr = graph.to_csr()
+    n = csr.shape[0]
+    src = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(csr.indptr)
+    )
+    dst = csr.indices.astype(np.int64)
+    weight = np.asarray(csr.data, dtype=np.float64)
+    return n, src, dst, weight
+
+
+def _rebuild(graph, n, src, dst, weight):
+    from repro.graphs.digraph import WeightedDiGraph
+
+    return WeightedDiGraph.from_arrays(
+        src, dst, weight, n_nodes=n, directed=graph.directed
+    )
+
+
+def degree_weighted_sample(graph, level: float, seed: int = 0):
+    """Keep ~``level`` of the arcs, biased against high-degree pairs.
+
+    Inclusion probability is proportional to
+    ``1/sqrt(deg(u) * deg(v))`` — redundant arcs inside dense
+    neighborhoods go first, bridges survive — and every kept arc is
+    reweighted by ``1/p`` so expected weighted degrees are preserved.
+    """
+    n, src, dst, weight = _arc_arrays(graph)
+    if not src.size:
+        return graph.copy()
+    degree = (
+        np.bincount(src, minlength=n) + np.bincount(dst, minlength=n)
+    ).astype(np.float64)
+    if not graph.directed:
+        keep_canonical = src <= dst
+        src, dst, weight = (
+            src[keep_canonical], dst[keep_canonical],
+            weight[keep_canonical],
+        )
+    score = 1.0 / np.sqrt(degree[src] * degree[dst])
+    p = np.clip(level * src.size * score / score.sum(), 0.0, 1.0)
+    rng = np.random.default_rng(seed)
+    kept = rng.random(src.size) < p
+    return _rebuild(
+        graph, n, src[kept], dst[kept], weight[kept] / p[kept]
+    )
+
+
+def spanner_sparsify(graph, level: float):
+    """Keep the ``ceil(level * out_degree)`` strongest arcs per node.
+
+    Deterministic; weights are unchanged, so the sparsified graph is a
+    subgraph (the spanner-style "keep the backbone" baseline).
+    """
+    n, src, dst, weight = _arc_arrays(graph)
+    if not src.size:
+        return graph.copy()
+    if not graph.directed:
+        keep_canonical = src <= dst
+        src, dst, weight = (
+            src[keep_canonical], dst[keep_canonical],
+            weight[keep_canonical],
+        )
+    order = np.lexsort((-np.abs(weight), src))
+    src, dst, weight = src[order], dst[order], weight[order]
+    counts = np.bincount(src, minlength=n)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    rank = np.arange(src.size) - np.repeat(offsets[:-1], counts)
+    quota = np.maximum(1, np.ceil(level * counts)).astype(np.int64)
+    kept = rank < quota[src]
+    return _rebuild(graph, n, src[kept], dst[kept], weight[kept])
+
+
+def sparsify_lp(lp, scheme: str, level: float, seed: int = 0):
+    """Apply a sparsification baseline to an LP's constraint matrix.
+
+    The nonzeros of ``A`` are the arcs of its row-column bipartite
+    graph; the same keep rules as the graph baselines apply, and the
+    sparsified LP keeps ``b``/``c`` unchanged.
+    """
+    from repro.lp.model import LinearProgram
+
+    coo = lp.a_matrix.tocoo()
+    row = coo.row.astype(np.int64)
+    col = coo.col.astype(np.int64)
+    val = coo.data.astype(np.float64)
+    if scheme == "degree-sampling":
+        deg_row = np.bincount(row, minlength=lp.n_rows).astype(np.float64)
+        deg_col = np.bincount(col, minlength=lp.n_cols).astype(np.float64)
+        score = 1.0 / np.sqrt(deg_row[row] * deg_col[col])
+        p = np.clip(level * row.size * score / score.sum(), 0.0, 1.0)
+        rng = np.random.default_rng(seed)
+        kept = rng.random(row.size) < p
+        row, col, val = row[kept], col[kept], val[kept] / p[kept]
+    elif scheme == "spanner":
+        order = np.lexsort((-np.abs(val), row))
+        row, col, val = row[order], col[order], val[order]
+        counts = np.bincount(row, minlength=lp.n_rows)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        rank = np.arange(row.size) - np.repeat(offsets[:-1], counts)
+        quota = np.maximum(1, np.ceil(level * counts)).astype(np.int64)
+        kept = rank < quota[row]
+        row, col, val = row[kept], col[kept], val[kept]
+    else:
+        raise ValueError(f"unknown sparsification scheme {scheme!r}")
+    a_new = sp.csr_matrix(
+        (val, (row, col)), shape=lp.a_matrix.shape
+    )
+    return LinearProgram(a_new, lp.b, lp.c, name=f"{lp.name}-{scheme}")
+
+
+# ----------------------------------------------------------------------
+# byte accounting
+# ----------------------------------------------------------------------
+def _index_bytes(n: int) -> int:
+    return 4 if n <= np.iinfo(np.int32).max else 8
+
+
+def _graph_bytes(n: int, arcs: int) -> int:
+    """Resident bytes of an arc list: two index columns + one float64."""
+    return int(arcs) * (2 * _index_bytes(n) + 8)
+
+
+def _coloring_bytes(n: int, k: int) -> int:
+    """Reduced representation: ``k x k`` block weights + per-node labels."""
+    return k * k * 8 + n * 4
+
+
+def _budget_colors(n: int, original_bytes: int, level: float) -> int:
+    """Color budget whose reduced bytes approximate ``level`` of the
+    original arc-list bytes."""
+    budget = max(level * original_bytes - n * 4, 8.0)
+    return max(4, int(math.sqrt(budget / 8.0)))
+
+
+# ----------------------------------------------------------------------
+# per-task drivers
+# ----------------------------------------------------------------------
+def _relative_error(value: float, exact: float) -> float:
+    if not np.isfinite(value):
+        return float("inf")
+    return abs(value - exact) / max(abs(exact), 1e-12)
+
+
+def _vector_error(scores: np.ndarray, exact: np.ndarray) -> float:
+    return float(
+        np.abs(scores - exact).sum() / max(np.abs(exact).sum(), 1e-12)
+    )
+
+
+def _accuracy(err: float) -> float:
+    return 0.0 if not np.isfinite(err) else 1.0 / (1.0 + err)
+
+
+def _run_quasi_stable(kind: str, problem, n_colors: int, seed: int):
+    """One compress-solve-lift pass; returns (err_fn_input, seconds)."""
+    from repro.pipeline import run_task, task_for
+
+    options = {"seed": seed} if kind == "centrality" else {}
+    task = task_for(kind, problem, **options)
+    start = time.perf_counter()
+    result = run_task(task, n_colors=n_colors)
+    elapsed = time.perf_counter() - start
+    output = result.lifted if kind == "centrality" else result.value
+    return output, result.n_colors, elapsed
+
+
+def _task_rows(
+    kind: str,
+    problem,
+    dataset: str,
+    levels: Iterable[float],
+    seed: int,
+) -> list[dict]:
+    from repro.centrality.brandes import betweenness_centrality
+    from repro.flow.network import FlowNetwork, max_flow
+    from repro.lp.solve import solve_lp
+
+    if kind == "maxflow":
+        graph = problem.graph
+        source, sink = problem.source_index, problem.sink_index
+        start = time.perf_counter()
+        exact = float(max_flow(problem).value)
+        exact_seconds = time.perf_counter() - start
+
+        def solve_sparse(sparse_graph):
+            network = FlowNetwork(sparse_graph, source, sink)
+            return float(max_flow(network).value)
+
+    elif kind == "lp":
+        graph = None
+        start = time.perf_counter()
+        exact = float(solve_lp(problem).objective)
+        exact_seconds = time.perf_counter() - start
+    else:
+        graph = problem
+        start = time.perf_counter()
+        exact = betweenness_centrality(problem)
+        exact_seconds = time.perf_counter() - start
+
+    if kind == "lp":
+        n = problem.n_rows + problem.n_cols
+        arcs = problem.nnz
+    else:
+        n = graph.n_nodes
+        arcs = graph.n_arcs
+    original_bytes = _graph_bytes(n, arcs)
+
+    def error_of(output) -> float:
+        if kind == "centrality":
+            return _vector_error(np.asarray(output), exact)
+        return _relative_error(float(output), float(exact))
+
+    rows = [
+        {
+            "task": kind,
+            "dataset": dataset,
+            "scheme": "exact",
+            "level": 1.0,
+            "bytes": original_bytes,
+            "seconds": round(exact_seconds, 4),
+            "rel_err": 0.0,
+            "accuracy": 1.0,
+            "acc_per_mb": round(1.0 / (original_bytes / 1e6), 4),
+            "acc_per_s": round(1.0 / max(exact_seconds, 1e-9), 4),
+        }
+    ]
+    for level in levels:
+        for scheme in SCHEMES:
+            start = time.perf_counter()
+            err: float
+            colors = None
+            try:
+                if scheme == "quasi-stable":
+                    budget = _budget_colors(n, original_bytes, level)
+                    output, colors, _ = _run_quasi_stable(
+                        kind, problem, budget, seed
+                    )
+                    nbytes = _coloring_bytes(n, colors)
+                    err = error_of(output)
+                elif kind == "lp":
+                    sparse_lp = sparsify_lp(problem, scheme, level, seed)
+                    nbytes = _graph_bytes(n, sparse_lp.nnz)
+                    err = error_of(solve_lp(sparse_lp).objective)
+                else:
+                    if scheme == "degree-sampling":
+                        sparse = degree_weighted_sample(
+                            graph, level, seed
+                        )
+                    else:
+                        sparse = spanner_sparsify(graph, level)
+                    nbytes = _graph_bytes(n, sparse.n_arcs)
+                    if kind == "maxflow":
+                        err = error_of(solve_sparse(sparse))
+                    else:
+                        err = _vector_error(
+                            betweenness_centrality(sparse), exact
+                        )
+            except (LPError, ValueError) as exc:
+                # An over-sparsified problem can stop being solvable
+                # (unbounded LP, disconnected network) — that failure
+                # IS the baseline's score, so record it as accuracy 0.
+                nbytes = 0
+                err = float("inf")
+                rows_error = f"{type(exc).__name__}: {exc}"
+            seconds = time.perf_counter() - start
+            accuracy = _accuracy(err)
+            row = {
+                "task": kind,
+                "dataset": dataset,
+                "scheme": scheme,
+                "level": level,
+                "bytes": int(nbytes),
+                "seconds": round(seconds, 4),
+                "rel_err": (
+                    round(err, 6) if np.isfinite(err) else "inf"
+                ),
+                "accuracy": round(accuracy, 4),
+                "acc_per_mb": (
+                    round(accuracy / (nbytes / 1e6), 4) if nbytes else 0.0
+                ),
+                "acc_per_s": round(accuracy / max(seconds, 1e-9), 4),
+            }
+            if colors is not None:
+                row["colors"] = colors
+            if not np.isfinite(err):
+                row["error"] = rows_error if nbytes == 0 else "inf"
+            rows.append(row)
+    return rows
+
+
+def harness_rows(
+    tasks: Iterable[str] = ("maxflow", "lp", "centrality"),
+    levels: Iterable[float] | None = None,
+    scale: float | None = None,
+    seed: int = 0,
+    smoke: bool = False,
+) -> list[dict]:
+    """Accuracy-per-byte/-second rows for every (task, level, scheme).
+
+    ``smoke=True`` shrinks the datasets and runs a single level — the
+    CI configuration, a few seconds end to end.
+    """
+    from repro.datasets.registry import load_flow, load_graph, load_lp
+
+    if levels is None:
+        levels = (0.15,) if smoke else _DEFAULT_LEVELS
+    loaders = {
+        "maxflow": load_flow, "lp": load_lp, "centrality": load_graph,
+    }
+    rows: list[dict] = []
+    for kind in tasks:
+        if kind not in _PROBLEMS:
+            raise ValueError(
+                f"task must be one of {sorted(_PROBLEMS)}, got {kind!r}"
+            )
+        dataset, full_scale, smoke_scale = _PROBLEMS[kind]
+        task_scale = scale if scale is not None else (
+            smoke_scale if smoke else full_scale
+        )
+        problem = loaders[kind](dataset, scale=task_scale)
+        rows.extend(_task_rows(kind, problem, dataset, levels, seed))
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import json
+
+    from repro.utils.tables import render_rows
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tasks", default="maxflow,lp,centrality",
+        help="comma-separated subset of maxflow,lp,centrality",
+    )
+    parser.add_argument(
+        "--levels", default=None,
+        help="comma-separated compression levels (fractions of the "
+             "original arc-list bytes)",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale override")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small datasets, single level (CI mode)")
+    parser.add_argument("--out", default=None,
+                        help="also write the rows as JSON to this file")
+    args = parser.parse_args(argv)
+
+    tasks = tuple(part for part in args.tasks.split(",") if part)
+    levels = (
+        tuple(float(part) for part in args.levels.split(",") if part)
+        if args.levels else None
+    )
+    rows = harness_rows(
+        tasks=tasks,
+        levels=levels,
+        scale=args.scale,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    print(
+        render_rows(
+            rows,
+            title="Accuracy per byte/second: quasi-stable coloring vs "
+                  "sparsification baselines",
+        )
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump({"smoke": args.smoke, "rows": rows}, handle, indent=2)
+        print(f"rows written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -1,7 +1,14 @@
 """Graph substrate: weighted digraphs, bipartite graphs, generators, and IO."""
 
 from repro.graphs.bipartite import BipartiteGraph
-from repro.graphs.digraph import WeightedDiGraph
+from repro.graphs.digraph import WeightedDiGraph, coerce_index_array
+from repro.graphs.edgestore import (
+    EdgeStore,
+    EdgeStoreWriter,
+    ingest_arrays,
+    ingest_edgelist,
+    ingest_uniform_random,
+)
 from repro.graphs.generators import (
     barabasi_albert,
     biregular_bipartite,
@@ -28,7 +35,13 @@ from repro.graphs.ops import (
 
 __all__ = [
     "BipartiteGraph",
+    "EdgeStore",
+    "EdgeStoreWriter",
     "WeightedDiGraph",
+    "coerce_index_array",
+    "ingest_arrays",
+    "ingest_edgelist",
+    "ingest_uniform_random",
     "barabasi_albert",
     "biregular_bipartite",
     "centrality_counterexample",

@@ -25,6 +25,7 @@ treatment in Sec. 3).
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Hashable, Iterable, Iterator, Mapping, Sequence, Tuple
 
 import numpy as np
@@ -33,6 +34,47 @@ import scipy.sparse as sp
 from repro.exceptions import GraphError
 
 EdgeTriple = Tuple[Hashable, Hashable, float]
+
+
+def coerce_index_array(values: Any, name: str) -> np.ndarray:
+    """Coerce node-index input to a flat int64 array, loudly.
+
+    A bare ``np.asarray(values, dtype=np.int64)`` silently wraps uint64
+    values past ``2**63``, truncates fractional floats, and folds NaN to
+    ``INT64_MIN`` — all of which used to surface much later as bogus
+    "out of range" endpoints (or worse, as valid-looking wrong arcs).
+    Instead, coerce explicitly and verify the round trip, naming the
+    first offending arc in the error.
+    """
+    array = np.asarray(values)
+    if array.dtype == np.int64:
+        return array.ravel()
+    if array.dtype == object or array.dtype.kind in "US":
+        # Let numpy's own conversion errors surface for non-numeric
+        # input; object arrays of ints coerce losslessly.
+        return np.asarray(array, dtype=np.int64).ravel()
+    flat = array.ravel()
+    with warnings.catch_warnings():
+        # NaN/inf casts warn before the round-trip check below catches
+        # them with a better message.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        try:
+            coerced = flat.astype(np.int64)
+        except (ValueError, OverflowError, TypeError) as exc:
+            raise GraphError(
+                f"{name} indices are not representable as int64: {exc}"
+            ) from exc
+    with np.errstate(invalid="ignore"):
+        mismatch = coerced != flat
+    if mismatch.any():
+        arc = int(np.flatnonzero(mismatch)[0])
+        offender = flat[arc]
+        offender = offender.item() if hasattr(offender, "item") else offender
+        raise GraphError(
+            f"{name} indices are not representable as int64: arc {arc} "
+            f"has {name} = {offender!r}"
+        )
+    return coerced
 
 
 class WeightedDiGraph:
@@ -407,8 +449,8 @@ class WeightedDiGraph:
         edge once, in either orientation.  ``labels``, when given, must
         have one entry per node and assigns ``labels[i]`` to index ``i``.
         """
-        src = np.asarray(src, dtype=np.int64).ravel()
-        dst = np.asarray(dst, dtype=np.int64).ravel()
+        src = coerce_index_array(src, "src")
+        dst = coerce_index_array(dst, "dst")
         if src.shape != dst.shape:
             raise GraphError(
                 f"src and dst must match, got {src.size} vs {dst.size}"
@@ -430,7 +472,14 @@ class WeightedDiGraph:
             src.min() < 0 or dst.min() < 0
             or src.max() >= n or dst.max() >= n
         ):
-            raise GraphError(f"edge endpoints out of range [0, {n})")
+            bad = np.flatnonzero(
+                (src < 0) | (dst < 0) | (src >= n) | (dst >= n)
+            )
+            arc = int(bad[0])
+            raise GraphError(
+                f"edge endpoints out of range [0, {n}): arc {arc}: "
+                f"{src[arc]} -> {dst[arc]}"
+            )
         if labels is not None and len(labels) != n:
             raise GraphError(
                 f"labels must have one entry per node, got {len(labels)} "
@@ -470,6 +519,39 @@ class WeightedDiGraph:
         csr.eliminate_zeros()
         csr.sort_indices()
         graph._csr = csr
+        return graph
+
+    @classmethod
+    def from_edgestore(
+        cls, store: Any, *, mmap: bool = True
+    ) -> "WeightedDiGraph":
+        """Array-built graph over an on-disk edge store snapshot.
+
+        ``store`` is an :class:`repro.graphs.edgestore.EdgeStore` or a
+        path to one.  With ``mmap=True`` (the default) the cached
+        CSR/CSC snapshots wrap the store's ``.npy`` files directly —
+        read-only, file-backed, demand-paged — so the coloring kernels
+        stream edge segments without the arrays ever being resident.
+        ``mmap=False`` loads the same arrays into RAM (the resident
+        reference path; colorings are bit-identical either way).
+
+        The dict-of-dicts adjacency stays unmaterialized exactly as in
+        :meth:`from_arrays`; a mutation or per-node query materializes
+        it (in RAM) from the snapshots, after which the graph behaves
+        like any other and the store file is no longer consulted.
+        """
+        from repro.graphs.edgestore import EdgeStore
+
+        if not isinstance(store, EdgeStore):
+            store = EdgeStore(store)
+        graph = cls(directed=store.directed)
+        graph._n = store.n_nodes
+        graph._labels = None
+        graph._index = None
+        graph._succ = None
+        graph._pred = None
+        graph._csr = store.csr_matrix(mmap=mmap)
+        graph._csc = store.csc_matrix(mmap=mmap)
         return graph
 
     @classmethod

@@ -1,0 +1,784 @@
+"""Out-of-core edge stores: ``.npy``-backed, memmap-ready graph snapshots.
+
+A store is a directory of seven files::
+
+    meta.json          format name/version, n_nodes, n_arcs, directed,
+                       index_dtype ("<i4" or "<i8")
+    src.npy            arc tails,   CSR order (sorted by (src, dst))
+    dst.npy            arc heads    — doubles as the CSR ``indices``
+    weight.npy         float64      — doubles as the CSR ``data``
+    csr_indptr.npy     n+1 row offsets
+    csc_indices.npy    arc tails in CSC order (sorted by (dst, src))
+    csc_data.npy       float64 weights in CSC order
+    csc_indptr.npy     n+1 column offsets
+
+Arcs are deduplicated (duplicate ``(src, dst)`` pairs sum their
+weights, in input order) and exact-zero sums are dropped — the same COO
+semantics as :meth:`WeightedDiGraph.from_arrays` and the paper's Sec. 3
+"zero weight means no edge" convention.  Undirected stores hold both
+directions of every off-diagonal edge, mirroring ``from_arrays``.
+
+Index arrays are written in the dtype scipy itself would pick for the
+matrix (int32 whenever ``max(n, nnz)`` fits, int64 beyond), which is
+what lets ``sp.csr_matrix((data, indices, indptr))`` wrap the memmaps
+**zero-copy**: the resulting matrix's ``data``/``indices``/``indptr``
+share pages with the files, so a coloring run touches only the edge
+segments its chunked kernels actually stream.
+
+Ingestion is out-of-core too: :class:`EdgeStoreWriter` buffers appended
+arc chunks up to ``chunk_arcs``, spills each as a lexsorted run, and
+finalization performs a vectorized k-way external merge (block-at-a-time
+``searchsorted`` cuts, ``np.add.reduceat`` group sums) — the full edge
+list is never resident, and the dict-of-dicts adjacency never exists.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import struct
+from pathlib import Path
+from typing import Any, Iterable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.graphs.digraph import coerce_index_array
+
+__all__ = [
+    "EdgeStore",
+    "EdgeStoreWriter",
+    "NpyAppender",
+    "ingest_arrays",
+    "ingest_edgelist",
+    "ingest_uniform_random",
+    "memmap_descriptor",
+    "open_descriptor",
+]
+
+FORMAT_NAME = "repro-edgestore"
+FORMAT_VERSION = 1
+META_FILE = "meta.json"
+
+#: appended arcs buffered in RAM before a sorted run spills to disk
+DEFAULT_CHUNK_ARCS = 8_000_000
+#: arcs loaded per run per merge refill (doubled on demand when a single
+#: duplicate key group outgrows it)
+_MERGE_BLOCK = 1 << 20
+
+_MAGIC = b"\x93NUMPY\x01\x00"
+_INT32_MAX = np.iinfo(np.int32).max
+#: packed (a, b) merge keys are ``a * n + b`` in int64, so n is bounded
+#: by sqrt(2**63) — comfortably past every graph this package targets
+_MAX_NODES = int(np.sqrt(2.0**63)) - 1
+
+
+# ----------------------------------------------------------------------
+# streaming .npy output
+# ----------------------------------------------------------------------
+class NpyAppender:
+    """Streaming one-dimensional ``.npy`` writer.
+
+    The header's shape field is written with fixed width, so the final
+    element count can be patched in place on :meth:`close` — appended
+    chunks stream straight to disk, nothing is buffered.
+    """
+
+    def __init__(self, path: Any, dtype: Any) -> None:
+        self.path = Path(path)
+        self.dtype = np.dtype(dtype)
+        self.count = 0
+        self._handle = open(self.path, "wb")
+        self._handle.write(self._header(0))
+
+    def _header(self, count: int) -> bytes:
+        descr = np.lib.format.dtype_to_descr(self.dtype)
+        # %-20d left-justifies the count with trailing spaces inside the
+        # tuple (valid to literal_eval), keeping the header length
+        # independent of the count so close() can overwrite in place.
+        body = (
+            "{'descr': %r, 'fortran_order': False, "
+            "'shape': (%-20d,), }" % (descr, count)
+        )
+        unpadded = len(_MAGIC) + 2 + len(body) + 1
+        body += " " * ((-unpadded) % 64)
+        header = (body + "\n").encode("latin1")
+        return _MAGIC + struct.pack("<H", len(header)) + header
+
+    def append(self, values: np.ndarray) -> None:
+        array = np.ascontiguousarray(values, dtype=self.dtype)
+        array.tofile(self._handle)
+        self.count += int(array.size)
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self._handle.flush()
+        self._handle.seek(0)
+        self._handle.write(self._header(self.count))
+        self._handle.close()
+
+    def __enter__(self) -> "NpyAppender":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# memmap introspection (shared with the process-pool executor)
+# ----------------------------------------------------------------------
+def _memmap_base(array: Any) -> np.memmap | None:
+    # Walk to the ROOT memmap: a sliced memmap is itself an np.memmap
+    # but inherits the parent's ``offset`` unadjusted, so only the
+    # deepest memmap in the base chain pairs a data pointer with a
+    # trustworthy file offset.
+    found = None
+    base = array
+    while base is not None:
+        if isinstance(base, np.memmap):
+            found = base
+        base = getattr(base, "base", None)
+    return found
+
+
+def memmap_descriptor(
+    array: np.ndarray,
+) -> tuple[str, str, tuple, int] | None:
+    """``(path, dtype_str, shape, offset)`` when ``array`` is a
+    contiguous view over a file-backed memmap, else ``None``.
+
+    The descriptor is picklable and position-independent: any process
+    can reopen the identical view with :func:`open_descriptor`, which is
+    how the round executor shares graph snapshots with pool workers
+    without copying them into shared memory.
+    """
+    base = _memmap_base(array)
+    if base is None or getattr(base, "filename", None) is None:
+        return None
+    if not array.flags["C_CONTIGUOUS"]:
+        return None
+    delta = (
+        array.__array_interface__["data"][0]
+        - base.__array_interface__["data"][0]
+    )
+    if delta < 0:
+        return None
+    return (
+        str(base.filename),
+        array.dtype.str,
+        tuple(array.shape),
+        int(base.offset + delta),
+    )
+
+
+def open_descriptor(descriptor: tuple[str, str, tuple, int]) -> np.memmap:
+    """Reopen a :func:`memmap_descriptor` as a read-only memmap."""
+    path, dtype, shape, offset = descriptor
+    return np.memmap(
+        path,
+        dtype=np.dtype(dtype),
+        mode="r",
+        shape=tuple(shape),
+        offset=int(offset),
+    )
+
+
+# ----------------------------------------------------------------------
+# external merge
+# ----------------------------------------------------------------------
+class _RunReader:
+    """Buffered block reader over one spilled (k1, k2, payload) run."""
+
+    def __init__(self, k1_path: Path, k2_path: Path, w_path: Path, n: int):
+        self._k1 = np.load(k1_path, mmap_mode="r")
+        self._k2 = np.load(k2_path, mmap_mode="r")
+        self._w = np.load(w_path, mmap_mode="r")
+        self._n = n
+        self._pos = 0
+        self.keys = np.empty(0, dtype=np.int64)
+        self.payload = np.empty(0, dtype=np.float64)
+
+    @property
+    def file_remaining(self) -> int:
+        return int(self._k1.size) - self._pos
+
+    def refill(self, block: int) -> None:
+        while self.keys.size < block and self.file_remaining:
+            take = min(block, self.file_remaining)
+            stop = self._pos + take
+            packed = (
+                self._k1[self._pos:stop].astype(np.int64) * self._n
+                + self._k2[self._pos:stop]
+            )
+            self.keys = np.concatenate([self.keys, packed])
+            self.payload = np.concatenate(
+                [self.payload, np.asarray(self._w[self._pos:stop])]
+            )
+            self._pos = stop
+
+    def cut(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        head = (self.keys[:count], self.payload[:count])
+        self.keys = self.keys[count:]
+        self.payload = self.payload[count:]
+        return head
+
+
+def _merge_runs(run_files: list, n: int, emit, block: int = _MERGE_BLOCK):
+    """K-way merge of lexsorted runs, vectorized block at a time.
+
+    ``emit(keys, payload)`` receives globally sorted blocks whose key
+    groups are complete (no group spans two emits), with input order
+    preserved among equal keys — the invariant the dedup summer needs.
+    """
+    readers = [_RunReader(*paths, n) for paths in run_files]
+    while True:
+        for reader in readers:
+            reader.refill(block)
+        if not any(reader.keys.size for reader in readers):
+            break
+        # Keys strictly below every unread datum are globally complete;
+        # a run read to EOF no longer bounds anything.
+        safe = None
+        for reader in readers:
+            if reader.file_remaining:
+                last = int(reader.keys[-1])
+                safe = last if safe is None else min(safe, last)
+        if safe is None:
+            cuts = [reader.keys.size for reader in readers]
+        else:
+            cuts = [
+                int(np.searchsorted(reader.keys, safe, side="left"))
+                for reader in readers
+            ]
+        if not sum(cuts):
+            # One duplicate-key group outgrew the block: widen and retry.
+            block *= 2
+            continue
+        parts = [
+            reader.cut(count)
+            for reader, count in zip(readers, cuts)
+            if count
+        ]
+        keys = np.concatenate([part[0] for part in parts])
+        payload = np.concatenate([part[1] for part in parts])
+        order = np.argsort(keys, kind="stable")
+        emit(keys[order], payload[order])
+
+
+# ----------------------------------------------------------------------
+# writer
+# ----------------------------------------------------------------------
+class EdgeStoreWriter:
+    """Chunked, external-sort ingestion into an on-disk edge store.
+
+    Feed arc chunks with :meth:`append`; each buffered ``chunk_arcs``
+    spills as a lexsorted run, and :meth:`finalize` merges the runs into
+    deduplicated CSR-ordered arrays plus the CSC companion sort.  Peak
+    memory is O(chunk_arcs + n), independent of the total arc count.
+    """
+
+    def __init__(
+        self,
+        path: Any,
+        *,
+        directed: bool = True,
+        n_nodes: int | None = None,
+        chunk_arcs: int = DEFAULT_CHUNK_ARCS,
+        overwrite: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.directed = bool(directed)
+        self.declared_n = None if n_nodes is None else int(n_nodes)
+        if self.declared_n is not None and self.declared_n < 0:
+            raise GraphError(f"n_nodes must be >= 0, got {n_nodes}")
+        self.chunk_arcs = int(chunk_arcs)
+        if self.chunk_arcs < 2:
+            raise GraphError(
+                f"chunk_arcs must be >= 2, got {chunk_arcs}"
+            )
+        if (self.path / META_FILE).exists() and not overwrite:
+            raise GraphError(
+                f"edge store already exists at {self.path} "
+                "(pass overwrite=True to replace it)"
+            )
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._spill = self.path / ".ingest"
+        if self._spill.exists():
+            shutil.rmtree(self._spill)
+        self._spill.mkdir()
+        self._buffer: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._buffered = 0
+        self._runs: list[tuple[Path, Path, Path]] = []
+        self._appended = 0  # caller-facing arc count (pre-mirror)
+        self._stored = 0  # arcs written to runs (post-mirror)
+        self._max_node = -1
+        self._closed = False
+
+    # -- input ----------------------------------------------------------
+    def append(
+        self,
+        src: Any,
+        dst: Any,
+        weight: Any | None = None,
+    ) -> None:
+        """Append parallel arc arrays (chunk of the edge list)."""
+        if self._closed:
+            raise GraphError("edge store writer is already finalized")
+        src = coerce_index_array(src, "src")
+        dst = coerce_index_array(dst, "dst")
+        if src.size != dst.size:
+            raise GraphError(
+                f"src and dst must match, got {src.size} vs {dst.size}"
+            )
+        if weight is None:
+            weight = np.ones(src.size, dtype=np.float64)
+        else:
+            weight = np.asarray(weight, dtype=np.float64).ravel()
+            if weight.size != src.size:
+                raise GraphError(
+                    f"weight must match src/dst, got {weight.size} arcs "
+                    f"vs {src.size}"
+                )
+        if not src.size:
+            return
+        self._validate(src, dst)
+        self._appended += src.size
+        if not self.directed:
+            off = src != dst
+            src, dst, weight = (
+                np.concatenate([src, dst[off]]),
+                np.concatenate([dst, src[off]]),
+                np.concatenate([weight, weight[off]]),
+            )
+        self._max_node = max(
+            self._max_node, int(src.max()), int(dst.max())
+        )
+        self._buffer.append((src, dst, weight))
+        self._buffered += src.size
+        self._stored += src.size
+        if self._buffered >= self.chunk_arcs:
+            self._flush_run()
+
+    def _validate(self, src: np.ndarray, dst: np.ndarray) -> None:
+        n = self.declared_n
+        low = min(int(src.min()), int(dst.min()))
+        high = max(int(src.max()), int(dst.max()))
+        if low >= 0 and (n is None or high < n):
+            return
+        bad = (src < 0) | (dst < 0)
+        if n is not None:
+            bad |= (src >= n) | (dst >= n)
+        arc = int(np.flatnonzero(bad)[0])
+        bound = "inf" if n is None else n
+        raise GraphError(
+            f"edge endpoints out of range [0, {bound}): "
+            f"arc {self._appended + arc}: {src[arc]} -> {dst[arc]}"
+        )
+
+    def _flush_run(self) -> None:
+        if not self._buffered:
+            return
+        src = np.concatenate([part[0] for part in self._buffer])
+        dst = np.concatenate([part[1] for part in self._buffer])
+        weight = np.concatenate([part[2] for part in self._buffer])
+        self._buffer.clear()
+        self._buffered = 0
+        order = np.lexsort((dst, src))  # stable: input order on ties
+        tag = f"run_{len(self._runs):05d}"
+        paths = tuple(
+            self._spill / f"{tag}.{stem}.npy"
+            for stem in ("k1", "k2", "w")
+        )
+        np.save(paths[0], src[order])
+        np.save(paths[1], dst[order])
+        np.save(paths[2], weight[order])
+        self._runs.append(paths)
+
+    # -- output ---------------------------------------------------------
+    def finalize(self) -> "EdgeStore":
+        """Merge the spilled runs into the final store; return it open."""
+        if self._closed:
+            raise GraphError("edge store writer is already finalized")
+        self._flush_run()
+        n = (
+            self.declared_n
+            if self.declared_n is not None
+            else self._max_node + 1
+        )
+        if n > _MAX_NODES:
+            raise GraphError(
+                f"edge store supports at most {_MAX_NODES} nodes, got {n}"
+            )
+        # Upper bound for the index dtype: dedup only shrinks nnz.  The
+        # rare overshoot (int64 picked, deduped nnz fits int32) is fixed
+        # by a downcast pass below so the store always matches scipy's
+        # preferred dtype — the zero-copy wrap condition.
+        index_dtype = (
+            np.dtype(np.int32)
+            if max(n, self._stored) <= _INT32_MAX
+            else np.dtype(np.int64)
+        )
+        src_counts = np.zeros(n, dtype=np.int64)
+        dst_counts = np.zeros(n, dtype=np.int64)
+        src_out = NpyAppender(self.path / "src.npy", index_dtype)
+        dst_out = NpyAppender(self.path / "dst.npy", index_dtype)
+        weight_out = NpyAppender(self.path / "weight.npy", np.float64)
+
+        def emit_dedup(keys: np.ndarray, weights: np.ndarray) -> None:
+            starts = np.flatnonzero(
+                np.concatenate(([True], keys[1:] != keys[:-1]))
+            )
+            sums = np.add.reduceat(weights, starts)
+            unique = keys[starts]
+            keep = sums != 0.0
+            unique, sums = unique[keep], sums[keep]
+            src = unique // n
+            dst = unique - src * n
+            src_out.append(src)
+            dst_out.append(dst)
+            weight_out.append(sums)
+            src_counts[:] += np.bincount(src, minlength=n)
+            dst_counts[:] += np.bincount(dst, minlength=n)
+
+        if n and self._runs:
+            _merge_runs(self._runs, n, emit_dedup)
+        src_out.close()
+        dst_out.close()
+        weight_out.close()
+        nnz = src_out.count
+        if (
+            index_dtype == np.int64
+            and max(n, nnz) <= _INT32_MAX
+        ):
+            index_dtype = np.dtype(np.int32)
+            for stem in ("src", "dst"):
+                self._downcast(self.path / f"{stem}.npy", index_dtype)
+        indptr = np.zeros(n + 1, dtype=index_dtype)
+        np.cumsum(src_counts, out=indptr[1:])
+        np.save(self.path / "csr_indptr.npy", indptr)
+
+        self._build_csc(n, nnz, index_dtype, dst_counts)
+
+        meta = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "n_nodes": int(n),
+            "n_arcs": int(nnz),
+            "directed": self.directed,
+            "index_dtype": index_dtype.str,
+        }
+        (self.path / META_FILE).write_text(
+            json.dumps(meta, indent=2) + "\n"
+        )
+        shutil.rmtree(self._spill, ignore_errors=True)
+        self._closed = True
+        return EdgeStore(self.path)
+
+    def _downcast(self, path: Path, dtype: np.dtype) -> None:
+        wide = np.load(path, mmap_mode="r")
+        temp = path.with_suffix(".tmp.npy")
+        with NpyAppender(temp, dtype) as out:
+            for start in range(0, wide.size, self.chunk_arcs):
+                out.append(wide[start:start + self.chunk_arcs])
+        del wide
+        temp.replace(path)
+
+    def _build_csc(
+        self,
+        n: int,
+        nnz: int,
+        index_dtype: np.dtype,
+        dst_counts: np.ndarray,
+    ) -> None:
+        """Second external sort of the final arcs, by (dst, src)."""
+        runs: list[tuple[Path, Path, Path]] = []
+        if nnz:
+            src = np.load(self.path / "src.npy", mmap_mode="r")
+            dst = np.load(self.path / "dst.npy", mmap_mode="r")
+            weight = np.load(self.path / "weight.npy", mmap_mode="r")
+            for index, start in enumerate(
+                range(0, nnz, self.chunk_arcs)
+            ):
+                stop = min(start + self.chunk_arcs, nnz)
+                chunk_src = np.asarray(src[start:stop])
+                chunk_dst = np.asarray(dst[start:stop])
+                chunk_w = np.asarray(weight[start:stop])
+                order = np.lexsort((chunk_src, chunk_dst))
+                tag = f"csc_{index:05d}"
+                paths = tuple(
+                    self._spill / f"{tag}.{stem}.npy"
+                    for stem in ("k1", "k2", "w")
+                )
+                np.save(paths[0], chunk_dst[order])
+                np.save(paths[1], chunk_src[order])
+                np.save(paths[2], chunk_w[order])
+                runs.append(paths)
+            del src, dst, weight
+        indices_out = NpyAppender(
+            self.path / "csc_indices.npy", index_dtype
+        )
+        data_out = NpyAppender(self.path / "csc_data.npy", np.float64)
+
+        def emit_csc(keys: np.ndarray, weights: np.ndarray) -> None:
+            indices_out.append(keys % n)  # key = dst * n + src
+            data_out.append(weights)
+
+        if n and runs:
+            _merge_runs(runs, n, emit_csc)
+        indices_out.close()
+        data_out.close()
+        indptr = np.zeros(n + 1, dtype=index_dtype)
+        np.cumsum(dst_counts, out=indptr[1:])
+        np.save(self.path / "csc_indptr.npy", indptr)
+
+    def __enter__(self) -> "EdgeStoreWriter":
+        return self
+
+    def __exit__(self, exc_type: Any, *exc: Any) -> None:
+        if exc_type is None and not self._closed:
+            self.finalize()
+
+
+# ----------------------------------------------------------------------
+# reader
+# ----------------------------------------------------------------------
+class EdgeStore:
+    """An on-disk edge store, ready for memmapped or resident loading."""
+
+    _STEMS = (
+        "src", "dst", "weight",
+        "csr_indptr", "csc_indptr", "csc_indices", "csc_data",
+    )
+
+    def __init__(self, path: Any) -> None:
+        self.path = Path(path)
+        meta_path = self.path / META_FILE
+        if not meta_path.exists():
+            raise GraphError(f"no edge store at {self.path}")
+        try:
+            meta = json.loads(meta_path.read_text())
+        except ValueError as exc:
+            raise GraphError(
+                f"corrupt edge store metadata at {meta_path}: {exc}"
+            ) from exc
+        if meta.get("format") != FORMAT_NAME:
+            raise GraphError(
+                f"{meta_path} is not a {FORMAT_NAME} store"
+            )
+        if int(meta.get("version", -1)) != FORMAT_VERSION:
+            raise GraphError(
+                f"unsupported edge store version {meta.get('version')!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        self.meta = meta
+        self.n_nodes = int(meta["n_nodes"])
+        self.n_arcs = int(meta["n_arcs"])
+        self.directed = bool(meta["directed"])
+        self.index_dtype = np.dtype(meta["index_dtype"])
+
+    def _load(self, stem: str, mmap: bool) -> np.ndarray:
+        return np.load(
+            self.path / f"{stem}.npy", mmap_mode="r" if mmap else None
+        )
+
+    def arc_arrays(
+        self, mmap: bool = True
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(src, dst, weight)`` in CSR order."""
+        return (
+            self._load("src", mmap),
+            self._load("dst", mmap),
+            self._load("weight", mmap),
+        )
+
+    def csr_arrays(
+        self, mmap: bool = True
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, indices, data)`` — dst/weight double as the CSR."""
+        return (
+            self._load("csr_indptr", mmap),
+            self._load("dst", mmap),
+            self._load("weight", mmap),
+        )
+
+    def csc_arrays(
+        self, mmap: bool = True
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (
+            self._load("csc_indptr", mmap),
+            self._load("csc_indices", mmap),
+            self._load("csc_data", mmap),
+        )
+
+    def csr_matrix(self, mmap: bool = True) -> sp.csr_matrix:
+        """The adjacency as CSR; zero-copy over the files when ``mmap``."""
+        indptr, indices, data = self.csr_arrays(mmap)
+        shape = (self.n_nodes, self.n_nodes)
+        matrix = sp.csr_matrix((data, indices, indptr), shape=shape)
+        matrix.has_sorted_indices = True  # sorted by construction
+        return matrix
+
+    def csc_matrix(self, mmap: bool = True) -> sp.csc_matrix:
+        indptr, indices, data = self.csc_arrays(mmap)
+        shape = (self.n_nodes, self.n_nodes)
+        matrix = sp.csc_matrix((data, indices, indptr), shape=shape)
+        matrix.has_sorted_indices = True
+        return matrix
+
+    def array_nbytes(self) -> int:
+        """Bytes the seven arrays would occupy resident (file payloads)."""
+        total = 0
+        for stem in self._STEMS:
+            array = np.load(self.path / f"{stem}.npy", mmap_mode="r")
+            total += int(array.nbytes)
+        return total
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"<EdgeStore {kind} n_nodes={self.n_nodes} "
+            f"n_arcs={self.n_arcs} at {self.path}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# ingestion fronts
+# ----------------------------------------------------------------------
+def ingest_arrays(
+    path: Any,
+    src: Any,
+    dst: Any,
+    weight: Any | None = None,
+    *,
+    n_nodes: int | None = None,
+    directed: bool = True,
+    chunk_arcs: int = DEFAULT_CHUNK_ARCS,
+    overwrite: bool = False,
+) -> EdgeStore:
+    """One-shot ingestion of parallel arc arrays (chunked internally)."""
+    src = coerce_index_array(src, "src")
+    dst = coerce_index_array(dst, "dst")
+    writer = EdgeStoreWriter(
+        path,
+        directed=directed,
+        n_nodes=n_nodes,
+        chunk_arcs=chunk_arcs,
+        overwrite=overwrite,
+    )
+    weights = (
+        None if weight is None
+        else np.asarray(weight, dtype=np.float64).ravel()
+    )
+    for start in range(0, max(src.size, 1), max(chunk_arcs, 1)):
+        stop = start + chunk_arcs
+        writer.append(
+            src[start:stop],
+            dst[start:stop],
+            None if weights is None else weights[start:stop],
+        )
+    return writer.finalize()
+
+
+def ingest_edgelist(
+    path: Any,
+    edgelist: Any,
+    *,
+    directed: bool = True,
+    n_nodes: int | None = None,
+    comments: str = "#",
+    chunk_lines: int = 1_000_000,
+    chunk_arcs: int = DEFAULT_CHUNK_ARCS,
+    overwrite: bool = False,
+) -> EdgeStore:
+    """Stream a whitespace-separated ``src dst [weight]`` text file.
+
+    Node ids must be integers (the store is index-addressed); lines
+    starting with ``comments`` and blank lines are skipped.  The file is
+    parsed in ``chunk_lines`` batches, so arbitrarily large edge lists
+    ingest in bounded memory.
+    """
+    writer = EdgeStoreWriter(
+        path,
+        directed=directed,
+        n_nodes=n_nodes,
+        chunk_arcs=chunk_arcs,
+        overwrite=overwrite,
+    )
+    src: list[int] = []
+    dst: list[int] = []
+    weight: list[float] = []
+
+    def flush() -> None:
+        if src:
+            writer.append(
+                np.asarray(src, dtype=np.int64),
+                np.asarray(dst, dtype=np.int64),
+                np.asarray(weight, dtype=np.float64),
+            )
+            src.clear()
+            dst.clear()
+            weight.clear()
+
+    with open(edgelist, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            text = line.strip()
+            if not text or text.startswith(comments):
+                continue
+            parts = text.split()
+            if len(parts) not in (2, 3):
+                raise GraphError(
+                    f"{edgelist}:{line_no}: expected 'src dst [weight]', "
+                    f"got {text!r}"
+                )
+            try:
+                src.append(int(parts[0]))
+                dst.append(int(parts[1]))
+                weight.append(
+                    float(parts[2]) if len(parts) == 3 else 1.0
+                )
+            except ValueError as exc:
+                raise GraphError(
+                    f"{edgelist}:{line_no}: {exc}"
+                ) from exc
+            if len(src) >= chunk_lines:
+                flush()
+    flush()
+    return writer.finalize()
+
+
+def ingest_uniform_random(
+    path: Any,
+    n_nodes: int,
+    out_degree: int,
+    *,
+    seed: int = 0,
+    chunk_nodes: int = 500_000,
+    chunk_arcs: int = DEFAULT_CHUNK_ARCS,
+    overwrite: bool = False,
+) -> EdgeStore:
+    """Stream-ingest the ``uniform_random_digraph`` family at any scale.
+
+    Same arc model as :func:`repro.graphs.generators.uniform_random_digraph`
+    — ``out_degree`` draws per node, uniform heads, self-loops dropped,
+    unit weights (duplicate draws sum) — but generated chunk by chunk,
+    so a 100M-arc graph is ingested without ever holding its edge list.
+    """
+    rng = np.random.default_rng(seed)
+    writer = EdgeStoreWriter(
+        path,
+        directed=True,
+        n_nodes=n_nodes,
+        chunk_arcs=chunk_arcs,
+        overwrite=overwrite,
+    )
+    for start in range(0, n_nodes, chunk_nodes):
+        stop = min(start + chunk_nodes, n_nodes)
+        src = np.repeat(
+            np.arange(start, stop, dtype=np.int64), out_degree
+        )
+        dst = rng.integers(0, n_nodes, size=src.size, dtype=np.int64)
+        keep = src != dst
+        writer.append(src[keep], dst[keep])
+    return writer.finalize()

@@ -1,0 +1,66 @@
+"""Memmapped edge-store colorings are bit-identical to resident runs.
+
+The out-of-core path swaps the engine's CSR/CSC snapshots for read-only
+file-backed memmaps — an I/O strategy, not an approximation — so every
+strategy and executor mode must produce exactly the labels the resident
+graph produces.  Integer-valued weights keep the float sums exact, so
+"bit-identical" is a plain array comparison, no tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.rothko import Rothko
+from repro.graphs.digraph import WeightedDiGraph
+from repro.graphs.edgestore import ingest_arrays, memmap_descriptor
+
+
+@pytest.fixture(scope="module")
+def store_and_resident(tmp_path_factory):
+    rng = np.random.default_rng(42)
+    n, m = 600, 6_000
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    weight = rng.integers(1, 8, size=m).astype(np.float64)
+    store = ingest_arrays(
+        tmp_path_factory.mktemp("outofcore") / "store",
+        src, dst, weight, n_nodes=n,
+    )
+    resident = WeightedDiGraph.from_arrays(src, dst, weight, n_nodes=n)
+    return store, resident
+
+
+@pytest.mark.parametrize("strategy", ["greedy", "batched"])
+@pytest.mark.parametrize("mode", ["serial", "processes"])
+def test_mmap_matches_resident(store_and_resident, strategy, mode):
+    store, resident = store_and_resident
+    kwargs = {"strategy": strategy}
+    if strategy == "batched":
+        kwargs["batch_size"] = 4
+    if mode == "processes":
+        kwargs.update(parallel_mode="processes", workers=2)
+
+    mmap_graph = WeightedDiGraph.from_edgestore(store, mmap=True)
+    expected = Rothko(resident, **kwargs).run(max_colors=24)
+    got = Rothko(mmap_graph, **kwargs).run(max_colors=24)
+
+    assert np.array_equal(
+        got.coloring.labels, expected.coloring.labels
+    )
+    assert got.n_colors == expected.n_colors
+    assert got.max_q_err == expected.max_q_err
+
+
+def test_engine_snapshots_stay_memmapped(store_and_resident):
+    """The engine must color straight off the store's files: its CSR
+    and CSC snapshots keep their file descriptors (no resident copy)."""
+    store, _ = store_and_resident
+    graph = WeightedDiGraph.from_edgestore(store, mmap=True)
+    engine = Rothko(graph)
+    for array in (
+        engine._csr.indptr, engine._csr.indices, engine._csr.data,
+        engine._csc.indptr, engine._csc.indices, engine._csc.data,
+    ):
+        assert memmap_descriptor(array) is not None
+    result = engine.run(max_colors=16)
+    assert result.n_colors == 16

@@ -1,0 +1,138 @@
+"""Slim Graph-style harness: sparsifiers, byte accounting, row schema."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.compression_harness import (
+    SCHEMES,
+    degree_weighted_sample,
+    harness_rows,
+    main,
+    spanner_sparsify,
+    sparsify_lp,
+)
+from repro.graphs.digraph import WeightedDiGraph
+from repro.graphs.generators import (
+    barabasi_albert,
+    uniform_random_digraph,
+)
+
+
+class TestSparsifiers:
+    def test_spanner_keeps_strongest_arcs_per_node(self):
+        graph = WeightedDiGraph.from_arrays(
+            np.array([0, 0, 0, 1]),
+            np.array([1, 2, 3, 2]),
+            np.array([5.0, 1.0, 3.0, 2.0]),
+            n_nodes=4,
+        )
+        sparse = spanner_sparsify(graph, 0.5)
+        # node 0 has quota ceil(0.5 * 3) = 2: its two strongest arcs
+        assert sparse.weight(0, 1) == 5.0
+        assert sparse.weight(0, 3) == 3.0
+        assert not sparse.has_edge(0, 2)
+        # node 1's single arc survives the minimum quota of 1
+        assert sparse.weight(1, 2) == 2.0
+
+    def test_spanner_is_deterministic_subgraph(self):
+        graph = barabasi_albert(200, 4, seed=3)
+        a = spanner_sparsify(graph, 0.3)
+        b = spanner_sparsify(graph, 0.3)
+        assert np.array_equal(a.to_csr().indices, b.to_csr().indices)
+        assert a.n_arcs < graph.n_arcs
+        for u, v, w in a.edges():
+            assert graph.weight(u, v) == w
+
+    def test_degree_sampling_hits_target_and_reweights(self):
+        graph = uniform_random_digraph(300, 20, seed=5)
+        level = 0.2
+        sparse = degree_weighted_sample(graph, level, seed=7)
+        kept = sparse.n_arcs / graph.n_arcs
+        assert 0.1 <= kept <= 0.35  # expectation 0.2, binomial spread
+        # Horvitz-Thompson: kept arcs are scaled up, never down
+        for u, v, w in sparse.edges():
+            assert w >= graph.weight(u, v)
+
+    def test_degree_sampling_is_seeded(self):
+        graph = uniform_random_digraph(100, 8, seed=1)
+        a = degree_weighted_sample(graph, 0.3, seed=2)
+        b = degree_weighted_sample(graph, 0.3, seed=2)
+        assert np.array_equal(a.to_csr().data, b.to_csr().data)
+
+    def test_undirected_graphs_stay_undirected(self):
+        graph = barabasi_albert(100, 3, seed=1)
+        assert not graph.directed
+        for sparse in (
+            degree_weighted_sample(graph, 0.4, seed=0),
+            spanner_sparsify(graph, 0.4),
+        ):
+            assert not sparse.directed
+            csr = sparse.to_csr()
+            assert (csr != csr.T).nnz == 0  # symmetric
+
+    def test_sparsify_lp_schemes(self):
+        from repro.datasets.registry import load_lp
+
+        lp = load_lp("qap15", scale=0.02)
+        for scheme in ("degree-sampling", "spanner"):
+            sparse = sparsify_lp(lp, scheme, 0.3, seed=0)
+            assert sparse.nnz <= lp.nnz
+            assert sparse.a_matrix.shape == lp.a_matrix.shape
+        with pytest.raises(ValueError, match="unknown sparsification"):
+            sparsify_lp(lp, "nope", 0.3)
+
+
+class TestHarnessRows:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return harness_rows(smoke=True, seed=0)
+
+    def test_covers_every_task_and_scheme(self, rows):
+        tasks = {row["task"] for row in rows}
+        assert tasks == {"maxflow", "lp", "centrality"}
+        for task in tasks:
+            schemes = {
+                row["scheme"] for row in rows if row["task"] == task
+            }
+            assert schemes == set(SCHEMES) | {"exact"}
+
+    def test_row_schema(self, rows):
+        for row in rows:
+            assert row["bytes"] >= 0
+            assert row["seconds"] >= 0
+            assert 0.0 <= row["accuracy"] <= 1.0
+            if row["scheme"] != "exact":
+                assert "acc_per_mb" in row and "acc_per_s" in row
+
+    def test_exact_rows_are_perfect(self, rows):
+        for row in rows:
+            if row["scheme"] == "exact":
+                assert row["accuracy"] == 1.0 and row["rel_err"] == 0.0
+
+    def test_quasi_stable_compresses(self, rows):
+        for row in rows:
+            if row["scheme"] != "quasi-stable":
+                continue
+            exact = next(
+                r for r in rows
+                if r["task"] == row["task"] and r["scheme"] == "exact"
+            )
+            assert 0 < row["bytes"] < exact["bytes"]
+            assert row["accuracy"] > 0.0
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError, match="task must be one of"):
+            harness_rows(tasks=("bogus",), smoke=True)
+
+
+def test_main_writes_json(tmp_path, capsys):
+    out = tmp_path / "rows.json"
+    assert main([
+        "--smoke", "--tasks", "centrality", "--out", str(out),
+    ]) == 0
+    assert "Accuracy per byte" in capsys.readouterr().out
+    payload = json.loads(out.read_text())
+    assert payload["smoke"] is True
+    assert all(r["task"] == "centrality" for r in payload["rows"])

@@ -393,3 +393,57 @@ class TestFromArraysLaziness:
         rev = graph.reverse()
         assert rev._succ is None
         assert rev.has_edge("b", "a") and not rev.has_edge("a", "b")
+
+
+class TestIndexCoercion:
+    """from_arrays accepts any integer-representable dtype and names
+    the offending arc when coercion to int64 is lossy."""
+
+    def test_float_whole_numbers_coerce(self):
+        graph = WeightedDiGraph.from_arrays(
+            np.array([0.0, 1.0]), np.array([1.0, 2.0]), n_nodes=3
+        )
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 2)
+
+    def test_small_unsigned_and_int32_coerce(self):
+        graph = WeightedDiGraph.from_arrays(
+            np.array([0, 1], dtype=np.uint16),
+            np.array([1, 0], dtype=np.int32),
+            n_nodes=2,
+        )
+        assert graph.n_edges == 2
+
+    def test_fractional_float_names_arc(self):
+        with pytest.raises(GraphError, match=r"arc 1 has src = 2.5"):
+            WeightedDiGraph.from_arrays(
+                np.array([0.0, 2.5]), np.array([1.0, 1.0]), n_nodes=3
+            )
+
+    def test_nan_rejected(self):
+        with pytest.raises(GraphError, match="not representable"):
+            WeightedDiGraph.from_arrays(
+                np.array([0.0, np.nan]), np.array([1.0, 1.0]), n_nodes=3
+            )
+
+    def test_uint64_overflow_names_arc(self):
+        big = np.iinfo(np.uint64).max
+        with pytest.raises(GraphError, match="dst"):
+            WeightedDiGraph.from_arrays(
+                np.array([0, 0], dtype=np.uint64),
+                np.array([1, big], dtype=np.uint64),
+                n_nodes=2,
+            )
+
+    def test_out_of_range_names_arc(self):
+        with pytest.raises(
+            GraphError, match=r"out of range \[0, 3\): arc 1: 1 -> 7"
+        ):
+            WeightedDiGraph.from_arrays(
+                np.array([0, 1]), np.array([1, 7]), n_nodes=3
+            )
+
+    def test_negative_endpoint_names_arc(self):
+        with pytest.raises(GraphError, match=r"arc 0: -1 -> 1"):
+            WeightedDiGraph.from_arrays(
+                np.array([-1]), np.array([1]), n_nodes=2
+            )

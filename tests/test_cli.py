@@ -267,3 +267,76 @@ class TestTraceOutFlag:
             for line in trace_path.read_text().splitlines()
         ]
         assert rows[0]["type"] == "meta"
+
+
+class TestIngestCommand:
+    def test_synthetic_ingest_and_mmap_color(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(
+            ["ingest", str(store), "--synthetic", "500,4", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "arcs" in out and "index_dtype" in out
+        assert main(
+            ["color", str(store), "--mmap", "--colors", "8"]
+        ) == 0
+        assert "colors" in capsys.readouterr().out
+
+    def test_edgelist_ingest(self, tmp_path, capsys):
+        edges = tmp_path / "arcs.txt"
+        edges.write_text("0 1 2.0\n1 2\n2 0 1.5\n")
+        store = tmp_path / "store"
+        assert main(["ingest", str(store), "--edgelist", str(edges)]) == 0
+        assert "3" in capsys.readouterr().out
+
+    def test_mmap_color_matches_resident(self, tmp_path, capsys):
+        """--mmap must report the identical coloring the resident path
+        reports for the same arcs."""
+        import numpy as np
+
+        from repro.graphs.edgestore import ingest_arrays
+
+        rng = np.random.default_rng(9)
+        # distinct arcs: duplicate handling differs by design between
+        # the store (sums) and the line-by-line reader (replaces)
+        codes = rng.choice(200 * 200, size=2_000, replace=False)
+        src, dst = codes // 200, codes % 200
+        weight = rng.integers(1, 5, size=2_000).astype(np.float64)
+        store = tmp_path / "store"
+        ingest_arrays(store, src, dst, weight, n_nodes=200)
+        edges = tmp_path / "arcs.txt"
+        edges.write_text(
+            "\n".join(
+                f"{s} {d} {w}" for s, d, w in zip(src, dst, weight)
+            )
+        )
+        def stats_row(text):
+            # last line is the data row; the trailing column is wall
+            # time, the one field allowed to differ between the runs
+            return text.strip().splitlines()[-1].split()[:-1]
+
+        assert main(
+            ["color", str(store), "--mmap", "--colors", "12"]
+        ) == 0
+        mmap_out = capsys.readouterr().out
+        assert main(
+            ["color", str(edges), "--directed", "--colors", "12"]
+        ) == 0
+        resident_out = capsys.readouterr().out
+        assert stats_row(mmap_out) == stats_row(resident_out)
+
+    def test_ingest_requires_exactly_one_source(self, tmp_path):
+        store = tmp_path / "store"
+        with pytest.raises(SystemExit):
+            main(["ingest", str(store)])
+        with pytest.raises(SystemExit):
+            main([
+                "ingest", str(store),
+                "--edgelist", "x.txt", "--synthetic", "10,2",
+            ])
+
+    def test_ingest_rejects_bad_synthetic_spec(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "ingest", str(tmp_path / "store"), "--synthetic", "10",
+            ])
