@@ -29,7 +29,12 @@ benchmarks that attach ``extra_info`` (e.g. the large-scale Rothko
 suite's traced peak memory) carry it through to the condensed results.
 ``--json`` additionally writes one consolidated ``BENCH_<date>.json``
 at the repo root mapping every suite to its per-benchmark medians and
-peak RSS — the committed regression baseline.
+peak RSS — the committed regression baseline
+(``benchmarks/check_regressions.py`` diffs a fresh run against it).
+The header records the run's ``{backend, device, workers}`` config
+(from ``REPRO_BACKEND``/``REPRO_WORKERS``); a same-day run under a
+*different* config writes ``BENCH_<date>.<backend>-w<workers>.json``
+instead of overwriting the other config's numbers.
 
 Usage::
 
@@ -84,7 +89,57 @@ SMOKE_FILTERS = {
     # Time the arcstore engine only; the >= 5x speedup assertion test
     # (which also runs the slow python engine) stays out of smoke mode.
     "bench_solver_core": "arcstore",
+    # Time the dispatched solver kernels once per backend (numba rows
+    # skip cleanly where absent); the >= 3x numba speedup and the
+    # parallel-Brandes assertion tests stay out of smoke.
+    "bench_solver_backends": (
+        "test_dinic_backend or test_brandes_backend"
+    ),
 }
+
+
+def run_config() -> dict:
+    """The kernel/parallelism configuration the child suites run under.
+
+    Derived from the environment alone (the suites consult the same
+    variables; importing repro into this driver would shadow the
+    children's own resolution and slow every invocation down).
+    """
+    spec = os.environ.get("REPRO_BACKEND") or "auto"
+    backend, _, device = spec.partition(":")
+    try:
+        workers = int(os.environ.get("REPRO_WORKERS") or 1)
+    except ValueError:
+        workers = 1
+    return {
+        "backend": backend,
+        "device": device or None,
+        "workers": workers,
+    }
+
+
+def consolidated_path(stamp: str, config: dict) -> pathlib.Path:
+    """Where this run's consolidated baseline lands.
+
+    ``BENCH_<date>.json`` normally; when that file already exists and
+    records a *different* ``{backend, device, workers}`` configuration,
+    the name gains a config suffix instead of silently overwriting the
+    other configuration's numbers (same-config reruns still overwrite —
+    that is a refresh, not a collision).
+    """
+    default = REPO_ROOT / f"BENCH_{stamp}.json"
+    if default.exists():
+        try:
+            existing = json.loads(default.read_text()).get("config")
+        except (OSError, ValueError):
+            existing = None
+        if existing is not None and existing != config:
+            parts = [config["backend"]]
+            if config["device"]:
+                parts.append(config["device"])
+            parts.append(f"w{config['workers']}")
+            return REPO_ROOT / f"BENCH_{stamp}.{'-'.join(parts)}.json"
+    return default
 
 
 def discover(selects: list[str]) -> list[pathlib.Path]:
@@ -291,13 +346,15 @@ def main(argv: list[str] | None = None) -> int:
         import datetime
 
         stamp = datetime.date.today().isoformat()
-        bench_path = REPO_ROOT / f"BENCH_{stamp}.json"
+        config = run_config()
+        bench_path = consolidated_path(stamp, config)
         bench_path.write_text(
             json.dumps(
                 {
                     "date": stamp,
                     "smoke": args.smoke,
                     "python": sys.version.split()[0],
+                    "config": config,
                     "suites": consolidated,
                 },
                 indent=2,

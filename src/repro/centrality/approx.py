@@ -61,6 +61,8 @@ def pivot_betweenness(
     seed: SeedLike = None,
     pivots_per_color: int = 1,
     engine: str = "arcstore",
+    backend=None,
+    workers: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Betweenness estimated from per-color representative sources.
 
@@ -68,7 +70,8 @@ def pivot_betweenness(
     ``|P_i| / pivots`` times the dependency vector of each of its
     ``pivots`` sampled sources.  ``engine`` picks the Brandes
     implementation the restricted passes run on (the arcstore core by
-    default).
+    default); ``backend``/``workers`` reach the arcstore engine's
+    kernel dispatch and source-batched fan-out.
     """
     rng = ensure_rng(seed)
     sources: list[int] = []
@@ -82,7 +85,12 @@ def pivot_betweenness(
             weights.append(len(members) / count)
             representatives.append(int(source))
     scores = betweenness_centrality(
-        graph, sources=sources, source_weights=weights, engine=engine
+        graph,
+        sources=sources,
+        source_weights=weights,
+        engine=engine,
+        backend=backend,
+        workers=workers,
     )
     return scores, np.asarray(representatives)
 
@@ -95,13 +103,16 @@ def approx_betweenness(
     seed: SeedLike = 0,
     pivots_per_color: int = 1,
     engine: str = "arcstore",
+    backend=None,
+    workers: int | None = None,
 ) -> ApproxCentralityResult:
     """The paper's centrality pipeline: color, then pivot-Brandes,
     driven through the shared :mod:`repro.pipeline` runner.
 
     ``alpha = beta = 1`` per Sec. 5.2; the geometric-mean split is the
     paper's recommendation for scale-free social graphs (all weights are
-    non-negative here).
+    non-negative here).  ``backend``/``workers`` reach both the coloring
+    engine and the restricted Brandes passes.
     """
     if n_colors is None and q is None:
         raise ValueError("approx_betweenness needs n_colors and/or q")
@@ -113,6 +124,8 @@ def approx_betweenness(
         pivots_per_color=pivots_per_color,
         split_mean=split_mean,
         engine=engine,
+        backend=backend,
+        workers=workers,
     )
     result = run_task(task, n_colors=n_colors, q=q)
     scores, representatives = result.solution

@@ -144,6 +144,9 @@ def betweenness_centrality(
     source_weights: Iterable[float] | None = None,
     weighted: bool = False,
     engine: str = "arcstore",
+    backend=None,
+    workers: int | None = None,
+    parallel_mode: str | None = None,
 ) -> np.ndarray:
     """Betweenness centrality of every node (by internal index).
 
@@ -152,7 +155,10 @@ def betweenness_centrality(
     (all sources, unit weights) the result is exact.  ``weighted=True``
     treats edge weights as positive lengths (Dijkstra variant).
     ``engine`` selects the vectorized arc-store implementation (default)
-    or the legacy pure-Python one; both agree to 1e-9.
+    or the legacy pure-Python one; both agree to 1e-9.  The arcstore
+    engine additionally honors ``backend=`` (solver kernel dispatch)
+    and ``workers=``/``parallel_mode=`` (source-batched parallel
+    Brandes); the legacy engine ignores all three.
     """
     from repro.solvers import betweenness_centrality_csr, check_engine
 
@@ -164,6 +170,9 @@ def betweenness_centrality(
             sources=sources,
             source_weights=source_weights,
             weighted=weighted,
+            backend=backend,
+            workers=workers,
+            parallel_mode=parallel_mode,
         )
     n = graph.n_nodes
     if weighted:

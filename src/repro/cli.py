@@ -282,6 +282,38 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 _SOLVE_SCALES = {"maxflow": 0.01, "lp": 0.04, "centrality": 0.015}
 
 
+def _load_solve_store(args: argparse.Namespace):
+    """``--mmap`` problem loading: DATASET is an edge-store directory.
+
+    Mirrors ``repro color --mmap`` — the CSR/CSC snapshots stay
+    memmap-backed, so coloring and solving stream edges from disk.
+    Max-flow additionally needs ``--source``/``--sink`` node ids
+    (defaulting to ``0`` and ``n - 1``); LPs are not edge stores.
+    """
+    from repro.exceptions import FlowError, GraphError
+    from repro.graphs.digraph import WeightedDiGraph
+
+    if args.task == "lp":
+        raise SystemExit(
+            "--mmap applies to the graph tasks (maxflow/centrality); "
+            "LPs are loaded from the registry"
+        )
+    try:
+        graph = WeightedDiGraph.from_edgestore(args.dataset, mmap=True)
+    except (GraphError, OSError) as exc:
+        raise SystemExit(f"bad edge store {args.dataset}: {exc}") from exc
+    if args.task == "maxflow":
+        from repro.flow.network import FlowNetwork
+
+        source = args.source if args.source is not None else 0
+        sink = args.sink if args.sink is not None else graph.n_nodes - 1
+        try:
+            return FlowNetwork(graph, source, sink)
+        except FlowError as exc:
+            raise SystemExit(str(exc)) from exc
+    return graph
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     # The lazy imports are a real chunk of the command's wall time
     # (scipy optimize, dataset generators), so they get their own span.
@@ -292,29 +324,39 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     backend = _apply_backend(args)
     scale = args.scale if args.scale is not None else _SOLVE_SCALES[args.task]
-    try:
+    task_options = {
+        "maxflow": {
+            "bound": args.bound,
+            "algorithm": args.algorithm,
+            "engine": args.engine,
+        },
+        # The LP path solves via scipy/IPM, not the exact graph
+        # solvers, so --engine does not apply to it.
+        "lp": {"mode": args.mode},
+        "centrality": {"seed": args.seed, "engine": args.engine},
+    }
+    options = task_options[args.task]
+    if args.mmap:
         with _trace.span(
-            "cli.load_dataset", dataset=args.dataset, task=args.task,
-            scale=scale,
+            "cli.load_store", store=args.dataset, task=args.task
         ):
-            if args.task == "maxflow":
-                problem = load_flow(args.dataset, scale=scale)
-                options = {
-                    "bound": args.bound,
-                    "algorithm": args.algorithm,
-                    "engine": args.engine,
+            problem = _load_solve_store(args)
+    else:
+        try:
+            with _trace.span(
+                "cli.load_dataset", dataset=args.dataset, task=args.task,
+                scale=scale,
+            ):
+                loaders = {
+                    "maxflow": load_flow,
+                    "lp": load_lp,
+                    "centrality": load_graph,
                 }
-            elif args.task == "lp":
-                # The LP path solves via scipy/IPM, not the exact graph
-                # solvers, so --engine does not apply to it.
-                problem = load_lp(args.dataset, scale=scale)
-                options = {"mode": args.mode}
-            else:
-                problem = load_graph(args.dataset, scale=scale)
-                options = {"seed": args.seed, "engine": args.engine}
-    except DatasetError as exc:
-        raise SystemExit(str(exc)) from exc
+                problem = loaders[args.task](args.dataset, scale=scale)
+        except DatasetError as exc:
+            raise SystemExit(str(exc)) from exc
     options["backend"] = backend
+    options["workers"] = args.workers
     task = task_for(args.task, problem, **options)
 
     if args.colors is not None:
@@ -352,8 +394,13 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             render_rows(
                 rows,
                 title=(
-                    f"{args.task} pipeline on {args.dataset} (scale {scale}, "
-                    f"one coloring, {len(results)} checkpoint(s))"
+                    f"{args.task} pipeline on "
+                    + (
+                        f"edge store {args.dataset}"
+                        if args.mmap
+                        else f"{args.dataset} (scale {scale})"
+                    )
+                    + f" (one coloring, {len(results)} checkpoint(s))"
                 ),
             )
         )
@@ -572,7 +619,19 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--task", required=True,
                        choices=("maxflow", "lp", "centrality"))
     solve.add_argument("--dataset", required=True,
-                       help="registry dataset name (see `repro datasets`)")
+                       help="registry dataset name (see `repro datasets`), "
+                            "or a `repro ingest` edge-store directory "
+                            "with --mmap")
+    solve.add_argument("--mmap", action="store_true",
+                       help="DATASET is an edge-store directory; solve it "
+                            "off memmapped snapshots (maxflow/centrality; "
+                            "--scale does not apply)")
+    solve.add_argument("--source", type=int, default=None,
+                       help="maxflow with --mmap: source node id "
+                            "(default 0)")
+    solve.add_argument("--sink", type=int, default=None,
+                       help="maxflow with --mmap: sink node id "
+                            "(default n - 1)")
     solve.add_argument("--scale", type=float, default=None,
                        help="dataset scale (1.0 = paper size)")
     solve.add_argument("--colors", default=None,
@@ -597,6 +656,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="centrality: pivot sampling seed")
     solve.add_argument("--backend", default=None,
                        help="kernel backend: auto, numpy, numba, or torch[:device] (default: REPRO_BACKEND or auto-detect)")
+    solve.add_argument("--workers", type=int, default=None,
+                       help="worker fan-out for parallel coloring rounds "
+                            "and source-batched Brandes "
+                            "(default: REPRO_WORKERS or 1)")
     solve.add_argument("--trace-out", default=None,
                        help="dump the recorded trace/metrics as JSONL")
     solve.set_defaults(func=_cmd_solve)

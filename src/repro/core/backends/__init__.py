@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import os
 
-from repro.core.backends.base import Backend, KERNEL_NAMES
+from repro.core.backends.base import Backend, KERNEL_NAMES, SOLVER_KERNEL_NAMES
 from repro.core.backends.executor import RoundExecutor, resolve_workers
 from repro.core.backends.numpy_backend import NumpyBackend
 from repro.core.backends import numba_backend as _numba
@@ -44,6 +44,7 @@ from repro.core.backends import torch_backend as _torch
 __all__ = [
     "Backend",
     "KERNEL_NAMES",
+    "SOLVER_KERNEL_NAMES",
     "RoundExecutor",
     "available_backends",
     "default_backend",

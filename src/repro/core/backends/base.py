@@ -26,7 +26,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["Backend", "KERNEL_NAMES"]
+__all__ = ["Backend", "KERNEL_NAMES", "SOLVER_KERNEL_NAMES"]
 
 #: every method a Backend must provide (the parity sweep iterates this)
 KERNEL_NAMES = (
@@ -40,6 +40,19 @@ KERNEL_NAMES = (
     "select_degrees_toward",
     "grouped_minmax_by_labels",
     "grouped_minmax_ordered",
+)
+
+#: the solver kernel family the ArcStore tier dispatches through
+#: (residual BFS, Dinic blocking flow, the fused flow solvers, and the
+#: batched Brandes dependency pass) — semantics are defined by the
+#: numpy reference in :mod:`repro.core.backends.solver_numpy`
+SOLVER_KERNEL_NAMES = (
+    "solve_bfs_levels",
+    "solve_bfs_parents",
+    "solve_blocking_flow",
+    "solve_push_relabel",
+    "solve_edmonds_karp",
+    "solve_brandes_batch",
 )
 
 
@@ -133,3 +146,81 @@ class Backend(Protocol):
         self, values: np.ndarray, order: np.ndarray, starts: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Per-color max/min over columns, given a members order."""
+
+    # -- solver kernel family (SOLVER_KERNEL_NAMES) --------------------
+
+    def solve_bfs_levels(
+        self,
+        indptr: np.ndarray,
+        arcs: np.ndarray,
+        head: np.ndarray,
+        cap: np.ndarray,
+        n: int,
+        source: int,
+        sink: int,
+    ) -> np.ndarray:
+        """Residual BFS levels (-1 unreached); ``sink < 0`` means full
+        BFS, otherwise expansion stops after the sink's level."""
+
+    def solve_bfs_parents(
+        self,
+        indptr: np.ndarray,
+        arcs: np.ndarray,
+        head: np.ndarray,
+        tail: np.ndarray,
+        cap: np.ndarray,
+        n: int,
+        source: int,
+        sink: int,
+    ) -> np.ndarray:
+        """First-occurrence shortest-path discovery arcs; a negative
+        entry at the sink signals unreachability."""
+
+    def solve_blocking_flow(
+        self,
+        local_indptr: np.ndarray,
+        heads: np.ndarray,
+        caps: np.ndarray,
+        source: int,
+        sink: int,
+    ) -> tuple[float, np.ndarray]:
+        """One Dinic phase's blocking flow over a compacted level
+        graph; consumes ``caps`` and returns ``(total, arc flows)``."""
+
+    def solve_push_relabel(
+        self,
+        indptr: np.ndarray,
+        arcs: np.ndarray,
+        head: np.ndarray,
+        cap: np.ndarray,
+        n: int,
+        source: int,
+        sink: int,
+    ) -> tuple[float, int, int]:
+        """Fused highest-label push-relabel; mutates ``cap`` into the
+        final residual and returns ``(value, relabels, pushes)``."""
+
+    def solve_edmonds_karp(
+        self,
+        indptr: np.ndarray,
+        arcs: np.ndarray,
+        head: np.ndarray,
+        tail: np.ndarray,
+        cap: np.ndarray,
+        n: int,
+        source: int,
+        sink: int,
+    ) -> tuple[float, int]:
+        """Fused shortest-augmenting-path loop; mutates ``cap`` and
+        returns ``(value, augmentations)``."""
+
+    def solve_brandes_batch(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        sources: np.ndarray,
+        weights: np.ndarray,
+        n: int,
+    ) -> np.ndarray:
+        """Weighted dependency-vector sum over a block of sources
+        (equal to the reference within 1e-9; sums may re-associate)."""

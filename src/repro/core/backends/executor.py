@@ -223,27 +223,24 @@ class RoundExecutor:
         return self._thread_pool
 
     # -- shared-memory process mapping ----------------------------------
-    def attach_graph(
-        self,
-        csr_arrays: tuple[np.ndarray, np.ndarray, np.ndarray],
-        csc_arrays: tuple[np.ndarray, np.ndarray, np.ndarray],
-        labels: np.ndarray,
+    def attach_arrays(
+        self, arrays: dict[str, np.ndarray], live: frozenset = frozenset()
     ) -> None:
-        """Mirror the snapshots into shared memory and start the pool.
+        """Mirror named arrays into worker-visible storage, start the pool.
 
-        Idempotent; called lazily before the first process-mode round.
+        The generic process-mode attachment: workers read the arrays
+        back from the module-global ``_WORKER_STATE`` under the given
+        names (file-backed memmaps are reopened via the page cache,
+        everything else lands in POSIX shared memory; ``live`` keys
+        always get shared memory so :meth:`_SharedGraphMirror.update`
+        can refresh them between rounds).  Idempotent — the first
+        caller wins; a no-op outside process mode.
         """
         if self.mode != "processes" or self._process_pool is not None:
             return
         import multiprocessing
 
-        names = ("indptr", "indices", "data")
-        arrays = {f"csr_{n}": a for n, a in zip(names, csr_arrays)}
-        arrays.update({f"csc_{n}": a for n, a in zip(names, csc_arrays)})
-        arrays["labels"] = labels
-        self._mirror = _SharedGraphMirror(
-            arrays, live=frozenset({"labels"})
-        )
+        self._mirror = _SharedGraphMirror(arrays, live=live)
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # platform without fork: spawn still works,
@@ -253,6 +250,40 @@ class RoundExecutor:
             initializer=_attach_worker,
             initargs=(self._mirror.blocks,),
         )
+
+    def attach_graph(
+        self,
+        csr_arrays: tuple[np.ndarray, np.ndarray, np.ndarray],
+        csc_arrays: tuple[np.ndarray, np.ndarray, np.ndarray],
+        labels: np.ndarray,
+    ) -> None:
+        """Mirror the engine's snapshots into shared memory.
+
+        Idempotent; called lazily before the first process-mode round.
+        """
+        names = ("indptr", "indices", "data")
+        arrays = {f"csr_{n}": a for n, a in zip(names, csr_arrays)}
+        arrays.update({f"csc_{n}": a for n, a in zip(names, csc_arrays)})
+        arrays["labels"] = labels
+        self.attach_arrays(arrays, live=frozenset({"labels"}))
+
+    def run_jobs(self, worker_fn, jobs: list, compute_serial) -> list:
+        """Generic fan-out of picklable jobs, results in submission order.
+
+        ``worker_fn`` must be a module-level function that reads any
+        bulk arrays from ``_WORKER_STATE`` (populated by
+        :meth:`attach_arrays`); ``compute_serial(job)`` is the
+        in-process body used for serial and thread modes.  Submission
+        order is the determinism contract: callers reduce the results
+        left-to-right and get the serial answer bit-for-bit whenever
+        the per-job computation is exact (and within re-association
+        tolerance otherwise).
+        """
+        if self.mode == "processes" and len(jobs) > 1:
+            return self._process_pool.map(worker_fn, jobs, chunksize=1)
+        if self.mode == "threads" and len(jobs) > 1:
+            return list(self._threads().map(compute_serial, jobs))
+        return [compute_serial(job) for job in jobs]
 
     def eject_masks(
         self, jobs: list[tuple], labels: np.ndarray, compute_serial
@@ -267,10 +298,7 @@ class RoundExecutor:
         """
         if self.mode == "processes" and len(jobs) > 1:
             self._mirror.update("labels", labels)
-            return self._process_pool.map(_eject_mask_task, jobs, chunksize=1)
-        if self.mode == "threads" and len(jobs) > 1:
-            return list(self._threads().map(compute_serial, jobs))
-        return [compute_serial(job) for job in jobs]
+        return self.run_jobs(_eject_mask_task, jobs, compute_serial)
 
     # -- lifecycle -------------------------------------------------------
     def release(self) -> None:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backends import solver_numba
 from repro.core.backends.numpy_backend import NumpyBackend
 
 __all__ = ["NumbaBackend", "available"]
@@ -292,4 +293,42 @@ class NumbaBackend(NumpyBackend):
             _contig(values),
             _contig(order),
             _contig(starts),
+        )
+
+    # -- solver kernels: fused sequential njit(nogil) loops ------------
+    # (see solver_numba for the determinism argument per kernel)
+    def solve_bfs_levels(self, indptr, arcs, head, cap, n, source, sink):
+        return solver_numba.solve_bfs_levels(
+            _contig(indptr), _contig(arcs), _contig(head), _contig(cap),
+            n, source, sink,
+        )
+
+    def solve_bfs_parents(self, indptr, arcs, head, tail, cap, n, source, sink):
+        return solver_numba.solve_bfs_parents(
+            _contig(indptr), _contig(arcs), _contig(head), _contig(tail),
+            _contig(cap), n, source, sink,
+        )
+
+    def solve_blocking_flow(self, local_indptr, heads, caps, source, sink):
+        return solver_numba.solve_blocking_flow(
+            _contig(local_indptr), _contig(heads), _contig(caps),
+            source, sink,
+        )
+
+    def solve_push_relabel(self, indptr, arcs, head, cap, n, source, sink):
+        return solver_numba.solve_push_relabel(
+            _contig(indptr), _contig(arcs), _contig(head), _contig(cap),
+            n, source, sink,
+        )
+
+    def solve_edmonds_karp(self, indptr, arcs, head, tail, cap, n, source, sink):
+        return solver_numba.solve_edmonds_karp(
+            _contig(indptr), _contig(arcs), _contig(head), _contig(tail),
+            _contig(cap), n, source, sink,
+        )
+
+    def solve_brandes_batch(self, indptr, indices, sources, weights, n):
+        return solver_numba.solve_brandes_batch(
+            _contig(indptr), _contig(indices), _contig(sources),
+            _contig(weights), n,
         )

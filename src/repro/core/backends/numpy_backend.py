@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.backends import solver_numpy
+
 __all__ = ["NumpyBackend"]
 
 
@@ -271,6 +273,14 @@ class NumpyBackend:
     select_degrees_toward = staticmethod(select_degrees_toward)
     grouped_minmax_by_labels = staticmethod(grouped_minmax_by_labels)
     grouped_minmax_ordered = staticmethod(grouped_minmax_ordered)
+
+    # solver kernel family (reference semantics in solver_numpy)
+    solve_bfs_levels = staticmethod(solver_numpy.solve_bfs_levels)
+    solve_bfs_parents = staticmethod(solver_numpy.solve_bfs_parents)
+    solve_blocking_flow = staticmethod(solver_numpy.solve_blocking_flow)
+    solve_push_relabel = staticmethod(solver_numpy.solve_push_relabel)
+    solve_edmonds_karp = staticmethod(solver_numpy.solve_edmonds_karp)
+    solve_brandes_batch = staticmethod(solver_numpy.solve_brandes_batch)
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} device={self.device!r}>"

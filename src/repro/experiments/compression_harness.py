@@ -218,14 +218,22 @@ def _accuracy(err: float) -> float:
     return 0.0 if not np.isfinite(err) else 1.0 / (1.0 + err)
 
 
-def _run_quasi_stable(kind: str, problem, n_colors: int, seed: int):
-    """One compress-solve-lift pass; returns (err_fn_input, seconds)."""
-    from repro.pipeline import run_task, task_for
+def _run_quasi_stable(kind: str, task, n_colors: int, caches):
+    """One compress-solve-lift pass; returns (err_fn_input, seconds).
 
-    options = {"seed": seed} if kind == "centrality" else {}
-    task = task_for(kind, problem, **options)
+    ``caches`` is the task-scoped ``(ColoringCache, ReducedSolveCache)``
+    pair: successive levels extend one Rothko run instead of recoloring,
+    and levels whose byte budget resolves to an already-solved
+    checkpoint skip the solve outright.
+    """
+    from repro.pipeline import run_task
+
+    coloring_cache, solve_cache = caches
     start = time.perf_counter()
-    result = run_task(task, n_colors=n_colors)
+    result = run_task(
+        task, n_colors=n_colors, cache=coloring_cache,
+        solve_cache=solve_cache,
+    )
     elapsed = time.perf_counter() - start
     output = result.lifted if kind == "centrality" else result.value
     return output, result.n_colors, elapsed
@@ -241,6 +249,11 @@ def _task_rows(
     from repro.centrality.brandes import betweenness_centrality
     from repro.flow.network import FlowNetwork, max_flow
     from repro.lp.solve import solve_lp
+    from repro.pipeline import ColoringCache, ReducedSolveCache, task_for
+
+    options = {"seed": seed} if kind == "centrality" else {}
+    qs_task = task_for(kind, problem, **options)
+    qs_caches = (ColoringCache(), ReducedSolveCache())
 
     if kind == "maxflow":
         graph = problem.graph
@@ -300,7 +313,7 @@ def _task_rows(
                 if scheme == "quasi-stable":
                     budget = _budget_colors(n, original_bytes, level)
                     output, colors, _ = _run_quasi_stable(
-                        kind, problem, budget, seed
+                        kind, qs_task, budget, qs_caches
                     )
                     nbytes = _coloring_bytes(n, colors)
                     err = error_of(output)

@@ -18,14 +18,15 @@ _EPS = 1e-12
 
 
 def min_cut(
-    network: FlowNetwork, engine: str = "arcstore"
+    network: FlowNetwork, engine: str = "arcstore", backend=None
 ) -> Tuple[float, set[int], list[tuple[int, int]]]:
     """Return ``(capacity, source_side, cut_arcs)`` of a minimum s-t cut.
 
     Runs Dinic to max-flow, then collects the nodes still reachable in the
     residual graph; the cut arcs are the original arcs leaving that set.
     By max-flow/min-cut the returned capacity equals the max-flow value —
-    the property tests assert exactly this.
+    the property tests assert exactly this.  ``backend`` reaches the
+    arcstore engine's solver kernels; the legacy engine ignores it.
     """
     from repro.solvers import check_engine
 
@@ -35,7 +36,8 @@ def min_cut(
 
         store = arc_store_for(network.graph)
         capacity, source_side, cut_arcs, _ = _arcstore_min_cut(
-            store, network.source_index, network.sink_index
+            store, network.source_index, network.sink_index,
+            backend=backend,
         )
         return capacity, source_side, cut_arcs
     return _python_min_cut(network)

@@ -230,7 +230,9 @@ def validate_flow(
         )
 
 
-def _arcstore_max_flow(network: FlowNetwork, algorithm: str) -> FlowResult:
+def _arcstore_max_flow(
+    network: FlowNetwork, algorithm: str, backend=None
+) -> FlowResult:
     from repro.solvers import (
         arc_store_for,
         dinic,
@@ -245,7 +247,7 @@ def _arcstore_max_flow(network: FlowNetwork, algorithm: str) -> FlowResult:
     }
     store = arc_store_for(network.graph)
     value, cap = solvers[algorithm](
-        store, network.source_index, network.sink_index
+        store, network.source_index, network.sink_index, backend=backend
     )
     return FlowResult(
         value=value, arc_arrays=store.extract_flow_arrays(cap)
@@ -256,12 +258,16 @@ def max_flow(
     network: FlowNetwork,
     algorithm: str = "push_relabel",
     engine: str = "arcstore",
+    backend=None,
 ) -> FlowResult:
     """Dispatch to one of the max-flow solvers.
 
     ``algorithm`` is one of ``push_relabel`` (the paper's exact
     baseline), ``dinic`` or ``edmonds_karp``; ``engine`` selects the
     arc-store implementation (default) or the legacy pure-Python one.
+    ``backend`` reaches the arcstore engine's solver-kernel dispatch
+    (explicit wins, else the process default); the legacy engine
+    ignores it.
     """
     from repro.solvers import check_engine
 
@@ -272,7 +278,7 @@ def max_flow(
             f"got {algorithm!r}"
         )
     if check_engine(engine) == "arcstore":
-        return _arcstore_max_flow(network, algorithm)
+        return _arcstore_max_flow(network, algorithm, backend=backend)
 
     from repro.flow.dinic import dinic_max_flow
     from repro.flow.edmonds_karp import edmonds_karp_max_flow

@@ -12,7 +12,9 @@ modules:
 * :func:`run_task` / :func:`progressive_sweep` — the drivers
   (:mod:`repro.pipeline.runner`);
 * :class:`ColoringCache` / :class:`ProgressiveRun` — one Rothko run
-  shared across tasks, weight modes, and checkpoints
+  shared across tasks, weight modes, and checkpoints, and
+  :class:`ReducedSolveCache` — reduce/solve/lift outputs keyed per
+  checkpoint so unchanged reduced problems are never re-solved
   (:mod:`repro.pipeline.cache`);
 * :class:`BlockWeightTracker` — ``W = S^T A S`` maintained
   incrementally per split (:mod:`repro.pipeline.weights`).
@@ -24,7 +26,11 @@ from repro.pipeline.adapters import (
     MaxFlowTask,
     task_for,
 )
-from repro.pipeline.cache import ColoringCache, ProgressiveRun
+from repro.pipeline.cache import (
+    ColoringCache,
+    ProgressiveRun,
+    ReducedSolveCache,
+)
 from repro.pipeline.runner import progressive_sweep, run_task
 from repro.pipeline.task import ColoringSpec, CompressionTask, TaskResult
 from repro.pipeline.weights import BlockWeightTracker
@@ -36,6 +42,7 @@ __all__ = [
     "task_for",
     "ColoringCache",
     "ProgressiveRun",
+    "ReducedSolveCache",
     "progressive_sweep",
     "run_task",
     "ColoringSpec",

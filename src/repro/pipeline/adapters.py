@@ -10,6 +10,7 @@ over these adapters plus :func:`repro.pipeline.runner.run_task`.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any
 
 import numpy as np
@@ -58,6 +59,7 @@ class MaxFlowTask(CompressionTask):
         lift_solution: bool = False,
         engine: str = "arcstore",
         backend: str | None = None,
+        workers: int | None = None,
     ) -> None:
         self.problem = network
         self.bound = bound
@@ -66,6 +68,7 @@ class MaxFlowTask(CompressionTask):
         self.lift_solution = lift_solution
         self.engine = engine
         self.backend = backend
+        self.workers = workers
         self._spec: ColoringSpec | None = None
 
     def coloring_spec(self) -> ColoringSpec:
@@ -79,8 +82,21 @@ class MaxFlowTask(CompressionTask):
                 initial=initial,
                 frozen=frozen,
                 backend=self.backend,
+                workers=self.workers,
             )
         return self._spec
+
+    def solve_key(self) -> tuple:
+        # The coloring spec's adjacency hash pins the network (graph and
+        # capacities); source/sink are pinned by the spec's initial
+        # coloring.  Everything else shaping reduce/solve/lift is here.
+        return (
+            self.name,
+            self.bound,
+            self.algorithm,
+            self.engine,
+            self.lift_solution,
+        )
 
     def reduce(
         self,
@@ -95,7 +111,12 @@ class MaxFlowTask(CompressionTask):
         )
 
     def solve(self, reduced: FlowNetwork) -> FlowResult:
-        return max_flow(reduced, algorithm=self.algorithm, engine=self.engine)
+        return max_flow(
+            reduced,
+            algorithm=self.algorithm,
+            engine=self.engine,
+            backend=self.backend,
+        )
 
     def lift(
         self, coloring: Coloring, reduced: FlowNetwork, solution: FlowResult
@@ -125,6 +146,7 @@ class LPTask(CompressionTask):
         alpha: float = 1.0,
         beta: float = 0.0,
         backend: str | None = None,
+        workers: int | None = None,
     ) -> None:
         self.problem = lp
         self.mode = mode
@@ -132,6 +154,7 @@ class LPTask(CompressionTask):
         self.alpha = alpha
         self.beta = beta
         self.backend = backend
+        self.workers = workers
         self._spec: ColoringSpec | None = None
 
     def coloring_spec(self) -> ColoringSpec:
@@ -147,8 +170,19 @@ class LPTask(CompressionTask):
                 initial=initial,
                 frozen=frozen,
                 backend=self.backend,
+                workers=self.workers,
             )
         return self._spec
+
+    def solve_key(self) -> tuple:
+        # The spec's adjacency hash covers the extended matrix's sparsity
+        # pattern and stored values, but b/c entries that happen to be
+        # zero leave no stored trace there — hash them outright so two
+        # LPs differing only in unstored coefficients never alias.
+        digest = hashlib.sha1()
+        digest.update(np.ascontiguousarray(self.problem.b).tobytes())
+        digest.update(np.ascontiguousarray(self.problem.c).tobytes())
+        return (self.name, self.mode, self.method, digest.hexdigest())
 
     def reduce(
         self,
@@ -200,6 +234,7 @@ class CentralityTask(CompressionTask):
         split_mean: str = "geometric",
         engine: str = "arcstore",
         backend: str | None = None,
+        workers: int | None = None,
     ) -> None:
         self.problem = graph
         self.seed = seed
@@ -207,6 +242,7 @@ class CentralityTask(CompressionTask):
         self.split_mean = split_mean
         self.engine = engine
         self.backend = backend
+        self.workers = workers
         self._spec: ColoringSpec | None = None
 
     def coloring_spec(self) -> ColoringSpec:
@@ -217,8 +253,19 @@ class CentralityTask(CompressionTask):
                 beta=1.0,
                 split_mean=self.split_mean,
                 backend=self.backend,
+                workers=self.workers,
             )
         return self._spec
+
+    def solve_key(self) -> tuple | None:
+        # Representative draws come from a fresh ``seed``-keyed generator
+        # per solve, so results at a checkpoint are a pure function of
+        # (coloring, seed, pivots) — cacheable only for a fixed integer
+        # seed.  ``None`` (fresh entropy) and live Generator seeds draw
+        # different pivots each call, so those tasks stay uncacheable.
+        if not isinstance(self.seed, (int, np.integer)):
+            return None
+        return (self.name, int(self.seed), self.pivots_per_color, self.engine)
 
     def reduce(
         self,
@@ -237,6 +284,8 @@ class CentralityTask(CompressionTask):
             seed=self.seed,
             pivots_per_color=self.pivots_per_color,
             engine=self.engine,
+            backend=self.backend,
+            workers=self.workers,
         )
 
     def lift(self, coloring: Coloring, reduced: Coloring, solution) -> np.ndarray:

@@ -10,6 +10,13 @@ passed, without recoloring.  :class:`ColoringCache` keys such runs by
 spec fingerprint so one coloring is shared across tasks (max-flow upper
 and lower bounds, LP ``sqrt`` and ``grohe`` modes), weight modes, and
 every checkpoint of a multi-k sweep.
+
+:class:`ReducedSolveCache` plays the same role one tier up: it keys the
+*outputs* of a task's reduce–solve–lift stages on ``(coloring spec,
+task solve key, checkpoint)``, so progressive sweeps and the
+compression harness never re-solve a reduced problem the coloring
+hasn't changed — e.g. a q-target met early makes every later budget
+resolve to the same checkpoint, and only the first pays for a solve.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from repro.obs import trace as _trace
 from repro.pipeline.task import ColoringSpec
 from repro.pipeline.weights import BlockWeightTracker
 
-__all__ = ["ColoringCache", "ProgressiveRun"]
+__all__ = ["ColoringCache", "ProgressiveRun", "ReducedSolveCache"]
 
 
 class ProgressiveRun:
@@ -209,3 +216,73 @@ class ColoringCache:
 
     def __len__(self) -> int:
         return len(self._runs)
+
+
+class ReducedSolveCache:
+    """LRU cache of reduce–solve–lift outputs, keyed per checkpoint.
+
+    Keys are ``(spec.cache_key(), task.solve_key(), checkpoint)`` —
+    everything that determines the reduced problem and its solution:
+    the split sequence (spec), where along it we stopped (checkpoint),
+    and every task knob shaping the three stages (solve key).  Tasks
+    whose :meth:`~repro.pipeline.task.CompressionTask.solve_key`
+    returns ``None`` are never cached; the runner consults this cache
+    only after checkpoint *resolution*, so a hit skips the reduce,
+    solve, and lift stages entirely while the coloring itself still
+    comes from the (cheap, memoized) progressive run.
+
+    Entries are ``(reduced, solution, lifted, value)`` tuples stored by
+    reference — the same objects a cache-off run would have built, so
+    served results are identical field for field.  ``max_entries``
+    bounds the cache as an LRU exactly like
+    :class:`ColoringCache.max_runs`; lookups mirror to the active
+    observability recorder as ``pipeline.solve_cache.hit`` / ``.miss``
+    / ``.evict`` counters.
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self._entries: dict[tuple, tuple] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> tuple | None:
+        """The cached ``(reduced, solution, lifted, value)`` for ``key``,
+        or ``None`` — every call counts as one hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            _obs._active.count("pipeline.solve_cache.miss")
+            return None
+        self.hits += 1
+        _obs._active.count("pipeline.solve_cache.hit")
+        # Refresh recency: move the served entry to the dict's end.
+        del self._entries[key]
+        self._entries[key] = entry
+        return entry
+
+    def put(self, key: tuple, entry: tuple) -> None:
+        if key in self._entries:
+            del self._entries[key]
+        elif (
+            self.max_entries is not None
+            and len(self._entries) >= self.max_entries
+        ):
+            # Dict order is recency order (get re-appends on hit), so
+            # the first key is the least recently served.
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
+            _obs._active.count("pipeline.solve_cache.evict")
+        self._entries[key] = entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

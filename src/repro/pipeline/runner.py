@@ -23,7 +23,7 @@ from typing import Iterable
 
 from repro.obs import recorder as _obs
 from repro.obs import trace as _trace
-from repro.pipeline.cache import ColoringCache
+from repro.pipeline.cache import ColoringCache, ReducedSolveCache
 from repro.pipeline.task import CompressionTask, TaskResult
 from repro.utils.timing import StageTimer
 
@@ -35,6 +35,7 @@ def run_task(
     n_colors: int | None = None,
     q: float | None = None,
     cache: ColoringCache | None = None,
+    solve_cache: ReducedSolveCache | None = None,
 ) -> TaskResult:
     """One color → reduce → solve → lift pass for ``task``.
 
@@ -42,6 +43,11 @@ def run_task(
     and/or a target maximum q-error ``q``.  With a shared ``cache`` the
     coloring work is incremental across calls; the reported
     ``timings.coloring`` covers only the refinement this call caused.
+    A shared ``solve_cache`` additionally skips the reduce/solve/lift
+    stages whenever this (spec, task configuration, checkpoint) triple
+    has been solved before — stopping knobs are consulted *after*
+    checkpoint resolution, so distinct budgets resolving to one state
+    (e.g. a q-target met early) pay for exactly one solve.
     """
     if n_colors is None and q is None:
         raise ValueError(f"{task.name} pipeline needs n_colors and/or q")
@@ -59,19 +65,40 @@ def run_task(
             )
             coloring = run.coloring(checkpoint)
             q_err = run.q_err(checkpoint)
-        with timer.stage("reduce"):
-            weights = (
-                run.weights(checkpoint) if task.uses_block_weights else None
-            )
-            reduced = task.reduce(
-                task.problem, coloring, block_weights=weights,
-                max_q_err=q_err,
-            )
-        with timer.stage("solve"):
-            solution = task.solve(reduced)
-        with timer.stage("lift"):
-            lifted = task.lift(coloring, reduced, solution)
-        task_span.set(checkpoint=checkpoint, max_q_err=q_err)
+        solve_key = None
+        entry = None
+        if solve_cache is not None:
+            task_key = task.solve_key()
+            if task_key is not None:
+                solve_key = (run.spec.cache_key(), task_key, checkpoint)
+                entry = solve_cache.get(solve_key)
+        if entry is not None:
+            reduced, solution, lifted, value = entry
+        else:
+            with timer.stage("reduce"):
+                weights = (
+                    run.weights(checkpoint)
+                    if task.uses_block_weights
+                    else None
+                )
+                reduced = task.reduce(
+                    task.problem, coloring, block_weights=weights,
+                    max_q_err=q_err,
+                )
+            with timer.stage("solve"):
+                solution = task.solve(reduced)
+            with timer.stage("lift"):
+                lifted = task.lift(coloring, reduced, solution)
+            value = task.value(reduced, solution, lifted)
+            if solve_key is not None:
+                solve_cache.put(
+                    solve_key, (reduced, solution, lifted, value)
+                )
+        task_span.set(
+            checkpoint=checkpoint,
+            max_q_err=q_err,
+            solve_cache_hit=entry is not None,
+        )
     timings = timer.freeze()
     _obs._active.observe("pipeline.checkpoint_s", timings.total)
     return TaskResult(
@@ -81,7 +108,7 @@ def run_task(
         reduced=reduced,
         solution=solution,
         lifted=lifted,
-        value=task.value(reduced, solution, lifted),
+        value=value,
         timings=timings,
     )
 
@@ -91,6 +118,7 @@ def progressive_sweep(
     checkpoints: Iterable[int],
     q: float | None = None,
     cache: ColoringCache | None = None,
+    solve_cache: ReducedSolveCache | None = None,
 ) -> list[TaskResult]:
     """Solve ``task`` at every color budget in ``checkpoints``.
 
@@ -100,15 +128,26 @@ def progressive_sweep(
     repeated budgets still work — they are served from the run's
     recorded history.  An optional ``q`` caps every checkpoint exactly
     as it would a standalone run: refinement stops early once the
-    q-error target is met, so later budgets all resolve to that state.
+    q-error target is met, so later budgets all resolve to that state —
+    and, through the sweep-local :class:`ReducedSolveCache` (pass
+    ``solve_cache`` to share one across sweeps), are *solved* exactly
+    once rather than once per budget.
     """
     if cache is None:
         cache = ColoringCache()
+    if solve_cache is None:
+        solve_cache = ReducedSolveCache()
     budgets = list(checkpoints)
     with _trace.span(
         "pipeline.sweep", task=task.name, checkpoints=len(budgets), q=q
     ):
         return [
-            run_task(task, n_colors=budget, q=q, cache=cache)
+            run_task(
+                task,
+                n_colors=budget,
+                q=q,
+                cache=cache,
+                solve_cache=solve_cache,
+            )
             for budget in budgets
         ]

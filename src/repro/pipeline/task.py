@@ -71,6 +71,12 @@ class ColoringSpec:
     #: so colorings computed by different backends never alias — a CUDA
     #: torch run (last-ulp atomics) must not serve a numpy request.
     backend: str | None = None
+    #: worker fan-out for the engine's batched rounds (None = the
+    #: ``REPRO_WORKERS`` environment default).  Deliberately *not* part
+    #: of the cache key: parallel rounds are bit-identical to serial
+    #: (submission-order commit), so any worker count may serve any
+    #: request for the same spec.
+    workers: int | None = None
 
     def build_engine(self) -> Rothko:
         return Rothko(
@@ -82,6 +88,7 @@ class ColoringSpec:
             frozen=self.frozen,
             error_mode=self.error_mode,
             backend=self.backend,
+            workers=self.workers,
         )
 
     def resolved_backend(self) -> tuple[str, str]:
@@ -172,6 +179,21 @@ class CompressionTask(ABC):
     def value(self, reduced: Any, solution: Any, lifted: Any) -> float:
         """Scalar summary of the solution (objective / flow value /
         score checksum) used by experiments and equality tests."""
+
+    def solve_key(self) -> tuple | None:
+        """Hashable fingerprint of everything that shapes reduce/solve/
+        lift *besides* the coloring — the
+        :class:`~repro.pipeline.cache.ReducedSolveCache` key component.
+
+        ``None`` (the default) marks the task as not cacheable: the
+        runner will always re-solve.  Adapters whose stages are pure
+        functions of (problem, configuration, coloring) override this;
+        anything influencing the solution must be in the key, and the
+        problem data itself must be covered when the coloring spec's
+        adjacency hash doesn't already pin it (the LP adapter hashes its
+        ``b``/``c`` vectors for exactly that reason).
+        """
+        return None
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,7 @@ from repro.solvers.arcstore import (
     bfs_levels,
     bfs_parents,
     check_engine,
+    resolve_solver_backend,
 )
 from repro.solvers.betweenness import (
     betweenness_centrality_csr,
@@ -35,6 +36,7 @@ __all__ = [
     "bfs_levels",
     "bfs_parents",
     "check_engine",
+    "resolve_solver_backend",
     "betweenness_centrality_csr",
     "single_source_dependencies_csr",
     "dinic",

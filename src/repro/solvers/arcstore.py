@@ -26,12 +26,17 @@ solvers share:
 * :meth:`ArcStore.extract_flow_arrays` — per-arc flows of the forward
   arcs as ``(tails, heads, flows)`` arrays, ``flow = cap0 - cap``.
 
-The gather/scatter steps reuse :mod:`repro.core.kernels`
-(:func:`~repro.core.kernels.take_ranges`): the same cumsum trick that
-powers the coloring engine powers the solver BFS.  Those wrappers
-dispatch through the process-default backend
-(:mod:`repro.core.backends`), so the BFS frontier gathers pick up the
-numba/torch kernels — bit-identical results — whenever one is active.
+The traversals dispatch through the backend layer
+(:mod:`repro.core.backends`): every solver entry point takes
+``backend=`` and routes its BFS through
+``backend.solve_bfs_levels`` / ``backend.solve_bfs_parents`` — the
+numpy reference lives in ``core/backends/solver_numpy.py``, and the
+numba backend fuses the whole frontier loop into one compiled pass
+with identical discovery order (bit-identical levels and parents).
+:func:`resolve_solver_backend` is the shared resolution rule: an
+explicit request wins, otherwise the *process default*
+(``set_default_backend`` / ``REPRO_BACKEND`` / auto) applies — the
+same backend the coloring kernels are using.
 """
 
 from __future__ import annotations
@@ -42,12 +47,26 @@ from typing import TYPE_CHECKING, Dict, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.backends import Backend, default_backend, resolve_backend
 from repro.core.kernels import take_ranges
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.graphs.digraph import WeightedDiGraph
 
 _EPS = 1e-12
+
+
+def resolve_solver_backend(backend: "str | Backend | None") -> Backend:
+    """Backend for a solver call: explicit request, else process default.
+
+    ``resolve_backend(None)`` consults only the environment, which would
+    silently drop a CLI-level ``set_default_backend`` — so ``None`` maps
+    to :func:`default_backend` here, keeping the solver tier on whatever
+    the rest of the process (Rothko included) resolved to.
+    """
+    if backend is None:
+        return default_backend()
+    return resolve_backend(backend)
 
 #: the two exact-solver implementations every dispatching entry point accepts
 ENGINES = ("arcstore", "python")
@@ -222,60 +241,51 @@ def bfs_levels(
     cap: np.ndarray,
     source: int,
     sink: int | None = None,
+    backend: "str | Backend | None" = None,
 ) -> np.ndarray:
     """Frontier-batched BFS levels of the residual graph.
 
     Unreached nodes get ``-1``.  With a ``sink``, expansion stops as
     soon as the sink's level is assigned (the whole level is finished
     first, so every shortest admissible arc survives — exactly what
-    Dinic's level graph needs).
+    Dinic's level graph needs).  Dispatches through the backend layer;
+    levels are unique, so every backend agrees bit-for-bit.
     """
-    level = np.full(store.n, -1, dtype=np.int64)
-    level[source] = 0
-    frontier = np.array([source], dtype=np.int64)
-    depth = 0
-    while frontier.size:
-        heads = store.head[_frontier_arcs(store, cap, frontier)]
-        heads = heads[level[heads] < 0]
-        if heads.size == 0:
-            break
-        frontier = unique_int(heads)
-        depth += 1
-        level[frontier] = depth
-        if sink is not None and level[sink] == depth:
-            break
-    return level
+    return resolve_solver_backend(backend).solve_bfs_levels(
+        store.indptr,
+        store.arcs,
+        store.head,
+        cap,
+        store.n,
+        int(source),
+        -1 if sink is None else int(sink),
+    )
 
 
 def bfs_parents(
-    store: ArcStore, cap: np.ndarray, source: int, sink: int
+    store: ArcStore,
+    cap: np.ndarray,
+    source: int,
+    sink: int,
+    backend: "str | Backend | None" = None,
 ) -> np.ndarray | None:
     """Shortest-path discovery arcs (Edmonds–Karp's BFS), or None.
 
     Returns ``parent_arc[v]`` = the arc that first reached ``v`` on some
-    shortest residual path from the source; ``None`` when the sink is
-    unreachable.
+    shortest residual path from the source — the *first occurrence* in
+    (ascending frontier, adjacency position) order, an ordering every
+    backend reproduces exactly; ``None`` when the sink is unreachable.
     """
-    parent_arc = np.full(store.n, -1, dtype=np.int64)
-    visited = np.zeros(store.n, dtype=bool)
-    visited[source] = True
-    frontier = np.array([source], dtype=np.int64)
-    while frontier.size:
-        arcs = _frontier_arcs(store, cap, frontier)
-        heads = store.head[arcs]
-        fresh = ~visited[heads]
-        arcs, heads = arcs[fresh], heads[fresh]
-        if heads.size == 0:
-            return None
-        # First-occurrence dedupe (stable sort keeps discovery order).
-        order = np.argsort(heads, kind="stable")
-        sorted_heads = heads[order]
-        keep = np.empty(sorted_heads.size, dtype=bool)
-        keep[0] = True
-        np.not_equal(sorted_heads[1:], sorted_heads[:-1], out=keep[1:])
-        frontier = sorted_heads[keep]
-        visited[frontier] = True
-        parent_arc[frontier] = arcs[order[keep]]
-        if visited[sink]:
-            return parent_arc
-    return None
+    parent_arc = resolve_solver_backend(backend).solve_bfs_parents(
+        store.indptr,
+        store.arcs,
+        store.head,
+        store.tail,
+        cap,
+        store.n,
+        int(source),
+        int(sink),
+    )
+    if parent_arc[sink] < 0:
+        return None
+    return parent_arc

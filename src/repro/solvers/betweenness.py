@@ -12,19 +12,26 @@ path DAG.  On the arc-store representation both sweeps vectorize:
   ``delta[v] += sigma[v] / sigma[w] * (1 + delta[w])`` summed over the
   level's DAG arcs ``v -> w``.
 
-Both sweeps run on the :func:`~repro.core.kernels.take_ranges` /
-:func:`~repro.core.kernels.scatter_add` wrappers, which dispatch
-through the process-default backend (:mod:`repro.core.backends`) — the
-frontier gathers and sigma/delta scatters are accelerated, with
-bit-identical results, whenever a numba/torch backend is active.
+Sources are processed in *batches* through the backend layer's
+``solve_brandes_batch`` kernel (reference:
+:mod:`repro.core.backends.solver_numpy`; numba fuses the whole batch
+into one compiled pass).  In the numpy reference all lanes of a batch
+run in lock-step flat BFS (node ``v`` of lane ``b`` is key
+``b * n + v``), so every per-level gather/scatter serves a whole block
+of sources at once and the numpy call overhead amortizes across the
+batch.  On small-diameter graphs (the paper's social networks) the
+combination is several times faster than the list-based legacy pass —
+``benchmarks/bench_solver_core.py`` records the ratio.
 
-On top of that, sources are processed in *batches* of flat BFS lanes
-(node ``v`` of lane ``b`` is key ``b * n + v``), so every per-level
-gather/scatter serves a whole block of sources at once and the numpy
-call overhead amortizes across the batch.  On small-diameter graphs
-(the paper's social networks) the combination is several times faster
-than the list-based legacy pass — ``benchmarks/bench_solver_core.py``
-records the ratio.
+Batches are also the parallel unit: sources are independent and the
+weighted dependency vectors sum associatively, so
+:func:`betweenness_centrality_csr` fans batches across a
+:class:`~repro.core.backends.RoundExecutor` (``workers=`` /
+``REPRO_WORKERS``; threads when the backend's kernels release the GIL,
+a shared-memory process pool otherwise) and reduces the results in
+fixed submission order.  Batch boundaries never depend on the worker
+count, so serial and parallel runs add the same partial vectors in the
+same order — bit-identical on any single backend.
 
 For weighted graphs (positive lengths), :func:`weighted_dependencies`
 runs an array-heap Dijkstra over the CSR slices — a binary heap of
@@ -49,8 +56,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.obs import recorder as _obs
+from repro.core.backends import Backend, RoundExecutor
+from repro.core.backends.executor import _WORKER_STATE
 from repro.core.kernels import scatter_add, take_ranges
-from repro.solvers.arcstore import unique_int
+from repro.solvers.arcstore import resolve_solver_backend, unique_int
 
 __all__ = [
     "bfs_dag",
@@ -134,57 +143,23 @@ def _batch_size(n: int, m: int, n_sources: int) -> int:
     return max(1, min(lanes, 256))
 
 
-def _batched_dependencies(
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    sources: np.ndarray,
-    weights: np.ndarray,
-    n: int,
-) -> np.ndarray:
-    """Weighted sum of dependency vectors over a block of BFS sources.
+def _worker_brandes_batch(job: tuple) -> np.ndarray:
+    """Process-pool body: one source batch against the attached CSR.
 
-    All lanes run in lock-step: node ``v`` of lane ``b`` is the flat key
-    ``b * n + v``, so one gather/scatter per global depth serves every
-    source in the block — the numpy call overhead of the per-level sweep
-    amortizes across lanes, which is where the bulk of the arcstore
-    engine's speedup over the per-source Python passes comes from.
+    The adjacency arrays come from the executor's shared-memory mirror
+    (``_WORKER_STATE``); only the batch's sources/weights and the
+    backend spec cross the pickle boundary.
     """
-    lanes = len(sources)
-    size = lanes * n
-    dist = np.full(size, -1, dtype=np.int32)
-    sigma = np.zeros(size)
-    keys = np.arange(lanes, dtype=np.int64) * n + sources
-    dist[keys] = 0
-    sigma[keys] = 1.0
-    frontier = keys
-    levels: List[Tuple[np.ndarray, np.ndarray]] = []
-    depth = 0
-    while frontier.size:
-        nodes = frontier % n
-        starts = indptr[nodes]
-        counts = indptr[nodes + 1] - starts
-        positions = take_ranges(starts, counts)
-        heads = (
-            np.repeat(frontier - nodes, counts) + indices[positions]
-        )
-        tails = np.repeat(frontier, counts)
-        # Crossing arcs == arcs whose head was undiscovered at gather
-        # time (see bfs_dag); one gather serves discovery and sigma.
-        crossing = dist[heads] < 0
-        tails, heads = tails[crossing], heads[crossing]
-        if tails.size == 0:
-            break
-        dist[heads] = depth + 1
-        sigma += scatter_add(heads, sigma[tails], size)
-        levels.append((tails, heads))
-        frontier = unique_int(heads)
-        depth += 1
-    delta = np.zeros(size)
-    for tails, heads in reversed(levels):
-        contributions = sigma[tails] / sigma[heads] * (1.0 + delta[heads])
-        delta += scatter_add(tails, contributions, size)
-    delta[keys] = 0.0
-    return weights @ delta.reshape(lanes, n)
+    from repro.core.backends import resolve_backend
+
+    sources, weights, backend_spec, n = job
+    return resolve_backend(backend_spec).solve_brandes_batch(
+        _WORKER_STATE["brandes_indptr"],
+        _WORKER_STATE["brandes_indices"],
+        sources,
+        weights,
+        n,
+    )
 
 
 def weighted_dependencies(
@@ -244,6 +219,9 @@ def betweenness_centrality_csr(
     sources: Iterable[int] | None = None,
     source_weights: Iterable[float] | None = None,
     weighted: bool = False,
+    backend: "str | Backend | None" = None,
+    workers: int | None = None,
+    parallel_mode: str | None = None,
 ) -> np.ndarray:
     """Betweenness of every node from a CSR adjacency (arcstore engine).
 
@@ -251,6 +229,16 @@ def betweenness_centrality_csr(
     networkx (undirected graphs report each unordered pair once);
     ``sources``/``source_weights`` restrict and weight the per-source
     passes; ``weighted=True`` treats arc weights as positive lengths.
+
+    The unweighted path batches sources through the backend's
+    ``solve_brandes_batch`` kernel and, with ``workers > 1`` (or
+    ``REPRO_WORKERS``), fans the batches across a
+    :class:`~repro.core.backends.RoundExecutor` — sources are
+    independent, and the partial vectors are reduced in submission
+    order, so batch boundaries (and therefore results on a given
+    backend) do not depend on the worker count.  ``parallel_mode``
+    picks ``"serial"``/``"threads"``/``"processes"`` explicitly;
+    ``None`` auto-selects from the backend's ``parallel_kernels`` flag.
     """
     n = matrix.shape[0]
     indptr = matrix.indptr.astype(np.int64)
@@ -271,6 +259,7 @@ def betweenness_centrality_csr(
             )
 
     centrality = np.zeros(n)
+    n_batches = 0
     if weighted:
         indptr_list = indptr.tolist()
         indices_list = indices.tolist()
@@ -280,26 +269,52 @@ def betweenness_centrality_csr(
                 indptr_list, indices_list, data_list, source, n
             )
     elif source_list:
+        active = resolve_solver_backend(backend)
         source_array = np.asarray(source_list, dtype=np.int64)
         weight_array = np.asarray(weight_list)
         lanes = _batch_size(n, int(matrix.nnz), len(source_list))
-        for start in range(0, len(source_list), lanes):
-            centrality += _batched_dependencies(
-                indptr,
-                indices,
-                source_array[start : start + lanes],
-                weight_array[start : start + lanes],
-                n,
+        batches = [
+            (source_array[start : start + lanes],
+             weight_array[start : start + lanes])
+            for start in range(0, len(source_list), lanes)
+        ]
+        n_batches = len(batches)
+
+        def compute_batch(batch: tuple) -> np.ndarray:
+            return active.solve_brandes_batch(
+                indptr, indices, batch[0], batch[1], n
             )
+
+        executor = RoundExecutor.resolve(
+            workers, parallel_mode, active.parallel_kernels
+        )
+        if executor.mode == "serial" or n_batches == 1:
+            for batch in batches:
+                centrality += compute_batch(batch)
+        else:
+            try:
+                if executor.mode == "processes":
+                    executor.attach_arrays(
+                        {"brandes_indptr": indptr,
+                         "brandes_indices": indices}
+                    )
+                spec = f"{active.name}:{active.device}"
+                jobs = [
+                    (batch[0], batch[1], spec, n) for batch in batches
+                ]
+                # Submission-order reduce: same partial vectors, same
+                # addition order as the serial loop above.
+                for partial in executor.run_jobs(
+                    _worker_brandes_batch, jobs, compute_batch
+                ):
+                    centrality += partial
+            finally:
+                executor.release()
 
     recorder = _obs._active
     recorder.count("solvers.brandes.sources", len(source_list))
-    if not weighted and source_list:
-        recorder.count(
-            "solvers.brandes.batches",
-            -(-len(source_list) // _batch_size(n, int(matrix.nnz),
-                                               len(source_list))),
-        )
+    if n_batches:
+        recorder.count("solvers.brandes.batches", n_batches)
     if not directed:
         centrality /= 2.0
     if normalized:

@@ -3,34 +3,40 @@
 All three solvers operate on one :class:`~repro.solvers.arcstore.
 ArcStore` and a residual capacity vector from ``store.residual()``:
 
-* :func:`dinic` — vectorized level BFS (:func:`~repro.solvers.arcstore.
-  bfs_levels`), then a blocking flow found by an iterative current-arc
-  DFS over the *compacted* level graph: the admissible arcs are
-  extracted with one numpy mask over all arc ids, pruned to the
-  sink-reaching core by a backward BFS, regrouped by tail, and the DFS
-  runs on plain Python lists of just those arcs (no per-arc level
+* :func:`dinic` — level BFS through the backend's
+  ``solve_bfs_levels`` kernel, then a blocking flow over the
+  *compacted* level graph: the admissible arcs are extracted with one
+  numpy mask over all arc ids, pruned to the sink-reaching core by a
+  backward BFS, regrouped by tail, and the current-arc DFS runs
+  through ``solve_blocking_flow`` on just those arcs (no per-arc level
   checks in the hot loop); augmentations are written back to the
   residual vector in one scatter per phase, and one/two-level phases
   (most of the arc volume on the stereo instances) solve in closed form
   with no DFS at all.
 * :func:`push_relabel` — highest-label selection with per-height bucket
-  arrays and the gap heuristic; discharge loops run on flat lists
-  sliced by the store's ``indptr``.
-* :func:`edmonds_karp` — shortest augmenting paths where the BFS is the
-  vectorized :func:`~repro.solvers.arcstore.bfs_parents` and only the
-  O(path) augmentation walks arc ids in Python.
+  stacks and the gap heuristic, fused into the backend's
+  ``solve_push_relabel`` kernel.
+* :func:`edmonds_karp` — shortest augmenting paths, fused into the
+  backend's ``solve_edmonds_karp`` kernel (first-occurrence parent BFS
+  plus O(path) augmentation).
 * :func:`min_cut` — runs :func:`dinic`, then reads reachability
   straight off the final residual arrays (one more vectorized BFS) and
   collects the saturated forward arcs leaving the source side.
 
-Each solver returns ``(value, cap)`` — the final residual vector is the
-flow witness; :meth:`ArcStore.extract_flow_arrays` turns it into per-arc
-flows.
+Each solver takes ``backend=`` (:func:`~repro.solvers.arcstore.
+resolve_solver_backend` rules: explicit wins, else the process
+default) and returns ``(value, cap)`` — the final residual vector is
+the flow witness; :meth:`ArcStore.extract_flow_arrays` turns it into
+per-arc flows.  Results are bit-identical across backends: the kernel
+contracts in :mod:`repro.core.backends.solver_numpy` pin the discovery
+orders, so every backend augments along the same paths.
 
 Every solver reports its work counters to :mod:`repro.obs` in one add
 at return — ``solvers.dinic.phases``, ``solvers.pr.relabels`` /
 ``solvers.pr.pushes``, ``solvers.ek.augmentations`` — so profiled runs
 can attribute flow time to algorithmic effort without any per-arc cost.
+The kernels themselves are pure; the counters they tally come back in
+their return values and are recorded here, once per solve.
 """
 
 from __future__ import annotations
@@ -40,11 +46,12 @@ from typing import List, Set, Tuple
 import numpy as np
 
 from repro.obs import recorder as _obs
+from repro.core.backends import Backend
 from repro.core.kernels import take_ranges
 from repro.solvers.arcstore import (
     ArcStore,
     bfs_levels,
-    bfs_parents,
+    resolve_solver_backend,
     unique_int,
 )
 
@@ -56,66 +63,6 @@ __all__ = ["dinic", "push_relabel", "edmonds_karp", "min_cut"]
 # ----------------------------------------------------------------------
 # Dinic
 # ----------------------------------------------------------------------
-def _blocking_flow(
-    indptr: List[int],
-    heads: List[int],
-    caps: List[float],
-    flows: List[float],
-    source: int,
-    sink: int,
-) -> float:
-    """Iterative current-arc DFS over a compacted level graph.
-
-    ``indptr``/``heads``/``caps`` describe only the admissible arcs, so
-    no level checks are needed while advancing.  A dead-ended node is
-    removed from the level graph by zeroing the arc that led into it
-    (``flows`` tracks real pushes separately, so the kill is invisible
-    to the write-back).
-
-    The level graph arrives pruned to arcs that can still reach the
-    sink, so structural dead ends are gone before the DFS starts; the
-    remaining (dynamic) dead ends — nodes whose last admissible arc
-    saturates mid-phase — are killed by zeroing the arc that led in.
-    """
-    n = len(indptr) - 1
-    cursor = indptr[:n]
-    limit = indptr[1:]
-    total = 0.0
-    stack = [source]
-    path: List[int] = []
-    while stack:
-        u = stack[-1]
-        if u == sink:
-            bottleneck = min(map(caps.__getitem__, path))
-            total += bottleneck
-            # Augment and retreat to the first saturated arc, fused in
-            # one pass over the (short) path.
-            cut = -1
-            for index, a in enumerate(path):
-                remaining = caps[a] - bottleneck
-                caps[a] = remaining
-                flows[a] += bottleneck
-                if cut < 0 and remaining <= _EPS:
-                    cut = index
-            del stack[cut + 1 :]
-            del path[cut:]
-            continue
-        position = cursor[u]
-        end = limit[u]
-        while position < end and caps[position] <= _EPS:
-            position += 1
-        cursor[u] = position
-        if position < end:
-            stack.append(heads[position])
-            path.append(position)
-        else:
-            # Dead end: kill the arc into u so predecessors skip it.
-            stack.pop()
-            if path:
-                caps[path.pop()] = 0.0
-    return total
-
-
 def _sink_side_prune(
     store: ArcStore,
     selected: np.ndarray,
@@ -192,15 +139,19 @@ def _shallow_blocking_flow(
 
 
 def dinic(
-    store: ArcStore, source: int, sink: int
+    store: ArcStore,
+    source: int,
+    sink: int,
+    backend: "str | Backend | None" = None,
 ) -> Tuple[float, np.ndarray]:
     """Maximum s-t flow by Dinic's algorithm on the arc store."""
+    active = resolve_solver_backend(backend)
     cap = store.residual()
     tail, head, arcs = store.tail, store.head, store.arcs
     total = 0.0
     phases = 0
     while True:
-        level = bfs_levels(store, cap, source, sink)
+        level = bfs_levels(store, cap, source, sink, backend=active)
         sink_level = level[sink]
         if sink_level < 0:
             break
@@ -233,18 +184,17 @@ def dinic(
             np.bincount(tail[selected], minlength=store.n),
             out=local_indptr[1:],
         )
-        flows = [0.0] * len(selected)
-        pushed = _blocking_flow(
-            local_indptr.tolist(),
-            head[selected].tolist(),
-            cap[selected].tolist(),
-            flows,
-            source,
-            sink,
+        # The fancy-indexed caps slice is a fresh array the kernel may
+        # consume; real pushes come back in the flows vector.
+        pushed, flow_array = active.solve_blocking_flow(
+            local_indptr,
+            head[selected],
+            cap[selected],
+            int(source),
+            int(sink),
         )
         if pushed <= _EPS:
             break
-        flow_array = np.asarray(flows)
         positive = flow_array > 0
         changed = selected[positive]
         cap[changed] -= flow_array[positive]
@@ -255,167 +205,88 @@ def dinic(
 
 
 # ----------------------------------------------------------------------
-# push-relabel (highest-label, bucket arrays, gap heuristic)
+# push-relabel (highest-label, bucket stacks, gap heuristic)
 # ----------------------------------------------------------------------
 def push_relabel(
-    store: ArcStore, source: int, sink: int
+    store: ArcStore,
+    source: int,
+    sink: int,
+    backend: "str | Backend | None" = None,
 ) -> Tuple[float, np.ndarray]:
-    """Maximum s-t flow by highest-label push-relabel on the arc store."""
-    n = store.n
-    cap_array = store.residual()
-    cap = cap_array.tolist()
-    head = store.head.tolist()
-    arcs = store.arcs.tolist()
-    indptr = store.indptr.tolist()
+    """Maximum s-t flow by highest-label push-relabel on the arc store.
 
-    height = [0] * n
-    excess = [0.0] * n
-    count_at_height = [0] * (2 * n + 1)
-    height[source] = n
-    count_at_height[0] = n - 1
-    count_at_height[n] += 1
-    cursor = indptr[:n]
-    buckets: List[List[int]] = [[] for _ in range(2 * n + 1)]
-    in_queue = [False] * n
-    highest = -1
-    relabels = 0
-    pushes = 0
-
-    def activate(v: int) -> None:
-        nonlocal highest
-        if v != source and v != sink and not in_queue[v]:
-            in_queue[v] = True
-            buckets[height[v]].append(v)
-            if height[v] > highest:
-                highest = height[v]
-
-    # Saturate every source arc (reverse twins start at zero capacity,
-    # so the cap > eps filter keeps only real forward arcs).
-    for position in range(indptr[source], indptr[source + 1]):
-        a = arcs[position]
-        delta = cap[a]
-        if delta > _EPS:
-            v = head[a]
-            cap[a] = 0.0
-            cap[a ^ 1] += delta
-            excess[v] += delta
-            activate(v)
-
-    def relabel(u: int) -> None:
-        nonlocal relabels
-        relabels += 1
-        old_height = height[u]
-        min_height = 2 * n
-        for position in range(indptr[u], indptr[u + 1]):
-            a = arcs[position]
-            if cap[a] > _EPS:
-                h = height[head[a]]
-                if h < min_height:
-                    min_height = h
-        if min_height >= 2 * n:
-            # A node with excess always has a residual arc back toward
-            # the source; hitting this means corrupted residual state.
-            raise RuntimeError(f"relabel of node {u} found no residual arc")
-        count_at_height[old_height] -= 1
-        height[u] = min_height + 1
-        count_at_height[min_height + 1] += 1
-        cursor[u] = indptr[u]
-        # Gap heuristic: an emptied level below n strands every node
-        # above it (except s) — lift them past n in one sweep.
-        if count_at_height[old_height] == 0 and old_height < n:
-            for node in range(n):
-                if node != source and old_height < height[node] <= n:
-                    count_at_height[height[node]] -= 1
-                    height[node] = n + 1
-                    count_at_height[n + 1] += 1
-
-    while highest >= 0:
-        bucket = buckets[highest]
-        if not bucket:
-            highest -= 1
-            continue
-        u = bucket.pop()
-        if height[u] != highest:
-            # Stale entry (gap heuristic moved u): refile at its true
-            # height so its excess still drains.
-            buckets[height[u]].append(u)
-            if height[u] > highest:
-                highest = height[u]
-            continue
-        in_queue[u] = False
-        # Discharge u completely.
-        while excess[u] > _EPS:
-            position = cursor[u]
-            if position == indptr[u + 1]:
-                relabel(u)
-                continue
-            a = arcs[position]
-            v = head[a]
-            if cap[a] > _EPS and height[u] == height[v] + 1:
-                delta = excess[u]
-                if cap[a] < delta:
-                    delta = cap[a]
-                cap[a] -= delta
-                cap[a ^ 1] += delta
-                excess[u] -= delta
-                excess[v] += delta
-                pushes += 1
-                activate(v)
-            else:
-                cursor[u] = position + 1
-
+    The whole solver is one fused kernel call: bucket selection,
+    discharge, relabel, and the gap heuristic all live in the backend's
+    ``solve_push_relabel`` (reference in ``solver_numpy``), which
+    mutates the residual vector in place and returns the work counters.
+    """
+    cap = store.residual()
+    value, relabels, pushes = resolve_solver_backend(
+        backend
+    ).solve_push_relabel(
+        store.indptr,
+        store.arcs,
+        store.head,
+        cap,
+        store.n,
+        int(source),
+        int(sink),
+    )
     recorder = _obs._active
-    recorder.count("solvers.pr.relabels", relabels)
-    recorder.count("solvers.pr.pushes", pushes)
-    cap_array[:] = cap
-    return excess[sink], cap_array
+    recorder.count("solvers.pr.relabels", int(relabels))
+    recorder.count("solvers.pr.pushes", int(pushes))
+    return float(value), cap
 
 
 # ----------------------------------------------------------------------
 # Edmonds–Karp
 # ----------------------------------------------------------------------
 def edmonds_karp(
-    store: ArcStore, source: int, sink: int
+    store: ArcStore,
+    source: int,
+    sink: int,
+    backend: "str | Backend | None" = None,
 ) -> Tuple[float, np.ndarray]:
-    """Maximum s-t flow by shortest augmenting paths on the arc store."""
+    """Maximum s-t flow by shortest augmenting paths on the arc store.
+
+    One fused kernel call (``solve_edmonds_karp``): every BFS follows
+    the first-occurrence parent rule, so all backends augment along the
+    identical path sequence and land on the same residual vector.
+    """
     cap = store.residual()
-    tail = store.tail
-    total = 0.0
-    augmentations = 0
-    while True:
-        parent_arc = bfs_parents(store, cap, source, sink)
-        if parent_arc is None:
-            break
-        augmentations += 1
-        # Collect the path, then augment by its bottleneck.
-        path = []
-        v = sink
-        while v != source:
-            a = int(parent_arc[v])
-            path.append(a)
-            v = int(tail[a])
-        path_array = np.asarray(path, dtype=np.int64)
-        bottleneck = float(cap[path_array].min())
-        cap[path_array] -= bottleneck
-        cap[path_array ^ 1] += bottleneck
-        total += bottleneck
-    _obs._active.count("solvers.ek.augmentations", augmentations)
-    return total, cap
+    value, augmentations = resolve_solver_backend(
+        backend
+    ).solve_edmonds_karp(
+        store.indptr,
+        store.arcs,
+        store.head,
+        store.tail,
+        cap,
+        store.n,
+        int(source),
+        int(sink),
+    )
+    _obs._active.count("solvers.ek.augmentations", int(augmentations))
+    return float(value), cap
 
 
 # ----------------------------------------------------------------------
 # min-cut
 # ----------------------------------------------------------------------
 def min_cut(
-    store: ArcStore, source: int, sink: int
+    store: ArcStore,
+    source: int,
+    sink: int,
+    backend: "str | Backend | None" = None,
 ) -> Tuple[float, Set[int], List[Tuple[int, int]], np.ndarray]:
     """Minimum s-t cut read off Dinic's final residual arrays.
 
     Returns ``(capacity, source_side, cut_arcs, cap)`` where ``cap`` is
     the final residual vector (the max-flow witness).
     """
-    _, cap = dinic(store, source, sink)
-    reachable = bfs_levels(store, cap, source) >= 0
+    active = resolve_solver_backend(backend)
+    _, cap = dinic(store, source, sink, backend=active)
+    reachable = bfs_levels(store, cap, source, backend=active) >= 0
     forward_tail = store.tail[0::2]
     forward_head = store.head[0::2]
     forward_cap0 = store.cap0[0::2]

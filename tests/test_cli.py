@@ -149,6 +149,66 @@ class TestSolveCommand:
             main(["solve", "--task", "lp", "--dataset", "karate",
                   "--colors", "8"])
 
+    def test_workers_flag_accepted(self, capsys):
+        assert main(
+            ["solve", "--task", "centrality", "--dataset", "deezer",
+             "--scale", "0.004", "--colors", "6", "--workers", "2"]
+        ) == 0
+        assert "centrality pipeline" in capsys.readouterr().out
+
+
+class TestSolveMmap:
+    @pytest.fixture
+    def store(self, tmp_path):
+        path = tmp_path / "store"
+        assert main(
+            ["ingest", str(path), "--synthetic", "300,5", "--seed", "2"]
+        ) == 0
+        return str(path)
+
+    def test_maxflow_from_edge_store(self, store, capsys):
+        capsys.readouterr()
+        assert main(
+            ["solve", "--task", "maxflow", "--dataset", store, "--mmap",
+             "--colors", "8,16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "edge store" in out
+        assert "2 checkpoint(s)" in out
+
+    def test_maxflow_explicit_source_sink(self, store, capsys):
+        capsys.readouterr()
+        assert main(
+            ["solve", "--task", "maxflow", "--dataset", store, "--mmap",
+             "--source", "3", "--sink", "250", "--colors", "8"]
+        ) == 0
+        assert "1 checkpoint(s)" in capsys.readouterr().out
+
+    def test_centrality_from_edge_store(self, store, capsys):
+        capsys.readouterr()
+        assert main(
+            ["solve", "--task", "centrality", "--dataset", store, "--mmap",
+             "--colors", "12", "--workers", "2"]
+        ) == 0
+        assert "centrality pipeline on edge store" in \
+            capsys.readouterr().out
+
+    def test_lp_rejected(self, store):
+        with pytest.raises(SystemExit, match="maxflow/centrality"):
+            main(["solve", "--task", "lp", "--dataset", store, "--mmap",
+                  "--colors", "8"])
+
+    def test_bad_store_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="edge store"):
+            main(["solve", "--task", "maxflow",
+                  "--dataset", str(tmp_path / "nope"), "--mmap",
+                  "--colors", "8"])
+
+    def test_bad_sink_rejected(self, store):
+        with pytest.raises(SystemExit, match="sink"):
+            main(["solve", "--task", "maxflow", "--dataset", store,
+                  "--mmap", "--sink", "9999", "--colors", "8"])
+
 
 class TestDatasetsCommand:
     def test_prints_both_tables(self, capsys):
