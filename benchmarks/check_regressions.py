@@ -32,11 +32,44 @@ DEFAULT_THRESHOLD = 1.5
 MIN_GATED_SECONDS = 1e-3
 
 
-def _load(path: str) -> dict:
+def _load(path: str, role: str) -> dict:
+    """Read and schema-check one consolidated BENCH json.
+
+    A corrupt, empty, or wrong-shaped file fails with a message naming
+    the file and the problem — a baseline that silently parses to the
+    wrong shape would otherwise crash deep inside ``compare`` (or,
+    worse, gate nothing at all).
+    """
     try:
-        return json.loads(pathlib.Path(path).read_text())
-    except (OSError, ValueError) as exc:
-        raise SystemExit(f"cannot read {path}: {exc}") from exc
+        text = pathlib.Path(path).read_text()
+    except OSError as exc:
+        raise SystemExit(f"cannot read {role} {path}: {exc}") from exc
+    if not text.strip():
+        raise SystemExit(f"{role} {path} is empty")
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise SystemExit(f"{role} {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise SystemExit(
+            f"{role} {path}: expected a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    suites = data.get("suites")
+    if not isinstance(suites, dict):
+        raise SystemExit(
+            f"{role} {path}: missing or malformed 'suites' mapping "
+            f"(is this a consolidated BENCH json from run_benchmarks.py?)"
+        )
+    for suite, body in suites.items():
+        if not isinstance(body, dict) or not isinstance(
+            body.get("medians", {}), dict
+        ):
+            raise SystemExit(
+                f"{role} {path}: suite {suite!r} is malformed "
+                f"(expected an object with a 'medians' mapping)"
+            )
+    return data
 
 
 def compare(
@@ -84,6 +117,8 @@ def compare(
                 failures.append(line)
             elif ratio > 1.0:
                 notes.append(line)
+        for name in sorted(set(cur_medians) - set(base_medians)):
+            notes.append(f"{suite}::{name}: new benchmark (no baseline)")
     for suite in sorted(set(cur_suites) - set(base_suites)):
         notes.append(f"{suite}: new suite (no baseline)")
     return failures, notes
@@ -101,8 +136,8 @@ def main(argv: list[str] | None = None) -> int:
                              "(default %(default)s)")
     args = parser.parse_args(argv)
 
-    baseline = _load(args.baseline)
-    current = _load(args.current)
+    baseline = _load(args.baseline, "baseline")
+    current = _load(args.current, "current run")
     failures, notes = compare(baseline, current, args.threshold)
     for note in notes:
         print(f"note: {note}")

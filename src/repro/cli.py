@@ -12,6 +12,8 @@ Commands
              (max-flow / LP / centrality) on a registry dataset, at one
              color budget or progressively across a whole schedule of
              budgets off a single coloring run;
+``verify``   check an on-disk edge store's structure and checksums
+             before trusting it for a long run;
 ``datasets`` print the Tables 2/3 dataset inventory;
 ``tables``   regenerate one of the paper's experiment tables at a chosen
              scale (the pytest benchmarks wrap the same drivers);
@@ -28,6 +30,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.exceptions import ReproError
 from repro.obs import trace as _trace
 from repro.utils.tables import render_rows
 
@@ -74,6 +77,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
                 n_nodes=args.n_nodes,
                 chunk_arcs=args.chunk_arcs,
                 overwrite=args.overwrite,
+                resume=args.resume,
             )
         else:
             try:
@@ -92,6 +96,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 chunk_arcs=args.chunk_arcs,
                 overwrite=args.overwrite,
+                resume=args.resume,
             )
     except (GraphError, OSError) as exc:
         raise SystemExit(str(exc)) from exc
@@ -106,6 +111,28 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         }
     ]
     print(render_rows(rows, title=f"Edge store at {store.path}"))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.graphs.edgestore import verify_store
+
+    # StoreError propagates to main()'s error mapping: one line on
+    # stderr, exit 2 — corruption details included.
+    report = verify_store(args.path)
+    rows = [
+        {
+            "nodes": report["n_nodes"],
+            "arcs": report["n_arcs"],
+            "directed": report["directed"],
+            "files": len(report["checked"]),
+            "checksums": (
+                "verified" if report["checksums_verified"]
+                else "absent (pre-checksum store)"
+            ),
+        }
+    ]
+    print(render_rows(rows, title=f"Verified edge store at {args.path}"))
     return 0
 
 
@@ -359,6 +386,44 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     options["workers"] = args.workers
     task = task_for(args.task, problem, **options)
 
+    if args.certify is not None:
+        if args.colors is not None or args.q is not None:
+            raise SystemExit(
+                "--certify picks its own color budgets; drop --colors/--q"
+            )
+        from repro.pipeline import run_certified
+
+        certified = run_certified(
+            task, args.certify, max_colors=args.max_colors
+        )
+        rows = [
+            {
+                "colors": record.n_colors,
+                "value": record.value,
+                "rel_error": record.error,
+                "compression": f"{record.compression_ratio:.1f}:1",
+                "seconds": record.seconds,
+            }
+            for record in certified.rounds
+        ]
+        print(
+            render_rows(
+                rows,
+                title=(
+                    f"certified {args.task} on {args.dataset}: "
+                    f"eps={args.certify:g}"
+                ),
+            )
+        )
+        verdict = "CERTIFIED" if certified.certified else "NOT certified"
+        print(
+            f"{verdict}: achieved relative error "
+            f"{certified.achieved_error:.6g} (target {certified.eps:g}) "
+            f"at {certified.n_colors} colors "
+            f"({certified.compression_ratio:.1f}:1 compression)"
+        )
+        return 0 if certified.certified else 1
+
     if args.colors is not None:
         try:
             budgets = [int(part) for part in args.colors.split(",") if part]
@@ -375,7 +440,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     elif args.q is not None:
         results = [run_task(task, q=args.q)]
     else:
-        raise SystemExit("solve needs --colors and/or --q")
+        raise SystemExit("solve needs --colors, --q, or --certify")
 
     with _trace.span("cli.report"):
         rows = [
@@ -548,7 +613,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "spills to disk")
     ingest.add_argument("--overwrite", action="store_true",
                         help="replace an existing store at OUT")
+    ingest.add_argument("--resume", action="store_true",
+                        help="resume an interrupted ingest from its "
+                             "journal (same input and options required; "
+                             "already-sorted runs are not redone)")
     ingest.set_defaults(func=_cmd_ingest)
+
+    verify = sub.add_parser(
+        "verify",
+        help="check an edge store's structure and checksums",
+    )
+    verify.add_argument("path", help="edge-store directory to verify")
+    verify.set_defaults(func=_cmd_verify)
 
     color = sub.add_parser("color", help="color an edge-list graph file")
     color.add_argument("path",
@@ -639,6 +715,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "a progressive multi-k sweep (one coloring run)")
     solve.add_argument("--q", type=float, default=None,
                        help="target maximum q-error (instead of --colors)")
+    solve.add_argument("--certify", type=float, default=None, metavar="EPS",
+                       help="certified mode: grow the color budget until "
+                            "the measured relative error vs an exact "
+                            "solve is <= EPS (exit 1 if unreachable); "
+                            "replaces --colors/--q")
+    solve.add_argument("--max-colors", type=int, default=None,
+                       help="certified mode: color-budget cap "
+                            "(default: the problem size)")
     solve.add_argument("--bound", choices=("upper", "lower"),
                        default="upper", help="maxflow: reduced capacity bound")
     solve.add_argument("--algorithm",
@@ -700,14 +784,25 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _validate(parser, args)
-    if getattr(args, "trace_out", None) and args.command != "profile":
-        from repro.obs.export import write_jsonl
+    try:
+        # Arm the fault-injection plan named by REPRO_FAULTS (no-op
+        # without it) — how CI kills a real CLI subprocess mid-ingest.
+        from repro.resilience.faults import install_from_env
 
-        code, recorder = _run_traced(args, args.command)
-        lines = write_jsonl(recorder, args.trace_out)
-        print(f"trace written to {args.trace_out} ({lines} lines)")
-        return code
-    return args.func(args)
+        install_from_env()
+        if getattr(args, "trace_out", None) and args.command != "profile":
+            from repro.obs.export import write_jsonl
+
+            code, recorder = _run_traced(args, args.command)
+            lines = write_jsonl(recorder, args.trace_out)
+            print(f"trace written to {args.trace_out} ({lines} lines)")
+            return code
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        # Every library/filesystem failure a command didn't translate
+        # itself becomes one line on stderr, never a traceback.
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,6 +20,11 @@ Resolution happens **once per run**: explicit argument
 (numba if importable, else torch when it can see an accelerator, else
 numpy).  Optional backends that fail to import degrade silently under
 ``auto`` and raise a clear :class:`ImportError` when named explicitly.
+Ones that import but fail at *runtime* degrade too: numba/torch
+instances are wrapped in
+:class:`~repro.resilience.fallback.ResilientBackend`, so a kernel that
+raises mid-run is demoted to the numpy reference (once, with a warning
+and a ``resilience.fallback.*`` counter) instead of crashing the run.
 Resolved instances are cached per ``(name, device)``, so repeated
 resolution is an attribute lookup, and the resolved ``name`` is what
 the observability spans, the coloring-cache key, and the benchmark
@@ -40,6 +45,7 @@ from repro.core.backends.executor import RoundExecutor, resolve_workers
 from repro.core.backends.numpy_backend import NumpyBackend
 from repro.core.backends import numba_backend as _numba
 from repro.core.backends import torch_backend as _torch
+from repro.resilience.fallback import ResilientBackend
 
 __all__ = [
     "Backend",
@@ -80,9 +86,9 @@ def _instantiate(name: str, device: str = "cpu") -> Backend:
         if name == "numpy":
             backend = NumpyBackend()
         elif name == "numba":
-            backend = _numba.NumbaBackend()
+            backend = ResilientBackend(_numba.NumbaBackend())
         elif name == "torch":
-            backend = _torch.TorchBackend(device=device)
+            backend = ResilientBackend(_torch.TorchBackend(device=device))
         else:
             raise ValueError(
                 f"unknown backend {name!r}; expected one of "

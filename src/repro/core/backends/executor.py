@@ -30,22 +30,53 @@ turns that structural independence into wall-clock:
 Every mode returns results **in submission order**, so a parallel round
 commits exactly the splits, in exactly the order, that the serial round
 would — bit-for-bit identical colorings (tested).
+
+Process mode is **self-healing**: jobs are submitted individually and
+polled, so a worker that dies (OOM killer, segfault) or hangs is
+detected — the pool is rebuilt with exponential backoff and the round
+retried, and past :data:`_MAX_POOL_RETRIES` the executor permanently
+degrades ``processes -> threads`` (and on thread-pool failure,
+``-> serial``), re-running the round in the surviving mode.  A worker
+task that *raises* is cheaper: the parent recomputes just that job
+serially.  Every recovery preserves the submission-order contract —
+the job bodies are pure functions of the snapshot, so a recomputed or
+degraded round commits bit-identical results — and is counted under
+``resilience.fallback.*``.
 """
 
 from __future__ import annotations
 
 import os
+import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
+
+from repro.obs import recorder as _obs
+from repro.resilience.faults import inject
 
 __all__ = ["RoundExecutor", "resolve_workers"]
 
 MODES = ("serial", "threads", "processes")
 
+#: seconds of zero round progress before the pool is declared hung
+#: (override per executor or with ``REPRO_TASK_TIMEOUT``)
+DEFAULT_TASK_TIMEOUT = 300.0
+#: pool rebuild attempts before degrading processes -> threads
+_MAX_POOL_RETRIES = 2
+#: base of the exponential backoff between pool rebuilds, seconds
+_BACKOFF_BASE = 0.1
+#: poll interval while waiting on in-flight process jobs, seconds
+_POLL_INTERVAL = 0.01
+
 #: module-global worker state: shared-memory attachments, set once per
 #: worker by :func:`_attach_worker` (each worker process has its own copy)
 _WORKER_STATE: dict = {}
+
+
+class _PoolFailure(RuntimeError):
+    """Internal: the process pool died or stalled mid-round."""
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -87,6 +118,21 @@ def _attach_worker(blocks: list[tuple[str, str, tuple]]) -> None:
             shape, dtype=np.dtype(dtype), buffer=shm.buf
         )
     _WORKER_STATE["_handles"] = handles
+
+
+def _run_worker_job(payload: tuple):
+    """Worker-side choke point for every process-pool job.
+
+    The injection site lets tests kill, hang, or fail a real pool
+    worker mid-round; with no plan installed (production) the wrapper
+    is one function call.  Only the process path routes through here —
+    the thread/serial recovery paths call ``compute_serial`` directly,
+    which is what terminates a fork-inherited kill schedule once the
+    executor degrades.
+    """
+    worker_fn, job = payload
+    inject("executor.task")
+    return worker_fn(job)
 
 
 def _eject_mask_task(job: tuple) -> np.ndarray | None:
@@ -173,15 +219,25 @@ class _SharedGraphMirror:
 class RoundExecutor:
     """Maps round work across workers; see module docstring for modes."""
 
-    def __init__(self, mode: str, workers: int) -> None:
+    def __init__(
+        self,
+        mode: str,
+        workers: int,
+        task_timeout: float | None = None,
+    ) -> None:
         if mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.mode = mode if workers > 1 else "serial"
         self.workers = workers if self.mode != "serial" else 1
+        if task_timeout is None:
+            env = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
+            task_timeout = float(env) if env else DEFAULT_TASK_TIMEOUT
+        self.task_timeout = float(task_timeout)
         self._thread_pool: ThreadPoolExecutor | None = None
         self._process_pool = None
+        self._pool_pids: tuple[int, ...] = ()
         self._mirror: _SharedGraphMirror | None = None
 
     @classmethod
@@ -238,9 +294,13 @@ class RoundExecutor:
         """
         if self.mode != "processes" or self._process_pool is not None:
             return
+        self._mirror = _SharedGraphMirror(arrays, live=live)
+        self._start_pool()
+
+    def _start_pool(self) -> None:
+        """(Re)build the worker pool over the existing mirror."""
         import multiprocessing
 
-        self._mirror = _SharedGraphMirror(arrays, live=live)
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # platform without fork: spawn still works,
@@ -250,6 +310,34 @@ class RoundExecutor:
             initializer=_attach_worker,
             initargs=(self._mirror.blocks,),
         )
+        self._pool_pids = tuple(
+            proc.pid for proc in self._process_pool._pool
+        )
+
+    def _stop_pool(self) -> None:
+        if self._process_pool is not None:
+            self._process_pool.terminate()
+            self._process_pool.join()
+            self._process_pool = None
+            self._pool_pids = ()
+
+    def _degrade(self, new_mode: str, reason: str) -> None:
+        """Permanently drop to a weaker mode after repeated failures."""
+        from repro.resilience.fallback import ResilienceWarning
+
+        _obs._active.count("resilience.fallback.degrade")
+        warnings.warn(
+            f"round executor degrading {self.mode!r} -> {new_mode!r}: "
+            f"{reason}; results stay bit-identical, only throughput "
+            f"changes",
+            ResilienceWarning,
+            stacklevel=4,
+        )
+        self._stop_pool()
+        if self._mirror is not None and new_mode != "processes":
+            self._mirror.close()
+            self._mirror = None
+        self.mode = new_mode
 
     def attach_graph(
         self,
@@ -280,10 +368,90 @@ class RoundExecutor:
         tolerance otherwise).
         """
         if self.mode == "processes" and len(jobs) > 1:
-            return self._process_pool.map(worker_fn, jobs, chunksize=1)
+            for attempt in range(_MAX_POOL_RETRIES + 1):
+                try:
+                    return self._collect_process_jobs(
+                        worker_fn, jobs, compute_serial
+                    )
+                except _PoolFailure as exc:
+                    self._stop_pool()
+                    if attempt == _MAX_POOL_RETRIES:
+                        self._degrade(
+                            "threads",
+                            f"pool failed {attempt + 1} times ({exc})",
+                        )
+                        break
+                    _obs._active.count("resilience.fallback.pool_restart")
+                    time.sleep(_BACKOFF_BASE * 2**attempt)
+                    self._start_pool()
         if self.mode == "threads" and len(jobs) > 1:
-            return list(self._threads().map(compute_serial, jobs))
+            try:
+                futures = [
+                    self._threads().submit(compute_serial, job)
+                    for job in jobs
+                ]
+            except RuntimeError as exc:  # pool unusable (shutdown, limits)
+                self._degrade("serial", f"thread pool failed ({exc})")
+            else:
+                results = []
+                for job, future in zip(jobs, futures):
+                    try:
+                        results.append(future.result())
+                    except Exception:
+                        # A failed thread job is retried in-process; the
+                        # job body is pure, so the answer is identical.
+                        _obs._active.count("resilience.fallback.task")
+                        results.append(compute_serial(job))
+                return results
         return [compute_serial(job) for job in jobs]
+
+    def _collect_process_jobs(
+        self, worker_fn, jobs: list, compute_serial
+    ) -> list:
+        """One attempt at a process-mode round, polled not blocked.
+
+        ``pool.map`` would block forever on a killed worker (its task is
+        simply lost); individual ``apply_async`` handles plus a poll
+        loop let the parent notice both death (the pool's pid set
+        changed — ``Pool`` respawns workers, but the in-flight task died
+        with the old one) and hangs (no task completed for
+        ``task_timeout`` seconds).  A task that merely *raises* is
+        recomputed serially in the parent — same snapshot, same bits.
+        """
+        pool = self._process_pool
+        pending = [
+            pool.apply_async(_run_worker_job, ((worker_fn, job),))
+            for job in jobs
+        ]
+        results: list = [None] * len(jobs)
+        done = [False] * len(jobs)
+        last_progress = time.monotonic()
+        while not all(done):
+            progressed = False
+            for index, handle in enumerate(pending):
+                if done[index] or not handle.ready():
+                    continue
+                try:
+                    results[index] = handle.get()
+                except Exception:
+                    _obs._active.count("resilience.fallback.task")
+                    results[index] = compute_serial(jobs[index])
+                done[index] = True
+                progressed = True
+            if all(done):
+                break
+            if progressed:
+                last_progress = time.monotonic()
+                continue
+            current = tuple(proc.pid for proc in pool._pool)
+            if current != self._pool_pids:
+                raise _PoolFailure("a pool worker died mid-round")
+            if time.monotonic() - last_progress > self.task_timeout:
+                raise _PoolFailure(
+                    f"no task progress for {self.task_timeout:.0f}s"
+                )
+            time.sleep(_POLL_INTERVAL)
+        return results
 
     def eject_masks(
         self, jobs: list[tuple], labels: np.ndarray, compute_serial
@@ -306,10 +474,7 @@ class RoundExecutor:
         if self._thread_pool is not None:
             self._thread_pool.shutdown(wait=True)
             self._thread_pool = None
-        if self._process_pool is not None:
-            self._process_pool.terminate()
-            self._process_pool.join()
-            self._process_pool = None
+        self._stop_pool()
         if self._mirror is not None:
             self._mirror.close()
             self._mirror = None

@@ -16,6 +16,24 @@ class GraphError(ReproError):
     """Raised for malformed graph operations (unknown node, bad weight...)."""
 
 
+class StoreError(GraphError):
+    """An on-disk edge store is missing, corrupt, or fails verification.
+
+    Subclasses :class:`GraphError` so existing edge-store handlers keep
+    working; the narrower type lets callers distinguish "bad store on
+    disk" (retry after re-ingest / resume) from in-memory graph misuse.
+    """
+
+
+class FaultInjected(ReproError):
+    """Raised by an armed :class:`repro.resilience.FaultPlan` rule.
+
+    Tests and CI use it to simulate component failures at named
+    injection points; production code never raises it (the default
+    fault plan is a no-op).
+    """
+
+
 class ColoringError(ReproError):
     """Raised when a partition/coloring violates its invariants."""
 

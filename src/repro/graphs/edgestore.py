@@ -30,21 +30,35 @@ arc chunks up to ``chunk_arcs``, spills each as a lexsorted run, and
 finalization performs a vectorized k-way external merge (block-at-a-time
 ``searchsorted`` cuts, ``np.add.reduceat`` group sums) — the full edge
 list is never resident, and the dict-of-dicts adjacency never exists.
+
+Ingestion is also **crash-safe**: spilled runs are recorded in a
+journal (``<path>.ingest/journal.json``, written atomically after each
+spill), the final arrays are staged in a sibling ``<path>.staging``
+directory and committed with a single ``os.replace``, and ``meta.json``
+carries a crc32 per array so :func:`verify_store` can prove a store
+intact before a long coloring run trusts it.  A ``SIGKILL`` at any
+point leaves either the previous store or a resumable work directory —
+never a half-written store — and re-running the same ingest with
+``resume=True`` skips already-journaled input chunks and produces a
+store bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import shutil
 import struct
+import zlib
 from pathlib import Path
 from typing import Any, Iterable
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import GraphError
+from repro.exceptions import GraphError, StoreError
 from repro.graphs.digraph import coerce_index_array
+from repro.resilience.faults import inject
 
 __all__ = [
     "EdgeStore",
@@ -55,11 +69,16 @@ __all__ = [
     "ingest_uniform_random",
     "memmap_descriptor",
     "open_descriptor",
+    "verify_store",
 ]
 
 FORMAT_NAME = "repro-edgestore"
 FORMAT_VERSION = 1
 META_FILE = "meta.json"
+JOURNAL_FILE = "journal.json"
+#: suffixes of the writer's sibling work/staging directories
+INGEST_SUFFIX = ".ingest"
+STAGING_SUFFIX = ".staging"
 
 #: appended arcs buffered in RAM before a sorted run spills to disk
 DEFAULT_CHUNK_ARCS = 8_000_000
@@ -124,6 +143,23 @@ class NpyAppender:
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+
+def _crc32_file(path: Path, block: int = 1 << 20) -> str:
+    """Streaming crc32 of a file, as ``"crc32:xxxxxxxx"``.
+
+    crc32 is not cryptographic — the threat model is torn writes, bad
+    disks, and truncation, not adversaries — and zlib's implementation
+    streams at memory bandwidth, so checksumming never dominates ingest.
+    """
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(block)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return f"crc32:{crc & 0xFFFFFFFF:08x}"
 
 
 # ----------------------------------------------------------------------
@@ -277,6 +313,16 @@ class EdgeStoreWriter:
     spills as a lexsorted run, and :meth:`finalize` merges the runs into
     deduplicated CSR-ordered arrays plus the CSC companion sort.  Peak
     memory is O(chunk_arcs + n), independent of the total arc count.
+
+    All intermediate state lives in sibling directories — runs and the
+    ingest journal in ``<path>.ingest``, the final arrays in
+    ``<path>.staging`` — and the target path is only ever touched by
+    the atomic commit at the end of :meth:`finalize`.  With
+    ``resume=True`` a writer re-attaches to an interrupted ingest's
+    journal: the caller replays the *same* input chunk sequence, and
+    :meth:`append` skips every chunk the journal proves is already in
+    a spilled run, so only unspilled input is re-processed and the
+    final store is bit-identical to an uninterrupted ingest.
     """
 
     def __init__(
@@ -287,6 +333,7 @@ class EdgeStoreWriter:
         n_nodes: int | None = None,
         chunk_arcs: int = DEFAULT_CHUNK_ARCS,
         overwrite: bool = False,
+        resume: bool = False,
     ) -> None:
         self.path = Path(path)
         self.directed = bool(directed)
@@ -298,16 +345,20 @@ class EdgeStoreWriter:
             raise GraphError(
                 f"chunk_arcs must be >= 2, got {chunk_arcs}"
             )
-        if (self.path / META_FILE).exists() and not overwrite:
+        self._work = self.path.with_name(self.path.name + INGEST_SUFFIX)
+        self._stage = self.path.with_name(self.path.name + STAGING_SUFFIX)
+        self._journal_path = self._work / JOURNAL_FILE
+        if resume:
+            if not self._journal_path.exists():
+                raise StoreError(
+                    f"nothing to resume at {self.path}: no ingest journal "
+                    f"in {self._work}"
+                )
+        elif (self.path / META_FILE).exists() and not overwrite:
             raise GraphError(
                 f"edge store already exists at {self.path} "
                 "(pass overwrite=True to replace it)"
             )
-        self.path.mkdir(parents=True, exist_ok=True)
-        self._spill = self.path / ".ingest"
-        if self._spill.exists():
-            shutil.rmtree(self._spill)
-        self._spill.mkdir()
         self._buffer: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         self._buffered = 0
         self._runs: list[tuple[Path, Path, Path]] = []
@@ -315,6 +366,81 @@ class EdgeStoreWriter:
         self._stored = 0  # arcs written to runs (post-mirror)
         self._max_node = -1
         self._closed = False
+        #: appended arcs still to be skipped during a resume replay
+        self._replay_remaining = 0
+        if resume:
+            self._load_journal()
+        else:
+            if self._work.exists():
+                shutil.rmtree(self._work)
+            self._work.mkdir(parents=True)
+
+    # -- journal ---------------------------------------------------------
+    def _journal_state(self) -> dict:
+        return {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "directed": self.directed,
+            "n_nodes": self.declared_n,
+            "chunk_arcs": self.chunk_arcs,
+            "appended": self._appended,
+            "stored": self._stored,
+            "max_node": self._max_node,
+            "runs": [paths[0].name[:-len(".k1.npy")]
+                     for paths in self._runs],
+        }
+
+    def _write_journal(self) -> None:
+        # Atomic: a crash mid-write leaves the previous journal, whose
+        # run list still matches files on disk (extra run files are
+        # discarded as orphans on resume).
+        temp = self._journal_path.with_suffix(".json.tmp")
+        temp.write_text(json.dumps(self._journal_state(), indent=2) + "\n")
+        os.replace(temp, self._journal_path)
+
+    def _load_journal(self) -> None:
+        try:
+            journal = json.loads(self._journal_path.read_text())
+        except ValueError as exc:
+            raise StoreError(
+                f"corrupt ingest journal {self._journal_path}: {exc}"
+            ) from exc
+        for key, mine in (
+            ("directed", self.directed),
+            ("n_nodes", self.declared_n),
+            ("chunk_arcs", self.chunk_arcs),
+        ):
+            theirs = journal.get(key)
+            if theirs != mine:
+                raise StoreError(
+                    f"cannot resume {self.path}: journaled {key}="
+                    f"{theirs!r} does not match requested {mine!r}"
+                )
+        run_tags = list(journal.get("runs", []))
+        for tag in run_tags:
+            paths = tuple(
+                self._work / f"{tag}.{stem}.npy"
+                for stem in ("k1", "k2", "w")
+            )
+            missing = [p.name for p in paths if not p.exists()]
+            if missing:
+                raise StoreError(
+                    f"cannot resume {self.path}: journaled run files "
+                    f"missing from {self._work}: {missing}"
+                )
+            self._runs.append(paths)
+        # Orphans: run/csc spills newer than the journal (the crash
+        # landed between a spill and its journal record, or mid-merge).
+        # The replay regenerates them deterministically.
+        keep = {p.name for paths in self._runs for p in paths}
+        keep.add(JOURNAL_FILE)
+        for entry in self._work.iterdir():
+            if entry.name not in keep:
+                entry.unlink()
+        self._appended = int(journal["appended"])
+        self._stored = int(journal["stored"])
+        self._max_node = int(journal["max_node"])
+        self._replay_remaining = self._appended
 
     # -- input ----------------------------------------------------------
     def append(
@@ -342,6 +468,21 @@ class EdgeStoreWriter:
                     f"vs {src.size}"
                 )
         if not src.size:
+            return
+        if self._replay_remaining:
+            # Resume replay: this chunk is already inside a journaled
+            # run.  Skipping relies on the caller re-feeding the exact
+            # same chunk sequence — a chunk straddling the journaled
+            # frontier means the input changed, which would silently
+            # corrupt the store, so refuse instead.
+            if src.size > self._replay_remaining:
+                raise StoreError(
+                    f"resume replay mismatch at {self.path}: chunk of "
+                    f"{src.size} arcs straddles the journaled frontier "
+                    f"({self._replay_remaining} arcs short); re-feed the "
+                    f"identical input chunks or start over"
+                )
+            self._replay_remaining -= src.size
             return
         self._validate(src, dst)
         self._appended += src.size
@@ -380,6 +521,7 @@ class EdgeStoreWriter:
     def _flush_run(self) -> None:
         if not self._buffered:
             return
+        inject("edgestore.run.spill", run=len(self._runs))
         src = np.concatenate([part[0] for part in self._buffer])
         dst = np.concatenate([part[1] for part in self._buffer])
         weight = np.concatenate([part[2] for part in self._buffer])
@@ -388,19 +530,32 @@ class EdgeStoreWriter:
         order = np.lexsort((dst, src))  # stable: input order on ties
         tag = f"run_{len(self._runs):05d}"
         paths = tuple(
-            self._spill / f"{tag}.{stem}.npy"
+            self._work / f"{tag}.{stem}.npy"
             for stem in ("k1", "k2", "w")
         )
         np.save(paths[0], src[order])
         np.save(paths[1], dst[order])
         np.save(paths[2], weight[order])
         self._runs.append(paths)
+        inject("edgestore.run.journal", run=len(self._runs) - 1)
+        self._write_journal()
 
     # -- output ---------------------------------------------------------
     def finalize(self) -> "EdgeStore":
-        """Merge the spilled runs into the final store; return it open."""
+        """Merge the spilled runs into the final store; return it open.
+
+        Everything is built in the staging directory and lands at the
+        target through :meth:`_commit_stage`'s single ``os.replace`` —
+        readers either see the previous store or the complete new one.
+        """
         if self._closed:
             raise GraphError("edge store writer is already finalized")
+        if self._replay_remaining:
+            raise StoreError(
+                f"resume replay incomplete at {self.path}: "
+                f"{self._replay_remaining} journaled arcs were never "
+                f"re-fed; the input is shorter than the journaled ingest"
+            )
         self._flush_run()
         n = (
             self.declared_n
@@ -411,6 +566,11 @@ class EdgeStoreWriter:
             raise GraphError(
                 f"edge store supports at most {_MAX_NODES} nodes, got {n}"
             )
+        if self._stage.exists():
+            # Stale stage from an interrupted finalize: the merge is a
+            # deterministic function of the journaled runs, so rebuild.
+            shutil.rmtree(self._stage)
+        self._stage.mkdir(parents=True)
         # Upper bound for the index dtype: dedup only shrinks nnz.  The
         # rare overshoot (int64 picked, deduped nnz fits int32) is fixed
         # by a downcast pass below so the store always matches scipy's
@@ -422,11 +582,12 @@ class EdgeStoreWriter:
         )
         src_counts = np.zeros(n, dtype=np.int64)
         dst_counts = np.zeros(n, dtype=np.int64)
-        src_out = NpyAppender(self.path / "src.npy", index_dtype)
-        dst_out = NpyAppender(self.path / "dst.npy", index_dtype)
-        weight_out = NpyAppender(self.path / "weight.npy", np.float64)
+        src_out = NpyAppender(self._stage / "src.npy", index_dtype)
+        dst_out = NpyAppender(self._stage / "dst.npy", index_dtype)
+        weight_out = NpyAppender(self._stage / "weight.npy", np.float64)
 
         def emit_dedup(keys: np.ndarray, weights: np.ndarray) -> None:
+            inject("edgestore.merge.chunk", arcs=int(keys.size))
             starts = np.flatnonzero(
                 np.concatenate(([True], keys[1:] != keys[:-1]))
             )
@@ -454,10 +615,10 @@ class EdgeStoreWriter:
         ):
             index_dtype = np.dtype(np.int32)
             for stem in ("src", "dst"):
-                self._downcast(self.path / f"{stem}.npy", index_dtype)
+                self._downcast(self._stage / f"{stem}.npy", index_dtype)
         indptr = np.zeros(n + 1, dtype=index_dtype)
         np.cumsum(src_counts, out=indptr[1:])
-        np.save(self.path / "csr_indptr.npy", indptr)
+        np.save(self._stage / "csr_indptr.npy", indptr)
 
         self._build_csc(n, nnz, index_dtype, dst_counts)
 
@@ -468,13 +629,37 @@ class EdgeStoreWriter:
             "n_arcs": int(nnz),
             "directed": self.directed,
             "index_dtype": index_dtype.str,
+            "checksums": {
+                f"{stem}.npy": _crc32_file(self._stage / f"{stem}.npy")
+                for stem in EdgeStore._STEMS
+            },
         }
-        (self.path / META_FILE).write_text(
+        (self._stage / META_FILE).write_text(
             json.dumps(meta, indent=2) + "\n"
         )
-        shutil.rmtree(self._spill, ignore_errors=True)
+        self._commit_stage()
+        shutil.rmtree(self._work, ignore_errors=True)
         self._closed = True
         return EdgeStore(self.path)
+
+    def _commit_stage(self) -> None:
+        """Atomically swap the staged directory into the target path.
+
+        ``os.replace`` cannot overwrite a non-empty directory, so a
+        pre-existing store is renamed aside first.  Every intermediate
+        state is recoverable: before the final replace the journal and
+        runs still exist (resume rebuilds the stage), and a leftover
+        ``.old`` directory is swept by the next commit.
+        """
+        inject("edgestore.commit")
+        old = self.path.with_name(self.path.name + ".old")
+        if old.exists():
+            shutil.rmtree(old)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            os.replace(self.path, old)
+        os.replace(self._stage, self.path)
+        shutil.rmtree(old, ignore_errors=True)
 
     def _downcast(self, path: Path, dtype: np.dtype) -> None:
         wide = np.load(path, mmap_mode="r")
@@ -495,9 +680,9 @@ class EdgeStoreWriter:
         """Second external sort of the final arcs, by (dst, src)."""
         runs: list[tuple[Path, Path, Path]] = []
         if nnz:
-            src = np.load(self.path / "src.npy", mmap_mode="r")
-            dst = np.load(self.path / "dst.npy", mmap_mode="r")
-            weight = np.load(self.path / "weight.npy", mmap_mode="r")
+            src = np.load(self._stage / "src.npy", mmap_mode="r")
+            dst = np.load(self._stage / "dst.npy", mmap_mode="r")
+            weight = np.load(self._stage / "weight.npy", mmap_mode="r")
             for index, start in enumerate(
                 range(0, nnz, self.chunk_arcs)
             ):
@@ -508,7 +693,7 @@ class EdgeStoreWriter:
                 order = np.lexsort((chunk_src, chunk_dst))
                 tag = f"csc_{index:05d}"
                 paths = tuple(
-                    self._spill / f"{tag}.{stem}.npy"
+                    self._work / f"{tag}.{stem}.npy"
                     for stem in ("k1", "k2", "w")
                 )
                 np.save(paths[0], chunk_dst[order])
@@ -517,11 +702,12 @@ class EdgeStoreWriter:
                 runs.append(paths)
             del src, dst, weight
         indices_out = NpyAppender(
-            self.path / "csc_indices.npy", index_dtype
+            self._stage / "csc_indices.npy", index_dtype
         )
-        data_out = NpyAppender(self.path / "csc_data.npy", np.float64)
+        data_out = NpyAppender(self._stage / "csc_data.npy", np.float64)
 
         def emit_csc(keys: np.ndarray, weights: np.ndarray) -> None:
+            inject("edgestore.csc.chunk", arcs=int(keys.size))
             indices_out.append(keys % n)  # key = dst * n + src
             data_out.append(weights)
 
@@ -531,7 +717,7 @@ class EdgeStoreWriter:
         data_out.close()
         indptr = np.zeros(n + 1, dtype=index_dtype)
         np.cumsum(dst_counts, out=indptr[1:])
-        np.save(self.path / "csc_indptr.npy", indptr)
+        np.save(self._stage / "csc_indptr.npy", indptr)
 
     def __enter__(self) -> "EdgeStoreWriter":
         return self
@@ -644,6 +830,98 @@ class EdgeStore:
 
 
 # ----------------------------------------------------------------------
+# verification
+# ----------------------------------------------------------------------
+def verify_store(path: Any) -> dict:
+    """Prove an on-disk store intact; raise :class:`StoreError` if not.
+
+    Checks, cheapest first: the metadata parses and names this format;
+    all seven arrays are present, load as ``.npy``, and have the
+    lengths the metadata implies; both indptr arrays are monotone with
+    the right endpoints; and every file's crc32 matches the checksum
+    recorded at ingest.  Returns a report dict (``path``, ``n_nodes``,
+    ``n_arcs``, ``checked`` file names, ``checksums_verified``) on
+    success.  Stores written before checksums existed verify
+    structurally, with ``checksums_verified=False``.
+    """
+    store_path = Path(path)
+    problems: list[str] = []
+    # EdgeStore's constructor is the metadata gate; re-raise its
+    # complaints under the narrower StoreError for CLI mapping.
+    try:
+        store = EdgeStore(store_path)
+    except GraphError as exc:
+        raise StoreError(str(exc)) from exc
+    expected_sizes = {
+        "src": store.n_arcs,
+        "dst": store.n_arcs,
+        "weight": store.n_arcs,
+        "csr_indptr": store.n_nodes + 1,
+        "csc_indptr": store.n_nodes + 1,
+        "csc_indices": store.n_arcs,
+        "csc_data": store.n_arcs,
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for stem, expected in expected_sizes.items():
+        file = store_path / f"{stem}.npy"
+        if not file.exists():
+            problems.append(f"{file.name}: missing")
+            continue
+        try:
+            array = np.load(file, mmap_mode="r")
+        except ValueError as exc:
+            problems.append(f"{file.name}: unreadable ({exc})")
+            continue
+        if array.ndim != 1:
+            problems.append(
+                f"{file.name}: expected 1-D array, got shape {array.shape}"
+            )
+        elif array.size != expected:
+            problems.append(
+                f"{file.name}: expected {expected} entries, "
+                f"found {array.size}"
+            )
+        else:
+            arrays[stem] = array
+    for stem in ("csr_indptr", "csc_indptr"):
+        indptr = arrays.get(stem)
+        if indptr is None or not indptr.size:
+            continue
+        if int(indptr[0]) != 0 or int(indptr[-1]) != store.n_arcs:
+            problems.append(
+                f"{stem}.npy: endpoints ({indptr[0]}, {indptr[-1]}) "
+                f"!= (0, {store.n_arcs})"
+            )
+        elif indptr.size > 1 and bool(np.any(np.diff(indptr) < 0)):
+            problems.append(f"{stem}.npy: offsets are not monotone")
+    arrays.clear()
+    checksums = store.meta.get("checksums") or {}
+    for name, recorded in sorted(checksums.items()):
+        file = store_path / name
+        if not file.exists():
+            continue  # already reported as missing above
+        actual = _crc32_file(file)
+        if actual != recorded:
+            problems.append(
+                f"{name}: checksum mismatch (recorded {recorded}, "
+                f"actual {actual})"
+            )
+    if problems:
+        raise StoreError(
+            f"edge store at {store_path} failed verification: "
+            + "; ".join(problems)
+        )
+    return {
+        "path": str(store_path),
+        "n_nodes": store.n_nodes,
+        "n_arcs": store.n_arcs,
+        "directed": store.directed,
+        "checked": sorted(f"{stem}.npy" for stem in expected_sizes),
+        "checksums_verified": bool(checksums),
+    }
+
+
+# ----------------------------------------------------------------------
 # ingestion fronts
 # ----------------------------------------------------------------------
 def ingest_arrays(
@@ -656,6 +934,7 @@ def ingest_arrays(
     directed: bool = True,
     chunk_arcs: int = DEFAULT_CHUNK_ARCS,
     overwrite: bool = False,
+    resume: bool = False,
 ) -> EdgeStore:
     """One-shot ingestion of parallel arc arrays (chunked internally)."""
     src = coerce_index_array(src, "src")
@@ -666,6 +945,7 @@ def ingest_arrays(
         n_nodes=n_nodes,
         chunk_arcs=chunk_arcs,
         overwrite=overwrite,
+        resume=resume,
     )
     weights = (
         None if weight is None
@@ -691,13 +971,17 @@ def ingest_edgelist(
     chunk_lines: int = 1_000_000,
     chunk_arcs: int = DEFAULT_CHUNK_ARCS,
     overwrite: bool = False,
+    resume: bool = False,
 ) -> EdgeStore:
     """Stream a whitespace-separated ``src dst [weight]`` text file.
 
     Node ids must be integers (the store is index-addressed); lines
     starting with ``comments`` and blank lines are skipped.  The file is
     parsed in ``chunk_lines`` batches, so arbitrarily large edge lists
-    ingest in bounded memory.
+    ingest in bounded memory.  With ``resume=True`` an interrupted
+    ingest of the *same file with the same options* picks up from its
+    journal instead of re-sorting everything (parsing is redone — the
+    journal records sorted runs, not text offsets).
     """
     writer = EdgeStoreWriter(
         path,
@@ -705,6 +989,7 @@ def ingest_edgelist(
         n_nodes=n_nodes,
         chunk_arcs=chunk_arcs,
         overwrite=overwrite,
+        resume=resume,
     )
     src: list[int] = []
     dst: list[int] = []
@@ -757,6 +1042,7 @@ def ingest_uniform_random(
     chunk_nodes: int = 500_000,
     chunk_arcs: int = DEFAULT_CHUNK_ARCS,
     overwrite: bool = False,
+    resume: bool = False,
 ) -> EdgeStore:
     """Stream-ingest the ``uniform_random_digraph`` family at any scale.
 
@@ -772,6 +1058,7 @@ def ingest_uniform_random(
         n_nodes=n_nodes,
         chunk_arcs=chunk_arcs,
         overwrite=overwrite,
+        resume=resume,
     )
     for start in range(0, n_nodes, chunk_nodes):
         stop = min(start + chunk_nodes, n_nodes)

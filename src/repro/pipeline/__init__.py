@@ -11,6 +11,10 @@ modules:
   application adapters (:mod:`repro.pipeline.adapters`);
 * :func:`run_task` / :func:`progressive_sweep` — the drivers
   (:mod:`repro.pipeline.runner`);
+* :func:`run_certified` / :class:`CertifiedResult` — the error-dial
+  driver: compress until the measured error meets ``eps``, validated
+  against an exact solve of the original problem
+  (:mod:`repro.pipeline.certified`);
 * :class:`ColoringCache` / :class:`ProgressiveRun` — one Rothko run
   shared across tasks, weight modes, and checkpoints, and
   :class:`ReducedSolveCache` — reduce/solve/lift outputs keyed per
@@ -31,6 +35,11 @@ from repro.pipeline.cache import (
     ProgressiveRun,
     ReducedSolveCache,
 )
+from repro.pipeline.certified import (
+    CertifiedResult,
+    CertifiedRound,
+    run_certified,
+)
 from repro.pipeline.runner import progressive_sweep, run_task
 from repro.pipeline.task import ColoringSpec, CompressionTask, TaskResult
 from repro.pipeline.weights import BlockWeightTracker
@@ -43,7 +52,10 @@ __all__ = [
     "ColoringCache",
     "ProgressiveRun",
     "ReducedSolveCache",
+    "CertifiedResult",
+    "CertifiedRound",
     "progressive_sweep",
+    "run_certified",
     "run_task",
     "ColoringSpec",
     "CompressionTask",

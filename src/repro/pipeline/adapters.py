@@ -16,6 +16,7 @@ from typing import Any
 import numpy as np
 
 from repro.centrality.approx import pivot_betweenness
+from repro.centrality.brandes import betweenness_centrality
 from repro.core.partition import Coloring
 from repro.flow.approx import (
     flow_initial_coloring,
@@ -29,6 +30,7 @@ from repro.lp.solve import solve_lp
 from repro.graphs.digraph import WeightedDiGraph
 from repro.pipeline.task import ColoringSpec, CompressionTask
 from repro.utils.rng import SeedLike
+from repro.utils.stats import ratio_error
 
 __all__ = ["MaxFlowTask", "LPTask", "CentralityTask", "task_for"]
 
@@ -130,6 +132,19 @@ class MaxFlowTask(CompressionTask):
     ) -> float:
         return solution.value
 
+    def exact_reference(self) -> float:
+        """Exact max-flow value on the original network."""
+        return max_flow(
+            self.problem,
+            algorithm=self.algorithm,
+            engine=self.engine,
+            backend=self.backend,
+        ).value
+
+    def certified_error(self, exact: float, result) -> float:
+        """Paper Sec. 6.1 ratio error, shifted so 0.0 is exact."""
+        return ratio_error(exact, result.value) - 1.0
+
 
 class LPTask(CompressionTask):
     """Reduced linear programs (Eq. 6): color the extended matrix's
@@ -208,6 +223,14 @@ class LPTask(CompressionTask):
 
     def value(self, reduced, solution, lifted) -> float:
         return solution.objective
+
+    def exact_reference(self) -> float:
+        """Exact optimal objective of the original LP."""
+        return solve_lp(self.problem, method=self.method).objective
+
+    def certified_error(self, exact: float, result) -> float:
+        """Paper Sec. 6.1 ratio error, shifted so 0.0 is exact."""
+        return ratio_error(exact, result.value) - 1.0
 
 
 class CentralityTask(CompressionTask):
@@ -296,6 +319,28 @@ class CentralityTask(CompressionTask):
         # No single objective exists for centrality; the score total is
         # a deterministic checksum used by equality tests and the CLI.
         return float(lifted.sum())
+
+    def exact_reference(self) -> np.ndarray:
+        """Exact (unnormalized) betweenness scores, all sources."""
+        return betweenness_centrality(
+            self.problem,
+            engine=self.engine,
+            backend=self.backend,
+            workers=self.workers,
+        )
+
+    def certified_error(self, exact: np.ndarray, result) -> float:
+        """Normalized L1 distance between score vectors.
+
+        Centrality has no single objective for the ratio error, so the
+        certified dial is total absolute score deviation relative to
+        total exact score mass (0.0 = every node's score exact).
+        """
+        total = float(np.abs(exact).sum())
+        deviation = float(np.abs(exact - result.lifted).sum())
+        if total == 0.0:
+            return 0.0 if deviation == 0.0 else float("inf")
+        return deviation / total
 
 
 def task_for(kind: str, problem: Any, **options: Any) -> CompressionTask:

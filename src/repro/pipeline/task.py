@@ -180,6 +180,29 @@ class CompressionTask(ABC):
         """Scalar summary of the solution (objective / flow value /
         score checksum) used by experiments and equality tests."""
 
+    def exact_reference(self) -> Any:
+        """Solve the *original* problem exactly (the certification
+        oracle for :func:`repro.pipeline.certified.run_certified`).
+
+        Tasks that cannot produce an exact answer keep the default and
+        are rejected by certified mode with a clear error.
+        """
+        raise NotImplementedError(
+            f"task {self.name!r} does not support certified mode "
+            f"(no exact reference)"
+        )
+
+    def certified_error(self, exact: Any, result: "TaskResult") -> float:
+        """Measured relative error of a compressed solve vs ``exact``.
+
+        Must return a value comparable against the certified-mode
+        ``eps`` — 0.0 means the compressed answer matches the exact one.
+        """
+        raise NotImplementedError(
+            f"task {self.name!r} does not support certified mode "
+            f"(no error measure)"
+        )
+
     def solve_key(self) -> tuple | None:
         """Hashable fingerprint of everything that shapes reduce/solve/
         lift *besides* the coloring — the

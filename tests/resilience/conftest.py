@@ -1,0 +1,15 @@
+"""Shared hygiene for the resilience suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import uninstall_plan
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """A fault plan must never outlive the test that installed it."""
+    uninstall_plan()
+    yield
+    uninstall_plan()

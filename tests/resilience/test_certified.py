@@ -1,0 +1,143 @@
+"""Certified-ε mode: the dial is met, bounded, or declared unreachable."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.flow.network import FlowNetwork, max_flow
+from repro.graphs.digraph import WeightedDiGraph
+from repro.graphs.generators import star_graph
+from repro.lp.generators import planted_block_lp
+from repro.pipeline import (
+    CentralityTask,
+    LPTask,
+    MaxFlowTask,
+    run_certified,
+)
+from tests.conftest import random_adjacency
+
+
+def random_network(seed: int, n: int = 14) -> FlowNetwork:
+    adjacency = random_adjacency(n, 0.35, seed)
+    graph = WeightedDiGraph.from_scipy(adjacency, directed=True)
+    return FlowNetwork(graph, 0, n - 1)
+
+
+class TestEpsMet:
+    def test_maxflow_meets_a_loose_dial(self):
+        task = MaxFlowTask(random_network(0))
+        certified = run_certified(task, eps=0.25, start_colors=4)
+        assert certified.certified is True
+        assert certified.achieved_error <= 0.25
+        assert certified.rounds[-1].error == certified.achieved_error
+        assert certified.result.n_colors == certified.n_colors
+
+    def test_eps_zero_certifies_at_a_stable_coloring(self):
+        # A stable coloring's reduced flow is exact (Corollary 9(2)), so
+        # even the zero dial is reachable once the budget admits one.
+        task = MaxFlowTask(random_network(1, n=10))
+        certified = run_certified(task, eps=1e-9, start_colors=2)
+        assert certified.certified is True
+        assert certified.exact_value == pytest.approx(
+            max_flow(task.problem).value
+        )
+
+    def test_lp_certifies_on_planted_blocks(self):
+        lp = planted_block_lp(
+            24, 18, row_groups=3, col_groups=3, noise=0.0, seed=7
+        )
+        certified = run_certified(
+            LPTask(lp, alpha=0.0), eps=1e-6, start_colors=2
+        )
+        assert certified.certified is True
+        # planted blocks compress: certification needs far fewer colors
+        # than rows + cols
+        assert certified.n_colors < lp.n_rows + lp.n_cols
+
+    def test_budgets_grow_monotonically(self):
+        task = MaxFlowTask(random_network(2))
+        certified = run_certified(task, eps=0.0, start_colors=2)
+        budgets = [record.n_colors for record in certified.rounds]
+        assert budgets == sorted(budgets)
+
+
+class TestEpsUnreachable:
+    def test_color_cap_reports_not_certified(self):
+        task = MaxFlowTask(random_network(7))
+        certified = run_certified(
+            task, eps=0.0, start_colors=2, max_colors=4
+        )
+        assert certified.certified is False
+        assert certified.achieved_error > 0.0
+        assert certified.n_colors <= 4
+        assert certified.compression_ratio > 1.0
+
+    def test_saturated_coloring_ends_the_loop(self):
+        class NeverGoodEnough(CentralityTask):
+            def certified_error(self, exact, result):
+                return 0.5
+
+        # a star's stable partition has ~2 classes: the budget doubles
+        # but the coloring stops growing, and the loop must notice
+        # rather than spin to max_colors.
+        task = NeverGoodEnough(star_graph(20))
+        certified = run_certified(task, eps=0.1, start_colors=4)
+        assert certified.certified is False
+        assert len(certified.rounds) >= 2
+        assert (
+            certified.rounds[-1].n_colors == certified.rounds[-2].n_colors
+        )
+        assert certified.rounds[-1].n_colors < 21
+
+
+class TestValidation:
+    def test_bad_arguments_rejected(self):
+        task = MaxFlowTask(random_network(4))
+        with pytest.raises(ValueError, match="eps"):
+            run_certified(task, eps=-0.1)
+        with pytest.raises(ValueError, match="start_colors"):
+            run_certified(task, eps=0.1, start_colors=0)
+        with pytest.raises(ValueError, match="growth"):
+            run_certified(task, eps=0.1, growth=1.0)
+
+    def test_default_task_has_no_oracle(self):
+        task = MaxFlowTask(random_network(5))
+        for method in ("exact_reference", "certified_error"):
+            default = getattr(CentralityTask.__mro__[1], method)
+            with pytest.raises(NotImplementedError, match="certified"):
+                if method == "exact_reference":
+                    default(task)
+                else:
+                    default(task, 1.0, None)
+
+
+class TestAdapterOracles:
+    def test_maxflow_oracle_and_ratio_error(self):
+        network = random_network(6)
+        task = MaxFlowTask(network)
+        exact = task.exact_reference()
+        assert exact == pytest.approx(max_flow(network).value)
+        assert task.certified_error(
+            exact, SimpleNamespace(value=exact)
+        ) == pytest.approx(0.0)
+        assert task.certified_error(
+            2.0, SimpleNamespace(value=4.0)
+        ) == pytest.approx(1.0)
+
+    def test_centrality_error_is_normalized_l1(self):
+        task = CentralityTask(star_graph(6))
+        exact = np.array([4.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        same = SimpleNamespace(lifted=exact.copy())
+        off = SimpleNamespace(lifted=exact + 1.0)
+        assert task.certified_error(exact, same) == 0.0
+        assert task.certified_error(exact, off) == pytest.approx(6 / 4)
+        zeros = np.zeros(6)
+        assert task.certified_error(
+            zeros, SimpleNamespace(lifted=zeros)
+        ) == 0.0
+        assert task.certified_error(
+            zeros, SimpleNamespace(lifted=exact)
+        ) == float("inf")

@@ -1,0 +1,114 @@
+"""Self-healing executor: dead, hung, and failing workers.
+
+Worker faults are injected through ``executor.task`` — the worker-side
+choke point every process-pool job routes through.  The installed plan
+is fork-inherited, so each (re)spawned worker replays the same
+schedule; recovery therefore has to *degrade* out of process mode to
+make progress, which is exactly the contract under test: the answer
+never changes, only the execution mode does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.backends.executor as executor_mod
+from repro.core.backends.executor import RoundExecutor
+from repro.core.rothko import Rothko
+from repro.graphs.generators import barabasi_albert
+from repro.resilience import FaultPlan, injecting
+from repro.resilience.fallback import ResilienceWarning
+
+
+def _identity(job):
+    return job
+
+
+def _double(job):
+    return job * 2
+
+
+@pytest.fixture(autouse=True)
+def _fast_recovery(monkeypatch):
+    monkeypatch.setattr(executor_mod, "_BACKOFF_BASE", 0.01)
+
+
+@pytest.fixture
+def pool():
+    ex = RoundExecutor("processes", 2, task_timeout=0.5)
+    ex.attach_arrays({"dummy": np.zeros(1)})
+    yield ex
+    ex.release()
+
+
+class TestDirectRecovery:
+    def test_raising_task_recovers_without_degradation(self, pool):
+        plan = FaultPlan().on("executor.task", occurrence=1)
+        with injecting(plan):
+            # plan was installed *after* the pool forked, so only the
+            # parent would see it — rebuild so workers inherit it
+            pool._stop_pool()
+            pool._start_pool()
+            results = pool.run_jobs(_double, [1, 2, 3, 4], _double)
+        # the failed task was recomputed in the parent; the pool lives
+        assert results == [2, 4, 6, 8]
+        assert pool.mode == "processes"
+
+    def test_killed_worker_degrades_to_threads(self, pool):
+        plan = FaultPlan().on("executor.task", action="kill", times=None)
+        with injecting(plan):
+            pool._stop_pool()
+            pool._start_pool()
+            with pytest.warns(ResilienceWarning, match="degrading"):
+                results = pool.run_jobs(_double, [1, 2, 3, 4], _double)
+        assert results == [2, 4, 6, 8]
+        assert pool.mode == "threads"
+
+    def test_hung_worker_times_out_and_degrades(self, pool):
+        plan = FaultPlan().on(
+            "executor.task", action="sleep", seconds=30.0, times=None
+        )
+        with injecting(plan):
+            pool._stop_pool()
+            pool._start_pool()
+            with pytest.warns(ResilienceWarning, match="degrading"):
+                results = pool.run_jobs(_identity, list(range(6)), _identity)
+        assert results == list(range(6))
+        assert pool.mode == "threads"
+
+    def test_thread_failure_degrades_to_serial(self):
+        ex = RoundExecutor("threads", 2)
+        ex._threads().shutdown(wait=True)  # sabotage: submit now raises
+        with pytest.warns(ResilienceWarning, match="serial"):
+            results = ex.run_jobs(_double, [1, 2, 3], _double)
+        assert results == [2, 4, 6]
+        assert ex.mode == "serial"
+        ex.release()
+
+
+class TestColoringSurvivesWorkerDeath:
+    def test_killed_worker_never_changes_labels(self):
+        graph = barabasi_albert(400, 3, seed=5)
+
+        serial = Rothko(graph, strategy="batched")
+        serial.run(max_colors=24)
+        expected = serial.labels.copy()
+        serial.release()
+
+        plan = FaultPlan().on(
+            "executor.task", action="kill", occurrence=2, times=None
+        )
+        with injecting(plan):
+            engine = Rothko(
+                graph,
+                strategy="batched",
+                workers=2,
+                parallel_mode="processes",
+            )
+            with pytest.warns(ResilienceWarning, match="degrading"):
+                engine.run(max_colors=24)
+            labels = engine.labels.copy()
+            engine.release()
+
+        assert np.array_equal(labels, expected)

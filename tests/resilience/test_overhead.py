@@ -1,0 +1,74 @@
+"""Disabled fault injection must be free where it matters.
+
+Same first-principles recipe as ``tests/obs/test_overhead.py``: count
+how many injection points a workload actually crosses, measure the
+per-call cost of a disarmed :func:`~repro.resilience.faults.inject`,
+and bound the product against the workload's wall time — no noisy
+A/B medians.  Two facts are guarded:
+
+* the coloring hot path crosses **zero** injection points in serial
+  mode (the sites live in ingest chunks and the process-pool choke
+  point, never in per-node kernels);
+* a full ingest crosses only O(runs + merge chunks) points, whose
+  disarmed cost is under 1% of the ingest's own wall time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.rothko import q_color
+from repro.graphs.edgestore import ingest_uniform_random
+from repro.graphs.generators import barabasi_albert
+from repro.resilience import FaultPlan, inject, injecting, uninstall_plan
+
+
+def total_hits(plan: FaultPlan) -> int:
+    return sum(plan._hits.values())
+
+
+def null_inject_seconds(repeats: int = 20_000) -> float:
+    """Per-call cost of the disarmed fast path (no plan installed)."""
+    uninstall_plan()
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            inject("calibration.site")
+        best = min(best, time.perf_counter() - start)
+    return best / repeats
+
+
+def test_serial_coloring_crosses_no_injection_points():
+    graph = barabasi_albert(1000, 4, seed=2)
+    adjacency = graph.to_csr()
+    watcher = FaultPlan().on("never-matched")
+    with injecting(watcher):
+        q_color(adjacency, 64)
+    assert total_hits(watcher) == 0
+
+
+def test_disarmed_ingest_overhead_under_one_percent(tmp_path):
+    n, degree, chunk = 2_000, 30, 8_192
+    m = n * degree
+
+    watcher = FaultPlan().on("never-matched")
+    with injecting(watcher):
+        ingest_uniform_random(
+            tmp_path / "counted", n, degree, seed=3, chunk_arcs=chunk
+        )
+    crossings = total_hits(watcher)
+    # spills + journal writes + merge chunks + csc chunks + one commit
+    assert 0 < crossings < 10 * (m // chunk + 2)
+
+    start = time.perf_counter()
+    ingest_uniform_random(
+        tmp_path / "timed", n, degree, seed=3, chunk_arcs=chunk
+    )
+    runtime = time.perf_counter() - start
+
+    estimated = crossings * null_inject_seconds()
+    assert estimated < 0.01 * runtime, (
+        f"{crossings} disarmed inject calls cost an estimated "
+        f"{estimated * 1e3:.3f} ms against a {runtime * 1e3:.1f} ms ingest"
+    )

@@ -400,3 +400,120 @@ class TestIngestCommand:
             main([
                 "ingest", str(tmp_path / "store"), "--synthetic", "10",
             ])
+
+
+class TestVerifyCommand:
+    @pytest.fixture
+    def store(self, tmp_path, capsys):
+        path = tmp_path / "store"
+        assert main(
+            ["ingest", str(path), "--synthetic", "300,5", "--seed", "2"]
+        ) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_verify_intact_store(self, store, capsys):
+        assert main(["verify", store]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out and "checksums" in out
+
+    def test_verify_missing_path_is_a_clean_one_liner(
+        self, tmp_path, capsys
+    ):
+        assert main(["verify", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro verify:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_verify_corrupt_store(self, store, capsys):
+        import pathlib
+
+        target = pathlib.Path(store) / "weight.npy"
+        blob = bytearray(target.read_bytes())
+        blob[-1] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        assert main(["verify", store]) == 2
+        assert "checksum mismatch" in capsys.readouterr().err
+
+
+class TestCleanCliErrors:
+    def test_color_missing_edgelist(self, tmp_path, capsys):
+        assert main(
+            ["color", str(tmp_path / "nope.edges"), "--colors", "4"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro color:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_color_non_store_directory(self, tmp_path, capsys):
+        empty = tmp_path / "not-a-store"
+        empty.mkdir()
+        assert main(
+            ["color", str(empty), "--mmap", "--colors", "4"]
+        ) == 2
+        assert capsys.readouterr().err.startswith("repro color:")
+
+    def test_ingest_resume_without_journal(self, tmp_path):
+        with pytest.raises(SystemExit, match="nothing to resume"):
+            main(
+                ["ingest", str(tmp_path / "store"),
+                 "--synthetic", "300,5", "--resume"]
+            )
+
+    def test_faulted_ingest_then_resume_round_trip(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.resilience import uninstall_plan
+
+        store = tmp_path / "store"
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "edgestore.merge.chunk@1"
+        )
+        try:
+            assert main(
+                ["ingest", str(store), "--synthetic", "300,5",
+                 "--seed", "2"]
+            ) == 2
+            assert "injected fault" in capsys.readouterr().err
+        finally:
+            uninstall_plan()
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert main(
+            ["ingest", str(store), "--synthetic", "300,5",
+             "--seed", "2", "--resume"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["verify", str(store)]) == 0
+
+
+class TestCertifyCli:
+    @pytest.fixture
+    def store(self, tmp_path, capsys):
+        path = tmp_path / "store"
+        assert main(
+            ["ingest", str(path), "--synthetic", "300,5", "--seed", "2"]
+        ) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_certify_reaches_the_dial(self, store, capsys):
+        assert main(
+            ["solve", "--task", "maxflow", "--dataset", store, "--mmap",
+             "--certify", "0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CERTIFIED" in out and "rel_error" in out
+
+    def test_certify_unreachable_cap_exits_one(self, store, capsys):
+        assert main(
+            ["solve", "--task", "maxflow", "--dataset", store, "--mmap",
+             "--certify", "0", "--max-colors", "4"]
+        ) == 1
+        assert "NOT certified" in capsys.readouterr().out
+
+    def test_certify_rejects_explicit_budgets(self, store):
+        with pytest.raises(SystemExit, match="certify"):
+            main(
+                ["solve", "--task", "maxflow", "--dataset", store,
+                 "--mmap", "--certify", "0.1", "--colors", "8"]
+            )
